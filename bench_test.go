@@ -1,0 +1,87 @@
+// Package imagebench's root benchmarks regenerate every table and figure
+// of "Comparative Evaluation of Big-Data Systems on Scientific Image
+// Analytics Workloads" (VLDB 2017): one testing.B benchmark per paper
+// artifact. Each iteration runs the full experiment under the quick
+// profile and reports the resulting virtual runtimes as custom metrics
+// where meaningful. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the paper-sweep numbers use the CLI instead:
+//
+//	go run ./cmd/imagebench -profile full all
+package imagebench
+
+import (
+	"strings"
+	"testing"
+
+	"imagebench/internal/core"
+)
+
+// benchExperiment runs one registered experiment per iteration and fails
+// the benchmark if the paper's qualitative shape no longer holds.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := core.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.Quick()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(p)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if err := e.Check(tab); err != nil {
+			b.Fatalf("%s: shape check: %v", id, err)
+		}
+		if i == 0 {
+			reportCells(b, tab)
+		}
+	}
+}
+
+// reportCells exposes the first and last column of each row as benchmark
+// metrics so `go test -bench` output carries the reproduced series.
+func reportCells(b *testing.B, t *core.Table) {
+	for i, row := range t.RowNames {
+		name := strings.ReplaceAll(row, " ", "-")
+		first := t.Cells[i][0]
+		last := t.Cells[i][len(t.ColNames)-1]
+		if first == first { // not NaN
+			b.ReportMetric(first, name+"_first_vs")
+		}
+		if last == last {
+			b.ReportMetric(last, name+"_last_vs")
+		}
+	}
+}
+
+func BenchmarkTable1LoC(b *testing.B)            { benchExperiment(b, "table1") }
+func BenchmarkFig10aDataSizes(b *testing.B)      { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bDataSizes(b *testing.B)      { benchExperiment(b, "fig10b") }
+func BenchmarkFig10cNeuroEndToEnd(b *testing.B)  { benchExperiment(b, "fig10c") }
+func BenchmarkFig10dAstroEndToEnd(b *testing.B)  { benchExperiment(b, "fig10d") }
+func BenchmarkFig10eNormalized(b *testing.B)     { benchExperiment(b, "fig10e") }
+func BenchmarkFig10fNormalized(b *testing.B)     { benchExperiment(b, "fig10f") }
+func BenchmarkFig10gNeuroSpeedup(b *testing.B)   { benchExperiment(b, "fig10g") }
+func BenchmarkFig10hAstroSpeedup(b *testing.B)   { benchExperiment(b, "fig10h") }
+func BenchmarkFig11Ingest(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12aFilter(b *testing.B)         { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bMean(b *testing.B)           { benchExperiment(b, "fig12b") }
+func BenchmarkFig12cDenoise(b *testing.B)        { benchExperiment(b, "fig12c") }
+func BenchmarkFig12dCoadd(b *testing.B)          { benchExperiment(b, "fig12d") }
+func BenchmarkFig13MyriaWorkers(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14SparkPartitions(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15MemoryModes(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkSec531TFAssignment(b *testing.B)   { benchExperiment(b, "sec531tf") }
+func BenchmarkSec531SciDBChunks(b *testing.B)    { benchExperiment(b, "sec531scidb") }
+func BenchmarkSec533SparkCaching(b *testing.B)   { benchExperiment(b, "sec533") }
+
+// Ablation benchmarks: the design-property ablations DESIGN.md calls out
+// (extensions beyond the paper's artifacts; see EXPERIMENTS.md).
+func BenchmarkAblSparkPythonTax(b *testing.B) { benchExperiment(b, "abl-spark-pytax") }
+func BenchmarkAblDaskFusion(b *testing.B)     { benchExperiment(b, "abl-dask-fusion") }
+func BenchmarkAblDaskStealing(b *testing.B)   { benchExperiment(b, "abl-dask-stealing") }
+func BenchmarkAblMyriaPushdown(b *testing.B)  { benchExperiment(b, "abl-myria-pushdown") }

@@ -1,0 +1,109 @@
+// Command datagen writes the synthetic datasets to a directory as the
+// real files the pipelines consume: NIfTI-1 subjects and per-volume .npy
+// stagings for the neuroscience use case, FITS sensor exposures for the
+// astronomy use case. It is the offline stand-in for downloading the HCP
+// and HiTS releases.
+//
+// With -gz, subject NIfTI files are additionally written as .nii.gz (the
+// form the HCP actually distributes, Section 3.1.1). With -catalog, the
+// reference pipeline runs over the astronomy data and the detected
+// sources are written as a FITS BINTABLE catalog per patch.
+//
+// Usage:
+//
+//	datagen -out ./data -subjects 4 -visits 4 -gz -catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"imagebench/internal/astro"
+	"imagebench/internal/fits"
+	"imagebench/internal/nifti"
+	"imagebench/internal/objstore"
+	"imagebench/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	subjects := flag.Int("subjects", 2, "number of dMRI subjects")
+	visits := flag.Int("visits", 2, "number of survey visits")
+	seed := flag.Int64("seed", 1, "generator seed")
+	gz := flag.Bool("gz", false, "also write subjects as .nii.gz")
+	catalog := flag.Bool("catalog", false, "run the reference astronomy pipeline and write FITS source catalogs")
+	flag.Parse()
+
+	store := objstore.New()
+	ncfg := synth.DefaultNeuro(*subjects)
+	ncfg.Seed = *seed
+	if _, err := synth.GenNeuro(store, ncfg); err != nil {
+		fatal(err)
+	}
+	acfg := synth.DefaultAstro(*visits)
+	acfg.Seed = *seed
+	truth, err := synth.GenAstro(store, acfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var files, bytes int64
+	write := func(rel string, data []byte) {
+		path := filepath.Join(*out, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		files++
+		bytes += int64(len(data))
+	}
+
+	for _, key := range store.List("") {
+		obj, err := store.Get(key)
+		if err != nil {
+			fatal(err)
+		}
+		write(key, obj.Data)
+		if *gz && strings.HasSuffix(key, ".nii") {
+			write(key+".gz", nifti.EncodeGz(obj.Data))
+		}
+	}
+
+	nCatalogs := 0
+	if *catalog {
+		w, err := astro.NewWorkloadCfg(acfg)
+		if err != nil {
+			fatal(err)
+		}
+		ref, err := astro.Reference(w)
+		if err != nil {
+			fatal(err)
+		}
+		for p, pr := range ref.Patches {
+			tbl := fits.SourceCatalog(pr.Sources)
+			data, err := fits.EncodeTable(tbl)
+			if err != nil {
+				fatal(err)
+			}
+			write(fmt.Sprintf("astro/catalog/patch-%d-%d.fits", p.PX, p.PY), data)
+			nCatalogs++
+		}
+	}
+
+	fmt.Printf("wrote %d files (%.1f MB) under %s\n", files, float64(bytes)/1e6, *out)
+	fmt.Printf("neuroscience: %d subjects (%d volumes each); astronomy: %d visits (%d sensors each, %d true sources)\n",
+		*subjects, ncfg.T, *visits, acfg.Sensors, len(truth))
+	if *catalog {
+		fmt.Printf("source catalogs: %d patches (FITS BINTABLE)\n", nCatalogs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command imagebench runs the paper-reproduction experiments: one per
+// table and figure of "Comparative Evaluation of Big-Data Systems on
+// Scientific Image Analytics Workloads" (VLDB 2017).
+//
+// Usage:
+//
+//	imagebench -list               # show all experiment IDs
+//	imagebench fig10c fig11        # run specific experiments
+//	imagebench -profile quick all  # run everything under the quick profile
+//	imagebench -check fig12d       # also validate the paper's shape
+//	imagebench -json fig11         # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"imagebench/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	profile := flag.String("profile", "full", `workload profile: "full" (paper sweeps) or "quick"`)
+	check := flag.Bool("check", true, "validate each table against the paper's qualitative shape")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of rendered tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			fmt.Printf("%-12s paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	var p core.Profile
+	switch *profile {
+	case "full":
+		p = core.Full()
+	case "quick":
+		p = core.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "imagebench: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "imagebench: name experiments to run, or \"all\" (see -list)")
+		os.Exit(2)
+	}
+	var exps []*core.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = core.All()
+	} else {
+		for _, id := range ids {
+			e, err := core.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "imagebench:", err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	// jsonResult is the machine-readable record emitted per experiment
+	// under -json.
+	type jsonResult struct {
+		ID      string       `json:"id"`
+		Title   string       `json:"title"`
+		Profile string       `json:"profile"`
+		Unit    string       `json:"unit"`
+		Columns []string     `json:"columns"`
+		Rows    []string     `json:"rows"`
+		Cells   [][]*float64 `json:"cells"` // null = the paper's NA/X cells
+		Notes   []string     `json:"notes,omitempty"`
+		Shape   string       `json:"shape,omitempty"` // "ok" or the check failure
+	}
+	var results []jsonResult
+
+	failed := 0
+	for _, e := range exps {
+		if !*asJSON {
+			fmt.Printf("=== %s: %s (profile %s)\n", e.ID, e.Title, p.Name)
+			fmt.Printf("    paper: %s\n", e.Paper)
+		}
+		start := time.Now()
+		tab, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imagebench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		shape := ""
+		if *check {
+			if err := e.Check(tab); err != nil {
+				shape = err.Error()
+				failed++
+			} else {
+				shape = "ok"
+			}
+		}
+		if *asJSON {
+			cells := make([][]*float64, len(tab.Cells))
+			for i, row := range tab.Cells {
+				cells[i] = make([]*float64, len(row))
+				for j, v := range row {
+					if !math.IsNaN(v) {
+						v := v
+						cells[i][j] = &v
+					}
+				}
+			}
+			results = append(results, jsonResult{
+				ID: e.ID, Title: e.Title, Profile: p.Name, Unit: tab.Unit,
+				Columns: tab.ColNames, Rows: tab.RowNames, Cells: cells,
+				Notes: tab.Notes, Shape: shape,
+			})
+			continue
+		}
+		fmt.Print(tab.Render())
+		switch {
+		case shape == "ok":
+			fmt.Printf("    shape check: ok\n")
+		case shape != "":
+			fmt.Printf("    SHAPE CHECK FAILED: %v\n", shape)
+		}
+		fmt.Printf("    (ran in %.1fs real time)\n\n", time.Since(start).Seconds())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench:", err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "imagebench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+// Command loccount regenerates the repository's Table 1 analogue: lines
+// of Go per use case per system, counted from the per-engine pipeline
+// implementation files (comments and blanks excluded).
+//
+// Usage:
+//
+//	loccount            # print the table
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"imagebench/internal/core"
+)
+
+func main() {
+	e, err := core.Lookup("table1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	tab, err := e.Run(core.Quick())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tab.Render())
+}

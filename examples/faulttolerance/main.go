@@ -1,0 +1,82 @@
+// Fault tolerance: demonstrate Spark's lineage-based recovery — the
+// mechanism the RDD abstraction exists for (Zaharia et al., NSDI'12,
+// reference [42] of the paper) — on the neuroscience workload's shape.
+//
+// The example caches a denoised RDD across an 8-node simulated cluster,
+// kills two executors, and reruns an action: only the partitions the
+// dead nodes hosted are recomputed from lineage, and the results are
+// unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/objstore"
+	"imagebench/internal/spark"
+	"imagebench/internal/vtime"
+)
+
+func main() {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 8
+	cl := cluster.New(cfg)
+
+	// Stage 64 synthetic image volumes (64 MB paper-scale each).
+	store := objstore.New()
+	for i := 0; i < 64; i++ {
+		store.Put(fmt.Sprintf("vols/%03d", i), []byte{byte(i)}, 64<<20)
+	}
+	s := spark.NewSession(cl, store, nil)
+
+	// volumes → denoise (an expensive narrow map) → cache.
+	denoised := s.Objects("vols/", 64, func(o objstore.Object) []spark.Pair {
+		return []spark.Pair{{Key: o.Key, Value: int(o.Data[0]), Size: o.ModelBytes}}
+	}).Map(spark.UDF{Name: "denoise", Op: cost.Denoise, F: func(p spark.Pair) []spark.Pair {
+		return []spark.Pair{{Key: p.Key, Value: p.Value.(int) * 2, Size: p.Size}}
+	}}).Cache()
+
+	sum := func(recs []spark.Pair) int {
+		n := 0
+		for _, r := range recs {
+			n += r.Value.(int)
+		}
+		return n
+	}
+
+	recs, h1, err := denoised.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := vtime.Duration(h1.End)
+	fmt.Printf("first action:  %d records, checksum %d, virtual time %v\n", len(recs), sum(recs), t1)
+
+	// Kill two executors: their cached partitions are gone.
+	for _, node := range []int{3, 5} {
+		if err := s.KillExecutor(node); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("killed executors on nodes 3 and 5 (%d dead)\n", s.DeadExecutors())
+
+	recs2, h2, err := denoised.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2 := vtime.Duration(h2.End)
+	fmt.Printf("second action: %d records, checksum %d, virtual time %v\n", len(recs2), sum(recs2), t2)
+
+	if sum(recs2) != sum(recs) || len(recs2) != len(recs) {
+		log.Fatal("recovery changed the results")
+	}
+	fmt.Printf("recovery recomputed only the lost partitions: +%v over the cached re-read\n", t2-t1)
+
+	// A third action runs entirely from the surviving + recovered cache.
+	_, h3, err := denoised.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("third action:  virtual time +%v (all partitions cached again)\n", vtime.Duration(h3.End)-t2)
+}

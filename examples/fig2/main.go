@@ -1,0 +1,96 @@
+// Fig2: reproduce the paper's Figure 2 — orthogonal slices of the mask
+// (2a) and fractional-anisotropy (2b) volumes for a single subject —
+// as PGM images written to disk.
+//
+// Usage:
+//
+//	go run ./examples/fig2 [-out fig2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"imagebench/internal/neuro"
+	"imagebench/internal/volume"
+)
+
+func main() {
+	out := flag.String("out", "fig2", "output directory")
+	flag.Parse()
+
+	w, err := neuro.NewWorkload(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := neuro.Reference(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr := ref.Subjects[0]
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, panel := range []struct {
+		name string
+		vol  *volume.V3
+	}{
+		{"mask", sr.Mask}, // Figure 2a
+		{"fa", sr.FA},     // Figure 2b
+	} {
+		for _, cut := range []string{"axial", "coronal", "sagittal"} {
+			img := slice(panel.vol, cut)
+			path := filepath.Join(*out, fmt.Sprintf("%s-%s.pgm", panel.name, cut))
+			if err := os.WriteFile(path, img, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fa := sr.FA.Summarize()
+	fmt.Printf("wrote 6 orthogonal slices (mask + FA) to %s/\n", *out)
+	fmt.Printf("FA: mean %.3f, max %.3f; mask covers %.0f%% of the volume\n",
+		fa.Mean, fa.Max, 100*float64(sr.Mask.Summarize().NonZero)/float64(sr.Mask.Len()))
+}
+
+// slice renders the central orthogonal cut of a volume as an 8-bit PGM,
+// normalized to the volume's maximum.
+func slice(v *volume.V3, cut string) []byte {
+	var w, h int
+	var at func(i, j int) float64
+	switch cut {
+	case "axial": // fixed z
+		z := v.NZ / 2
+		w, h = v.NX, v.NY
+		at = func(i, j int) float64 { return v.At(i, j, z) }
+	case "coronal": // fixed y
+		y := v.NY / 2
+		w, h = v.NX, v.NZ
+		at = func(i, j int) float64 { return v.At(i, y, j) }
+	default: // sagittal: fixed x
+		x := v.NX / 2
+		w, h = v.NY, v.NZ
+		at = func(i, j int) float64 { return v.At(x, i, j) }
+	}
+	var max float64
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			if at(i, j) > max {
+				max = at(i, j)
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	out := []byte(fmt.Sprintf("P5\n%d %d\n255\n", w, h))
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			out = append(out, byte(255*at(i, j)/max))
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Neuroscience example: run the full dMRI pipeline (segmentation →
+// denoising → diffusion-tensor fit) on every system that can execute it,
+// over the same synthetic subjects and the same simulated 8-node cluster,
+// and print a runtime comparison — a miniature of the paper's Figure 10c
+// plus the partial SciDB/TensorFlow implementations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/neuro"
+)
+
+func main() {
+	const subjects = 4
+	w, err := neuro.NewWorkload(subjects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newCluster := func() *cluster.Cluster {
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 8
+		return cluster.New(cfg)
+	}
+
+	fmt.Printf("neuroscience use case, %d subjects (%s paper-scale input), 8-node cluster\n\n",
+		subjects, gb(w.InputModelBytes()))
+
+	ref, err := neuro.Reference(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type runResult struct {
+		name  string
+		notes string
+		run   func(cl *cluster.Cluster) error
+	}
+	runs := []runResult{
+		{"Spark", "full pipeline", func(cl *cluster.Cluster) error {
+			res, err := neuro.RunSpark(w, cl, nil, neuro.SparkOpts{Partitions: cl.Workers(), CacheInput: true})
+			if err == nil {
+				checkAgainst(ref, res)
+			}
+			return err
+		}},
+		{"Myria", "full pipeline", func(cl *cluster.Cluster) error {
+			res, err := neuro.RunMyria(w, cl, nil, neuro.MyriaOpts{})
+			if err == nil {
+				checkAgainst(ref, res)
+			}
+			return err
+		}},
+		{"Dask", "full pipeline", func(cl *cluster.Cluster) error {
+			res, err := neuro.RunDask(w, cl, nil)
+			if err == nil {
+				checkAgainst(ref, res)
+			}
+			return err
+		}},
+		{"SciDB", "segmentation + stream() denoise only (paper Table 1)", func(cl *cluster.Cluster) error {
+			_, err := neuro.RunSciDB(w, cl, nil, neuro.SciDBAio)
+			return err
+		}},
+		{"TensorFlow", "simplified mask + unmasked denoise only (paper Table 1)", func(cl *cluster.Cluster) error {
+			_, err := neuro.RunTF(w, cl, nil, neuro.TFOpts{})
+			return err
+		}},
+	}
+	fmt.Printf("%-12s %14s %10s   %s\n", "system", "virtual time", "tasks", "scope")
+	for _, r := range runs {
+		cl := newCluster()
+		if err := r.run(cl); err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		fmt.Printf("%-12s %14v %10d   %s\n", r.name, cl.Makespan(), cl.Tasks(), r.notes)
+	}
+	fmt.Println("\nSpark/Myria/Dask outputs verified bit-identical to the single-node reference.")
+}
+
+func checkAgainst(ref, got *neuro.Result) {
+	for s, r := range ref.Subjects {
+		g, ok := got.Subjects[s]
+		if !ok || g.FA == nil {
+			log.Fatalf("missing subject %d in distributed result", s)
+		}
+		for i := range r.FA.Data {
+			if r.FA.Data[i] != g.FA.Data[i] {
+				log.Fatalf("subject %d FA mismatch at voxel %d", s, i)
+			}
+		}
+	}
+}
+
+func gb(n int64) string { return fmt.Sprintf("%.1f GB", float64(n)/1e9) }

@@ -1,0 +1,63 @@
+// Scaling example: reproduce the shape of the paper's Figure 10g —
+// end-to-end neuroscience runtime as the cluster grows from 16 to 64
+// nodes — on Dask, Myria, and Spark, and print per-system speedups.
+// Myria's speedup is closest to ideal; Dask degrades at larger clusters
+// (centralized scheduler + work-stealing replication).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/neuro"
+	"imagebench/internal/synth"
+)
+
+func main() {
+	// Enough volumes to keep 64 nodes busy (see DESIGN.md §6 on scale).
+	cfg := synth.DefaultNeuro(43)
+	cfg.T, cfg.B0 = 48, 3
+	w, err := neuro.NewWorkloadCfg(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := []int{16, 32, 48, 64}
+	systems := []string{"Dask", "Myria", "Spark"}
+	times := map[string][]float64{}
+
+	fmt.Printf("neuroscience end-to-end, %d subjects (%.0f GB paper-scale), clusters of %v nodes\n\n",
+		cfg.Subjects, float64(w.InputModelBytes())/1e9, nodes)
+	fmt.Printf("%-8s", "system")
+	for _, n := range nodes {
+		fmt.Printf("%12d", n)
+	}
+	fmt.Printf("%12s\n", "speedup")
+	for _, sys := range systems {
+		for _, n := range nodes {
+			ccfg := cluster.DefaultConfig()
+			ccfg.Nodes = n
+			cl := cluster.New(ccfg)
+			var err error
+			switch sys {
+			case "Dask":
+				_, err = neuro.RunDask(w, cl, nil)
+			case "Myria":
+				_, err = neuro.RunMyria(w, cl, nil, neuro.MyriaOpts{})
+			case "Spark":
+				_, err = neuro.RunSpark(w, cl, nil, neuro.SparkOpts{Partitions: cl.Workers(), CacheInput: true})
+			}
+			if err != nil {
+				log.Fatalf("%s at %d nodes: %v", sys, n, err)
+			}
+			times[sys] = append(times[sys], cl.Makespan().Seconds())
+		}
+		fmt.Printf("%-8s", sys)
+		for _, t := range times[sys] {
+			fmt.Printf("%11.0fs", t)
+		}
+		fmt.Printf("%11.2fx\n", times[sys][0]/times[sys][len(nodes)-1])
+	}
+	fmt.Printf("\nideal speedup for %d→%d nodes: %.1fx\n", nodes[0], nodes[len(nodes)-1],
+		float64(nodes[len(nodes)-1])/float64(nodes[0]))
+}

@@ -1,0 +1,61 @@
+// Trace: run the neuroscience pipeline on the Spark engine with cluster
+// tracing enabled and export the simulated schedule as a Chrome
+// trace-event file. Open the output in chrome://tracing or
+// https://ui.perfetto.dev to see worker slots, NIC transfers, and disk
+// operations per node — stage barriers and stragglers become visible.
+//
+// Usage:
+//
+//	go run ./examples/trace [-out trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/neuro"
+)
+
+func main() {
+	out := flag.String("out", "trace.json", "trace output file")
+	flag.Parse()
+
+	w, err := neuro.NewWorkload(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cl := cluster.New(cfg)
+	cl.EnableTracing()
+
+	if _, err := neuro.RunSpark(w, cl, nil, neuro.SparkOpts{Partitions: cl.Workers()}); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := cl.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+
+	events := cl.TraceEvents()
+	byKind := map[cluster.EventKind]int{}
+	for _, ev := range events {
+		byKind[ev.Kind]++
+	}
+	fmt.Printf("simulated %v of cluster time across %d nodes\n", cl.Makespan(), cl.Nodes())
+	fmt.Printf("wrote %d trace events to %s:\n", len(events), *out)
+	for _, k := range []cluster.EventKind{cluster.EventCompute, cluster.EventTransfer, cluster.EventBcast, cluster.EventDisk} {
+		if byKind[k] > 0 {
+			fmt.Printf("  %-9s %d\n", k, byKind[k])
+		}
+	}
+	fmt.Println("open chrome://tracing and load the file to inspect the schedule")
+}

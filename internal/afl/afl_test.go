@@ -1,0 +1,316 @@
+package afl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/objstore"
+	"imagebench/internal/scidb"
+)
+
+// --- parser --------------------------------------------------------------
+
+func TestParseNestedCalls(t *testing.T) {
+	exprs, err := Parse(`store(aggregate(filter(scan(images), vol < 18), avg(value), subj), mean_b0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 1 {
+		t.Fatalf("got %d statements, want 1", len(exprs))
+	}
+	store, ok := exprs[0].(*Call)
+	if !ok || store.Fn != "store" || len(store.Args) != 2 {
+		t.Fatalf("outer call: %v", exprs[0])
+	}
+	agg := store.Args[0].(*Call)
+	if agg.Fn != "aggregate" || len(agg.Args) != 3 {
+		t.Fatalf("aggregate: %v", agg)
+	}
+	filt := agg.Args[0].(*Call)
+	if filt.Fn != "filter" {
+		t.Fatalf("filter: %v", filt)
+	}
+	cmp, ok := filt.Args[1].(*Cmp)
+	if !ok || cmp.Op != "<" {
+		t.Fatalf("predicate: %v", filt.Args[1])
+	}
+}
+
+func TestParseMultiStatement(t *testing.T) {
+	exprs, err := Parse(`
+		-- a comment
+		store(scan(a), b);
+		store(apply(scan(b), clean), c)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 2 {
+		t.Fatalf("got %d statements, want 2", len(exprs))
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	exprs, err := Parse(`filter(scan(a), vol >= 3 and vol <= 7 and subj = 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filt := exprs[0].(*Call)
+	and, ok := filt.Args[1].(*And)
+	if !ok {
+		t.Fatalf("want And, got %T", filt.Args[1])
+	}
+	if _, ok := and.L.(*And); !ok {
+		t.Fatalf("left-nested conjunction expected, got %T", and.L)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"scan(a",
+		"scan(a))",
+		"scan(a) scan(b)",
+		"'open",
+		"filter(scan(a), x !! 3)",
+		"scan(,)",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseStringStability(t *testing.T) {
+	src := `store(window(filter(scan(a), x < 3.5 and y = 2), smooth), out)`
+	e1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Parse(e1[0].String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", e1[0], err)
+	}
+	if e1[0].String() != e2[0].String() {
+		t.Errorf("unstable print: %q vs %q", e1[0], e2[0])
+	}
+}
+
+func TestLexNoPanic(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- evaluation ----------------------------------------------------------
+
+// volChunk is the decoded value of a test chunk: one image volume.
+type volChunk struct {
+	subj, vol int
+	pixels    []float64
+}
+
+// testEngine ingests nSubj×nVols chunks via the aio path and returns the
+// engine plus a ready environment with dims (subj aligned, vol not —
+// mirroring the paper: chunking is aligned with subjects, the b0 filter
+// cuts along the volume dimension).
+func testEngine(t *testing.T, nSubj, nVols int) (*scidb.Engine, *Env) {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 2
+	cl := cluster.New(cfg)
+	eng := scidb.New(cl, objstore.New(), nil, scidb.DefaultConfig())
+	var chunks []scidb.Chunk
+	for s := 0; s < nSubj; s++ {
+		for v := 0; v < nVols; v++ {
+			chunks = append(chunks, scidb.Chunk{
+				Coords: fmt.Sprintf("s%02d/v%03d", s, v),
+				Value:  volChunk{subj: s, vol: v, pixels: []float64{float64(v), float64(v + 1)}},
+				Size:   1 << 20,
+			})
+		}
+	}
+	if _, err := eng.IngestAio("images", chunks, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	env.DefineDims(func(c scidb.Chunk) map[string]float64 {
+		v := c.Value.(volChunk)
+		return map[string]float64{"subj": float64(v.subj), "vol": float64(v.vol)}
+	}, "subj")
+	return eng, env
+}
+
+func TestRunFilterAndAggregate(t *testing.T) {
+	const nSubj, nVols, nB0 = 2, 8, 3
+	eng, env := testEngine(t, nSubj, nVols)
+	env.DefineAggregate("avg", cost.Mean, func(key string, group []scidb.Chunk) scidb.Chunk {
+		var sum float64
+		var n int
+		for _, c := range group {
+			for _, p := range c.Value.(volChunk).pixels {
+				sum += p
+				n++
+			}
+		}
+		return scidb.Chunk{Coords: key, Value: sum / float64(n), Size: group[0].Size}
+	})
+
+	res, err := Run(eng, fmt.Sprintf(
+		`store(aggregate(filter(scan(images), vol < %d), avg(value), subj), mean_b0)`, nB0), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Stored["mean_b0"]
+	if out == nil {
+		t.Fatal("mean_b0 not stored")
+	}
+	if out.NChunks() != nSubj {
+		t.Fatalf("got %d result chunks, want %d", out.NChunks(), nSubj)
+	}
+	// mean of pixels {0,1, 1,2, 2,3} = 1.5 for vols 0..2.
+	for _, c := range out.Chunks {
+		if got := c.Value.(float64); got != 1.5 {
+			t.Errorf("chunk %s mean = %v, want 1.5", c.Coords, got)
+		}
+	}
+	// The stored array is registered: a later program can scan it.
+	if _, err := eng.Lookup("mean_b0"); err != nil {
+		t.Errorf("stored array not in catalog: %v", err)
+	}
+}
+
+func TestMisalignedFilterCostsMore(t *testing.T) {
+	// The same selection along an aligned vs a misaligned dimension:
+	// misaligned pays chunk reorganization (Fig 12a).
+	run := func(pred string) float64 {
+		eng, env := testEngine(t, 4, 6)
+		res, err := Run(eng, fmt.Sprintf(`filter(scan(images), %s)`, pred), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Last.Done().End)
+	}
+	aligned := run("subj < 2")
+	misaligned := run("vol < 3")
+	if misaligned <= aligned {
+		t.Errorf("misaligned filter (%v) should cost more than aligned (%v)", misaligned, aligned)
+	}
+}
+
+func TestRunApplyAndStream(t *testing.T) {
+	eng, env := testEngine(t, 1, 4)
+	double := func(c scidb.Chunk) scidb.Chunk {
+		v := c.Value.(volChunk)
+		out := make([]float64, len(v.pixels))
+		for i, p := range v.pixels {
+			out[i] = 2 * p
+		}
+		return scidb.Chunk{Coords: c.Coords, Value: volChunk{v.subj, v.vol, out}, Size: c.Size}
+	}
+	env.DefineKernel("double", cost.Denoise, double)
+
+	applyRes, err := Run(eng, `apply(scan(images), double)`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamRes, err := Run(eng, `stream(scan(images), double)`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{applyRes, streamRes} {
+		if res.Last.NChunks() != 4 {
+			t.Fatalf("got %d chunks, want 4", res.Last.NChunks())
+		}
+		c0 := res.Last.Chunks[0].Value.(volChunk)
+		if c0.pixels[1] != 2 {
+			t.Errorf("kernel did not run: %v", c0.pixels)
+		}
+	}
+}
+
+func TestStreamSlowerThanApply(t *testing.T) {
+	// stream() pays TSV encode/decode and the process boundary both ways
+	// on top of the same computation (Fig 12c).
+	run := func(op string) float64 {
+		eng, env := testEngine(t, 2, 4)
+		env.DefineKernel("id", cost.Denoise, func(c scidb.Chunk) scidb.Chunk { return c })
+		res, err := Run(eng, fmt.Sprintf(`%s(scan(images), id)`, op), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Last.Done().End)
+	}
+	if s, a := run("stream"), run("apply"); s <= a {
+		t.Errorf("stream (%v) should be slower than apply (%v)", s, a)
+	}
+}
+
+func TestRunIterate(t *testing.T) {
+	eng, env := testEngine(t, 1, 3)
+	var iterations []int
+	env.DefineIteration("clip", cost.CoaddIter, func(it int, chunks []scidb.Chunk) []scidb.Chunk {
+		iterations = append(iterations, it)
+		return chunks
+	})
+	res, err := Run(eng, `store(iterate(scan(images), 2, clip), coadd)`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iterations) != 2 || iterations[0] != 0 || iterations[1] != 1 {
+		t.Fatalf("iterations ran %v, want [0 1]", iterations)
+	}
+	if res.Stored["coadd"].NChunks() != 3 {
+		t.Fatalf("coadd has %d chunks, want 3", res.Stored["coadd"].NChunks())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	eng, env := testEngine(t, 1, 2)
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown array", `scan(nope)`, "unknown array"},
+		{"unknown op", `frobnicate(scan(images))`, "unknown operator"},
+		{"unknown kernel", `apply(scan(images), nope)`, "unknown kernel"},
+		{"unknown agg", `aggregate(scan(images), nope(v), subj)`, "unknown aggregate"},
+		{"unknown iter", `iterate(scan(images), 2, nope)`, "unknown iteration"},
+		{"bad iterate count", `iterate(scan(images), 0, nope)`, "positive integer"},
+		{"bad store target", `store(scan(images), 3)`, "store target"},
+		{"bare ident", `images`, "operator call"},
+		{"scan argc", `scan(a, b)`, "takes 1 arguments"},
+		{"bad predicate", `filter(scan(images), double(vol))`, "comparison"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(eng, tc.src, env)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestFilterWithoutDims(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	eng := scidb.New(cluster.New(cfg), objstore.New(), nil, scidb.DefaultConfig())
+	if _, err := eng.IngestAio("a", []scidb.Chunk{{Coords: "c0", Size: 1}}, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(eng, `filter(scan(a), x < 1)`, NewEnv())
+	if err == nil || !strings.Contains(err.Error(), "DefineDims") {
+		t.Fatalf("expected DefineDims error, got %v", err)
+	}
+}

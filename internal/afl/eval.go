@@ -1,0 +1,363 @@
+package afl
+
+import (
+	"fmt"
+	"math"
+
+	"imagebench/internal/cost"
+	"imagebench/internal/scidb"
+)
+
+// Kernel is a registered per-chunk operator (the body of apply, window,
+// or stream calls): the calibrated cost operation plus the real chunk
+// transformation.
+type Kernel struct {
+	Op cost.Op
+	F  func(scidb.Chunk) scidb.Chunk
+}
+
+// AggKernel is a registered grouped aggregate (the body of aggregate
+// calls, e.g. avg over the volume dimension).
+type AggKernel struct {
+	Op cost.Op
+	F  func(key string, group []scidb.Chunk) scidb.Chunk
+}
+
+// IterKernel is a registered iteration body for iterate calls (one
+// sigma-clipping pass of the co-addition, for example).
+type IterKernel struct {
+	Op cost.Op
+	F  func(iter int, chunks []scidb.Chunk) []scidb.Chunk
+}
+
+// Env binds the names an AFL program references: dimension extractors
+// for filter predicates and kernels for the operator bodies.
+type Env struct {
+	dims    func(scidb.Chunk) map[string]float64
+	aligned map[string]bool
+	kernels map[string]Kernel
+	aggs    map[string]AggKernel
+	iters   map[string]IterKernel
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		aligned: make(map[string]bool),
+		kernels: make(map[string]Kernel),
+		aggs:    make(map[string]AggKernel),
+		iters:   make(map[string]IterKernel),
+	}
+}
+
+// DefineDims registers the dimension extractor filter predicates read:
+// chunk → dimension values. alignedDims lists the dimensions the chunk
+// layout is aligned with; a predicate touching any other dimension cuts
+// across chunks and pays reorganization (Fig 12a, Section 5.2.2).
+func (e *Env) DefineDims(f func(scidb.Chunk) map[string]float64, alignedDims ...string) {
+	e.dims = f
+	for _, d := range alignedDims {
+		e.aligned[d] = true
+	}
+}
+
+// DefineKernel registers a per-chunk kernel for apply/window/stream.
+func (e *Env) DefineKernel(name string, op cost.Op, f func(scidb.Chunk) scidb.Chunk) {
+	e.kernels[name] = Kernel{Op: op, F: f}
+}
+
+// DefineAggregate registers a grouped aggregate kernel.
+func (e *Env) DefineAggregate(name string, op cost.Op, f func(key string, group []scidb.Chunk) scidb.Chunk) {
+	e.aggs[name] = AggKernel{Op: op, F: f}
+}
+
+// DefineIteration registers an iteration body for iterate().
+func (e *Env) DefineIteration(name string, op cost.Op, f func(iter int, chunks []scidb.Chunk) []scidb.Chunk) {
+	e.iters[name] = IterKernel{Op: op, F: f}
+}
+
+// Result is the outcome of evaluating an AFL program: arrays named by
+// store() calls, and the value of the final statement.
+type Result struct {
+	Stored map[string]*scidb.Array
+	Last   *scidb.Array
+}
+
+// Run parses and evaluates an AFL program against eng.
+func Run(eng *scidb.Engine, src string, env *Env) (*Result, error) {
+	exprs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{eng: eng, env: env, res: &Result{Stored: make(map[string]*scidb.Array)}}
+	for _, e := range exprs {
+		a, err := ev.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		ev.res.Last = a
+	}
+	return ev.res, nil
+}
+
+type evaluator struct {
+	eng *scidb.Engine
+	env *Env
+	res *Result
+}
+
+func (ev *evaluator) eval(e Expr) (*scidb.Array, error) {
+	call, ok := e.(*Call)
+	if !ok {
+		return nil, fmt.Errorf("afl: statement must be an operator call, got %s", e)
+	}
+	switch call.Fn {
+	case "scan":
+		return ev.scan(call)
+	case "filter":
+		return ev.filter(call)
+	case "aggregate":
+		return ev.aggregate(call)
+	case "apply", "window":
+		return ev.apply(call)
+	case "stream":
+		return ev.stream(call)
+	case "iterate":
+		return ev.iterate(call)
+	case "store":
+		return ev.store(call)
+	}
+	return nil, fmt.Errorf("afl: line %d: unknown operator %q", call.Line, call.Fn)
+}
+
+func (ev *evaluator) argc(c *Call, n int) error {
+	if len(c.Args) != n {
+		return fmt.Errorf("afl: line %d: %s takes %d arguments, got %d", c.Line, c.Fn, n, len(c.Args))
+	}
+	return nil
+}
+
+func (ev *evaluator) scan(c *Call) (*scidb.Array, error) {
+	if err := ev.argc(c, 1); err != nil {
+		return nil, err
+	}
+	id, ok := c.Args[0].(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: scan takes an array name", c.Line)
+	}
+	return ev.eng.Lookup(id.Name)
+}
+
+func (ev *evaluator) filter(c *Call) (*scidb.Array, error) {
+	if err := ev.argc(c, 2); err != nil {
+		return nil, err
+	}
+	in, err := ev.eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	if ev.env.dims == nil {
+		return nil, fmt.Errorf("afl: line %d: filter needs DefineDims", c.Line)
+	}
+	pred, dims, err := compilePred(c.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	aligned := true
+	for _, d := range dims {
+		if !ev.env.aligned[d] {
+			aligned = false
+		}
+	}
+	return in.Filter("filter", aligned, func(ch scidb.Chunk) bool {
+		return pred(ev.env.dims(ch))
+	}), nil
+}
+
+// compilePred builds a predicate over dimension values and reports which
+// dimensions it references.
+func compilePred(e Expr) (func(map[string]float64) bool, []string, error) {
+	switch x := e.(type) {
+	case *And:
+		l, dl, err := compilePred(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, dr, err := compilePred(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(d map[string]float64) bool { return l(d) && r(d) }, append(dl, dr...), nil
+	case *Cmp:
+		lv, ld, err := compileOperand(x.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		rv, rd, err := compileOperand(x.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		op := x.Op
+		return func(d map[string]float64) bool {
+			a, aok := lv(d)
+			b, bok := rv(d)
+			if !aok || !bok {
+				return false
+			}
+			switch op {
+			case "=":
+				return a == b
+			case "<>":
+				return a != b
+			case "<":
+				return a < b
+			case "<=":
+				return a <= b
+			case ">":
+				return a > b
+			case ">=":
+				return a >= b
+			}
+			return false
+		}, append(ld, rd...), nil
+	}
+	return nil, nil, fmt.Errorf("afl: filter predicate must be a comparison, got %s", e)
+}
+
+func compileOperand(e Expr) (func(map[string]float64) (float64, bool), []string, error) {
+	switch x := e.(type) {
+	case *Ident:
+		name := x.Name
+		return func(d map[string]float64) (float64, bool) {
+			v, ok := d[name]
+			return v, ok
+		}, []string{name}, nil
+	case *Num:
+		v := x.V
+		return func(map[string]float64) (float64, bool) { return v, true }, nil, nil
+	}
+	return nil, nil, fmt.Errorf("afl: predicate operand must be a dimension or number, got %s", e)
+}
+
+func (ev *evaluator) aggregate(c *Call) (*scidb.Array, error) {
+	if len(c.Args) < 2 {
+		return nil, fmt.Errorf("afl: line %d: aggregate(expr, kernel(...), dims...)", c.Line)
+	}
+	in, err := ev.eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	kcall, ok := c.Args[1].(*Call)
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: aggregate kernel must be a call like avg(value)", c.Line)
+	}
+	agg, ok := ev.env.aggs[kcall.Fn]
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: unknown aggregate %q (DefineAggregate it first)", c.Line, kcall.Fn)
+	}
+	var groupDims []string
+	for _, a := range c.Args[2:] {
+		id, ok := a.(*Ident)
+		if !ok {
+			return nil, fmt.Errorf("afl: line %d: aggregate grouping must be dimension names", c.Line)
+		}
+		groupDims = append(groupDims, id.Name)
+	}
+	if len(groupDims) > 0 && ev.env.dims == nil {
+		return nil, fmt.Errorf("afl: line %d: grouped aggregate needs DefineDims", c.Line)
+	}
+	groupKey := func(ch scidb.Chunk) string {
+		if len(groupDims) == 0 {
+			return "all"
+		}
+		d := ev.env.dims(ch)
+		key := ""
+		for _, g := range groupDims {
+			if v, ok := d[g]; ok && v == math.Trunc(v) {
+				key += fmt.Sprintf("%s=%d/", g, int64(v))
+			} else {
+				key += fmt.Sprintf("%s=%g/", g, d[g])
+			}
+		}
+		return key
+	}
+	return in.Aggregate("aggregate:"+kcall.Fn, agg.Op, groupKey, agg.F), nil
+}
+
+func (ev *evaluator) apply(c *Call) (*scidb.Array, error) {
+	if err := ev.argc(c, 2); err != nil {
+		return nil, err
+	}
+	in, err := ev.eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	id, ok := c.Args[1].(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: %s kernel must be a name", c.Line, c.Fn)
+	}
+	k, ok := ev.env.kernels[id.Name]
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: unknown kernel %q (DefineKernel it first)", c.Line, id.Name)
+	}
+	return in.MapChunks(c.Fn+":"+id.Name, k.Op, k.F), nil
+}
+
+func (ev *evaluator) stream(c *Call) (*scidb.Array, error) {
+	if err := ev.argc(c, 2); err != nil {
+		return nil, err
+	}
+	in, err := ev.eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	id, ok := c.Args[1].(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: stream kernel must be a name", c.Line)
+	}
+	k, ok := ev.env.kernels[id.Name]
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: unknown kernel %q (DefineKernel it first)", c.Line, id.Name)
+	}
+	return in.Stream("stream:"+id.Name, k.Op, k.F), nil
+}
+
+func (ev *evaluator) iterate(c *Call) (*scidb.Array, error) {
+	if err := ev.argc(c, 3); err != nil {
+		return nil, err
+	}
+	in, err := ev.eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	n, ok := c.Args[1].(*Num)
+	if !ok || n.V != math.Trunc(n.V) || n.V < 1 {
+		return nil, fmt.Errorf("afl: line %d: iterate count must be a positive integer", c.Line)
+	}
+	id, ok := c.Args[2].(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: iterate body must be a name", c.Line)
+	}
+	k, ok := ev.env.iters[id.Name]
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: unknown iteration %q (DefineIteration it first)", c.Line, id.Name)
+	}
+	return in.IterativeAQL("iterate:"+id.Name, int(n.V), k.Op, k.F), nil
+}
+
+func (ev *evaluator) store(c *Call) (*scidb.Array, error) {
+	if err := ev.argc(c, 2); err != nil {
+		return nil, err
+	}
+	in, err := ev.eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	id, ok := c.Args[1].(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("afl: line %d: store target must be a name", c.Line)
+	}
+	ev.eng.Register(id.Name, in)
+	ev.res.Stored[id.Name] = in
+	return in, nil
+}

@@ -1,0 +1,414 @@
+// Package cluster implements a virtual-time simulation of a shared-nothing
+// compute cluster: a set of nodes, each with a fixed number of worker slots,
+// a bounded memory budget, a local disk, and a network interface with finite
+// bandwidth.
+//
+// It substitutes for the 16–64 node AWS clusters used in the paper (see
+// DESIGN.md §2). Engines submit tasks in the order their scheduler would
+// dispatch them; the cluster assigns each task to a worker slot and advances
+// per-resource virtual clocks by modeled durations. The tasks' Go functions
+// execute for real (producing real data that tests validate), while elapsed
+// time is tracked virtually, so a 64-node experiment runs deterministically
+// on one physical core.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"imagebench/internal/vtime"
+)
+
+// Config describes the simulated cluster hardware. The defaults in
+// DefaultConfig mirror the paper's r3.2xlarge nodes.
+type Config struct {
+	Nodes          int            // number of machines
+	WorkersPerNode int            // parallel worker slots per machine (vCPUs or tuned workers)
+	MemPerNode     int64          // bytes of usable memory per machine
+	NetBandwidth   float64        // bytes per virtual second per NIC
+	DiskBandwidth  float64        // bytes per virtual second per local disk
+	TaskOverhead   vtime.Duration // fixed scheduling cost charged to every task
+}
+
+// DefaultConfig returns a 16-node cluster modeled on the paper's setup:
+// r3.2xlarge instances with 8 vCPUs, 61 GB memory, SSD storage, and
+// 10 GbE-class networking.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          16,
+		WorkersPerNode: 8,
+		MemPerNode:     61 << 30,
+		NetBandwidth:   700e6, // ~700 MB/s NIC
+		DiskBandwidth:  400e6, // ~400 MB/s SSD
+		TaskOverhead:   0,
+	}
+}
+
+// ErrOOM is returned (wrapped) when a memory reservation exceeds a node's
+// budget. Engines translate it into their own failure behaviour: Myria's
+// pipelined mode fails the query, Spark spills to disk instead.
+var ErrOOM = errors.New("out of memory")
+
+// Handle records the simulated completion of a task or transfer. Handles are
+// passed as dependencies to later submissions, which is how engines express
+// their dataflow to the simulator.
+type Handle struct {
+	Node int        // node the work ran on (or destination node for transfers)
+	End  vtime.Time // virtual completion time
+	Err  error      // first error from the task function, if any
+}
+
+// After returns the virtual time at which all given handles have completed.
+// Nil handles are treated as already complete at time zero.
+func After(deps ...*Handle) vtime.Time {
+	var t vtime.Time
+	for _, d := range deps {
+		if d != nil && d.End > t {
+			t = d.End
+		}
+	}
+	return t
+}
+
+// FirstErr returns the first non-nil error among the handles.
+func FirstErr(deps ...*Handle) error {
+	for _, d := range deps {
+		if d != nil && d.Err != nil {
+			return d.Err
+		}
+	}
+	return nil
+}
+
+type node struct {
+	workers []vtime.GapTimeline
+	nic     vtime.GapTimeline
+	disk    vtime.GapTimeline
+	mem     MemTracker
+}
+
+// bestWorker returns the slot that can start a task of the given duration
+// earliest, and that start time.
+func (n *node) bestWorker(ready vtime.Time, d vtime.Duration) (int, vtime.Time) {
+	best, bestStart := 0, n.workers[0].StartAt(ready, d)
+	for i := 1; i < len(n.workers); i++ {
+		if s := n.workers[i].StartAt(ready, d); s < bestStart {
+			best, bestStart = i, s
+		}
+	}
+	return best, bestStart
+}
+
+// Cluster is the simulated cluster. It is not safe for concurrent use; the
+// engines in this repository are deterministic single-goroutine simulations.
+type Cluster struct {
+	cfg      Config
+	nodes    []*node
+	makespan vtime.Time
+	tasks    int
+	xferred  int64 // total bytes moved over the network
+
+	// Tracing state (see trace.go).
+	tracing bool
+	trace   []Event
+}
+
+// New builds a cluster from cfg. It panics on non-positive node or worker
+// counts, which always indicate a programming error in an experiment.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 || cfg.WorkersPerNode <= 0 {
+		panic(fmt.Sprintf("cluster: invalid config %+v", cfg))
+	}
+	if cfg.NetBandwidth <= 0 {
+		cfg.NetBandwidth = DefaultConfig().NetBandwidth
+	}
+	if cfg.DiskBandwidth <= 0 {
+		cfg.DiskBandwidth = DefaultConfig().DiskBandwidth
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, &node{
+			workers: make([]vtime.GapTimeline, cfg.WorkersPerNode),
+			mem:     MemTracker{capacity: cfg.MemPerNode},
+		})
+	}
+	return c
+}
+
+// Config returns the configuration the cluster was built with.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the number of nodes.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Workers returns the total number of worker slots in the cluster.
+func (c *Cluster) Workers() int { return len(c.nodes) * c.cfg.WorkersPerNode }
+
+func (c *Cluster) node(i int) *node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+func (c *Cluster) observe(t vtime.Time) {
+	if t > c.makespan {
+		c.makespan = t
+	}
+}
+
+// Submit runs fn on the earliest-free worker slot of the given node, after
+// all deps complete, charging cost of virtual time plus the per-task
+// overhead. fn may be nil for pure "delay" tasks. If any dependency failed,
+// fn is not run and the error propagates.
+func (c *Cluster) Submit(nodeID int, deps []*Handle, cost vtime.Duration, fn func() error) *Handle {
+	n := c.node(nodeID)
+	ready := After(deps...)
+	if err := FirstErr(deps...); err != nil {
+		return &Handle{Node: nodeID, End: ready, Err: err}
+	}
+	w, _ := n.bestWorker(ready, cost+c.cfg.TaskOverhead)
+	start, end := n.workers[w].Reserve(ready, cost+c.cfg.TaskOverhead)
+	c.tasks++
+	c.observe(end)
+	c.record(Event{Kind: EventCompute, Node: nodeID, Lane: w, Start: start, End: end})
+	h := &Handle{Node: nodeID, End: end}
+	if fn != nil {
+		h.Err = fn()
+	}
+	return h
+}
+
+// SubmitAny runs fn on whichever node can start it earliest, preferring the
+// nodes in prefer when their start time is within locality of the global
+// best. This models dynamic, locality-aware schedulers (Dask): work runs
+// where its inputs live unless another machine is idle enough that stealing
+// pays off. A nil or empty prefer list means no locality preference.
+func (c *Cluster) SubmitAny(prefer []int, locality vtime.Duration, deps []*Handle, cost vtime.Duration, fn func() error) *Handle {
+	ready := After(deps...)
+	best, bestStart := -1, vtime.Time(math.MaxInt64)
+	for i, n := range c.nodes {
+		_, start := n.bestWorker(ready, cost)
+		if start < bestStart {
+			best, bestStart = i, start
+		}
+	}
+	for _, p := range prefer {
+		if p < 0 || p >= len(c.nodes) {
+			continue
+		}
+		_, start := c.nodes[p].bestWorker(ready, cost)
+		if start.Sub(bestStart) <= locality {
+			best = p
+			break
+		}
+	}
+	return c.Submit(best, deps, cost, fn)
+}
+
+// PickNode returns the node SubmitAny would choose for a task of the
+// given duration becoming ready at the given time, without reserving
+// anything. It lets callers schedule input transfers to the chosen node
+// before submitting the task. The duration matters: slots are probed for
+// a gap that actually fits the task.
+func (c *Cluster) PickNode(prefer []int, locality vtime.Duration, ready vtime.Time, cost vtime.Duration) int {
+	best, bestStart := 0, vtime.Time(math.MaxInt64)
+	for i, n := range c.nodes {
+		_, start := n.bestWorker(ready, cost)
+		if start < bestStart {
+			best, bestStart = i, start
+		}
+	}
+	for _, p := range prefer {
+		if p < 0 || p >= len(c.nodes) {
+			continue
+		}
+		_, start := c.nodes[p].bestWorker(ready, cost)
+		if start.Sub(bestStart) <= locality {
+			return p
+		}
+	}
+	return best
+}
+
+// Transfer moves nbytes from node src to node dst over both NICs, after
+// deps. It returns a handle completing when the data is resident on dst.
+// Transfers between a node and itself are free.
+func (c *Cluster) Transfer(src, dst int, nbytes int64, deps ...*Handle) *Handle {
+	ready := After(deps...)
+	if err := FirstErr(deps...); err != nil {
+		return &Handle{Node: dst, End: ready, Err: err}
+	}
+	if src == dst || nbytes <= 0 {
+		return &Handle{Node: dst, End: ready}
+	}
+	d := bytesDur(nbytes, c.cfg.NetBandwidth)
+	s := c.node(src)
+	t := c.node(dst)
+	// The transfer occupies both NICs for the same interval: find the
+	// earliest common gap by fixed-point iteration.
+	start := ready
+	for i := 0; i < 32; i++ {
+		next := vtime.Max(s.nic.StartAt(start, d), t.nic.StartAt(start, d))
+		if next == start {
+			break
+		}
+		start = next
+	}
+	_, end := s.nic.Reserve(start, d)
+	t.nic.Reserve(start, d)
+	c.xferred += nbytes
+	c.observe(end)
+	c.record(Event{Kind: EventTransfer, Node: src, Start: start, End: end, Bytes: nbytes})
+	c.record(Event{Kind: EventTransfer, Node: dst, Start: start, End: end, Bytes: nbytes})
+	return &Handle{Node: dst, End: end}
+}
+
+// Broadcast replicates nbytes from src to every other node using a binary
+// distribution tree (the strategy BitTorrent-style broadcasts approximate):
+// ceil(log2(nodes)) rounds, each taking one transfer time.
+func (c *Cluster) Broadcast(src int, nbytes int64, deps ...*Handle) *Handle {
+	ready := After(deps...)
+	if err := FirstErr(deps...); err != nil {
+		return &Handle{Node: src, End: ready, Err: err}
+	}
+	if len(c.nodes) <= 1 || nbytes <= 0 {
+		return &Handle{Node: src, End: ready}
+	}
+	rounds := int(math.Ceil(math.Log2(float64(len(c.nodes)))))
+	d := bytesDur(nbytes, c.cfg.NetBandwidth) * vtime.Duration(rounds)
+	end := ready.Add(d)
+	for i, n := range c.nodes {
+		n.nic.Reserve(ready, d)
+		c.record(Event{Kind: EventBcast, Node: i, Start: ready, End: end, Bytes: nbytes})
+	}
+	c.xferred += nbytes * int64(len(c.nodes)-1)
+	c.observe(end)
+	return &Handle{Node: src, End: end}
+}
+
+// DiskWrite charges a local-disk write of nbytes on the node.
+func (c *Cluster) DiskWrite(nodeID int, nbytes int64, deps ...*Handle) *Handle {
+	return c.diskOp(nodeID, nbytes, deps)
+}
+
+// DiskRead charges a local-disk read of nbytes on the node.
+func (c *Cluster) DiskRead(nodeID int, nbytes int64, deps ...*Handle) *Handle {
+	return c.diskOp(nodeID, nbytes, deps)
+}
+
+func (c *Cluster) diskOp(nodeID int, nbytes int64, deps []*Handle) *Handle {
+	ready := After(deps...)
+	if err := FirstErr(deps...); err != nil {
+		return &Handle{Node: nodeID, End: ready, Err: err}
+	}
+	n := c.node(nodeID)
+	start, end := n.disk.Reserve(ready, bytesDur(nbytes, c.cfg.DiskBandwidth))
+	c.observe(end)
+	c.record(Event{Kind: EventDisk, Node: nodeID, Start: start, End: end, Bytes: nbytes})
+	return &Handle{Node: nodeID, End: end}
+}
+
+// Barrier returns a handle that completes when all deps complete,
+// propagating the first error. It consumes no resources; it models a
+// synchronization point (stage boundary, query end).
+func (c *Cluster) Barrier(deps ...*Handle) *Handle {
+	h := &Handle{End: After(deps...), Err: FirstErr(deps...)}
+	c.observe(h.End)
+	return h
+}
+
+// Mem returns the memory tracker for a node.
+func (c *Cluster) Mem(nodeID int) *MemTracker { return &c.node(nodeID).mem }
+
+// MaxHighWater returns the largest memory high-water mark across nodes.
+func (c *Cluster) MaxHighWater() int64 {
+	var m int64
+	for _, n := range c.nodes {
+		if n.mem.highWater > m {
+			m = n.mem.highWater
+		}
+	}
+	return m
+}
+
+// Makespan returns the latest virtual completion time observed so far — the
+// simulated wall-clock runtime of everything submitted to the cluster.
+func (c *Cluster) Makespan() vtime.Time { return c.makespan }
+
+// Tasks returns the number of tasks executed.
+func (c *Cluster) Tasks() int { return c.tasks }
+
+// NetBytes returns total bytes moved over the simulated network.
+func (c *Cluster) NetBytes() int64 { return c.xferred }
+
+// Utilization returns the mean busy fraction across all worker slots.
+func (c *Cluster) Utilization() float64 {
+	if c.makespan == 0 {
+		return 0
+	}
+	var busy vtime.Duration
+	for _, n := range c.nodes {
+		for i := range n.workers {
+			busy += n.workers[i].Busy()
+		}
+	}
+	total := vtime.Duration(c.makespan).Seconds() * float64(c.Workers())
+	if total == 0 {
+		return 0
+	}
+	return busy.Seconds() / total
+}
+
+func bytesDur(nbytes int64, bandwidth float64) vtime.Duration {
+	if nbytes <= 0 || bandwidth <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(nbytes) / bandwidth * 1e9)
+}
+
+// MemTracker accounts for memory use on one node. It is advisory: engines
+// consult it to decide whether to fail, spill, or proceed.
+type MemTracker struct {
+	capacity  int64
+	used      int64
+	highWater int64
+}
+
+// Capacity returns the node's memory budget in bytes.
+func (m *MemTracker) Capacity() int64 { return m.capacity }
+
+// Used returns currently reserved bytes.
+func (m *MemTracker) Used() int64 { return m.used }
+
+// HighWater returns the maximum bytes ever reserved at once.
+func (m *MemTracker) HighWater() int64 { return m.highWater }
+
+// Free returns the remaining budget.
+func (m *MemTracker) Free() int64 { return m.capacity - m.used }
+
+// Alloc reserves nbytes, or returns an error wrapping ErrOOM if the node
+// budget would be exceeded.
+func (m *MemTracker) Alloc(nbytes int64) error {
+	if nbytes < 0 {
+		panic("cluster: negative allocation")
+	}
+	if m.used+nbytes > m.capacity {
+		return fmt.Errorf("%w: need %d bytes, %d of %d in use", ErrOOM, nbytes, m.used, m.capacity)
+	}
+	m.used += nbytes
+	if m.used > m.highWater {
+		m.highWater = m.used
+	}
+	return nil
+}
+
+// Release returns nbytes to the budget. Releasing more than is in use is a
+// programming error and panics.
+func (m *MemTracker) Release(nbytes int64) {
+	if nbytes < 0 || nbytes > m.used {
+		panic(fmt.Sprintf("cluster: bad release of %d with %d in use", nbytes, m.used))
+	}
+	m.used -= nbytes
+}

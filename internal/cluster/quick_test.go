@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"imagebench/internal/vtime"
+)
+
+// Property: a barrier completes exactly when its latest dependency does,
+// for arbitrary dependency sets.
+func TestBarrierIsMaxProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		cfg := DefaultConfig()
+		cfg.Nodes = 4
+		c := New(cfg)
+		var deps []*Handle
+		var maxEnd vtime.Time
+		for i, d := range durs {
+			h := c.Submit(i%4, nil, vtime.Duration(d)*vtime.Duration(time.Millisecond), nil)
+			if h.End > maxEnd {
+				maxEnd = h.End
+			}
+			deps = append(deps, h)
+		}
+		b := c.Barrier(deps...)
+		if len(deps) == 0 {
+			return b.End == 0
+		}
+		return b.End == maxEnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a task never finishes before its dependencies plus its own
+// duration, and the cluster makespan covers every handle.
+func TestSubmitOrderingProperty(t *testing.T) {
+	f := func(durs []uint16, nodes8 uint8) bool {
+		n := int(nodes8%7) + 1
+		cfg := DefaultConfig()
+		cfg.Nodes = n
+		c := New(cfg)
+		var prev *Handle
+		for i, d := range durs {
+			dur := vtime.Duration(d) * vtime.Duration(time.Millisecond)
+			var deps []*Handle
+			if prev != nil {
+				deps = append(deps, prev)
+			}
+			h := c.Submit(i%n, deps, dur, nil)
+			if prev != nil && h.End < prev.End+vtime.Time(dur) {
+				return false
+			}
+			if h.End < vtime.Time(dur) {
+				return false
+			}
+			prev = h
+		}
+		return prev == nil || c.Makespan() >= prev.End
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfers charge time proportional to bytes — more bytes on
+// the same route never arrive earlier.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		cfg := DefaultConfig()
+		cfg.Nodes = 2
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c1 := New(cfg)
+		h1 := c1.Transfer(0, 1, lo, nil)
+		c2 := New(cfg)
+		h2 := c2.Transfer(0, 1, hi, nil)
+		return h1.End <= h2.End
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the memory tracker never goes negative, never exceeds
+// capacity, and the high-water mark is an upper bound of every observed
+// usage, under arbitrary alloc/release sequences.
+func TestMemTrackerInvariantsProperty(t *testing.T) {
+	f := func(ops []int32) bool {
+		cfg := DefaultConfig()
+		cfg.Nodes = 1
+		cfg.MemPerNode = 1 << 20
+		m := New(cfg).Mem(0)
+		var live int64
+		for _, op := range ops {
+			n := int64(op%(1<<18) + (1 << 17)) // mix of sizes, some negative
+			if n >= 0 {
+				if err := m.Alloc(n); err == nil {
+					live += n
+				}
+			} else if live+n >= 0 { // release part of what is held
+				m.Release(-n)
+				live += n
+			}
+			if m.Used() != live || m.Used() < 0 || m.Used() > m.Capacity() {
+				return false
+			}
+			if m.HighWater() < m.Used() {
+				return false
+			}
+			if m.Free() != m.Capacity()-m.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"imagebench/internal/vtime"
+)
+
+// Execution tracing: with tracing enabled the cluster records every
+// resource reservation (compute slots, NIC transfers, disk operations)
+// and can export the schedule in the Chrome trace-event format, viewable
+// in chrome://tracing or Perfetto — the scheduling-visibility tooling a
+// simulator release needs for debugging engine behaviour (stage
+// barriers, stragglers, idle slots).
+
+// EventKind classifies a trace event's resource.
+type EventKind string
+
+// Event kinds.
+const (
+	EventCompute  EventKind = "compute"
+	EventNet      EventKind = "net"
+	EventDisk     EventKind = "disk"
+	EventBcast    EventKind = "broadcast"
+	EventTransfer EventKind = "transfer"
+)
+
+// Event is one recorded resource reservation.
+type Event struct {
+	Kind       EventKind
+	Node       int
+	Lane       int // worker slot for compute; 0 for NIC/disk lanes
+	Start, End vtime.Time
+	Bytes      int64 // for net/disk events
+}
+
+// EnableTracing starts recording trace events. Call before submitting
+// work; already-executed work is not reconstructed.
+func (c *Cluster) EnableTracing() { c.tracing = true }
+
+// TraceEvents returns the recorded events in submission order.
+func (c *Cluster) TraceEvents() []Event { return c.trace }
+
+func (c *Cluster) record(ev Event) {
+	if c.tracing {
+		c.trace = append(c.trace, ev)
+	}
+}
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome trace
+// format: timestamps and durations in microseconds, pid = node,
+// tid = lane within the node.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+// laneBase spreads resource kinds across thread IDs within a node's
+// process group: workers first, then NIC, then disk.
+func (c *Cluster) laneBase(kind EventKind) int {
+	switch kind {
+	case EventCompute:
+		return 0
+	case EventNet, EventTransfer, EventBcast:
+		return c.cfg.WorkersPerNode
+	default:
+		return c.cfg.WorkersPerNode + 1
+	}
+}
+
+// WriteChromeTrace exports the recorded schedule as a Chrome trace-event
+// JSON array.
+func (c *Cluster) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(c.trace))
+	for _, ev := range c.trace {
+		name := string(ev.Kind)
+		if ev.Bytes > 0 {
+			name = fmt.Sprintf("%s %dB", ev.Kind, ev.Bytes)
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   int64(ev.Start) / 1000, // ns → µs
+			Dur:  (int64(ev.End) - int64(ev.Start)) / 1000,
+			Pid:  ev.Node,
+			Tid:  c.laneBase(ev.Kind) + ev.Lane,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

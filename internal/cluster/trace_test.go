@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"imagebench/internal/vtime"
+)
+
+func TestTracingRecordsAllKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	c := New(cfg)
+	c.EnableTracing()
+
+	a := c.Submit(0, nil, 10*time.Millisecond, nil)
+	x := c.Transfer(0, 1, 1<<20, a)
+	d := c.DiskWrite(1, 1<<20, x)
+	c.Broadcast(0, 1<<10, d)
+
+	kinds := map[EventKind]int{}
+	for _, ev := range c.TraceEvents() {
+		kinds[ev.Kind]++
+		if ev.End < ev.Start {
+			t.Errorf("event %v ends before it starts", ev)
+		}
+	}
+	if kinds[EventCompute] != 1 {
+		t.Errorf("compute events = %d, want 1", kinds[EventCompute])
+	}
+	if kinds[EventTransfer] != 2 { // one lane per endpoint
+		t.Errorf("transfer events = %d, want 2", kinds[EventTransfer])
+	}
+	if kinds[EventDisk] != 1 {
+		t.Errorf("disk events = %d, want 1", kinds[EventDisk])
+	}
+	if kinds[EventBcast] != cfg.Nodes {
+		t.Errorf("broadcast events = %d, want %d", kinds[EventBcast], cfg.Nodes)
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c := New(cfg)
+	c.Submit(0, nil, time.Millisecond, nil)
+	if len(c.TraceEvents()) != 0 {
+		t.Errorf("recorded %d events without tracing", len(c.TraceEvents()))
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.WorkersPerNode = 4
+	c := New(cfg)
+	c.EnableTracing()
+	h := c.Submit(1, nil, 25*time.Millisecond, nil)
+	c.Transfer(1, 0, 4<<20, h)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d chrome events, want 3", len(events))
+	}
+	first := events[0]
+	if first["ph"] != "X" || first["pid"] != float64(1) {
+		t.Errorf("compute event: %v", first)
+	}
+	if first["dur"].(float64) < 25_000 { // µs
+		t.Errorf("compute duration %v µs, want ≥ 25000", first["dur"])
+	}
+	// NIC events land on the lane after the worker slots.
+	for _, ev := range events[1:] {
+		if ev["tid"].(float64) != float64(cfg.WorkersPerNode) {
+			t.Errorf("transfer lane = %v, want %d", ev["tid"], cfg.WorkersPerNode)
+		}
+	}
+}
+
+func TestTraceEventTimesMatchHandles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c := New(cfg)
+	c.EnableTracing()
+	h1 := c.Submit(0, nil, 5*time.Millisecond, nil)
+	h2 := c.Submit(0, []*Handle{h1}, 5*time.Millisecond, nil)
+	evs := c.TraceEvents()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].End != h1.End || evs[1].End != h2.End {
+		t.Errorf("event ends %v/%v, handles %v/%v", evs[0].End, evs[1].End, h1.End, h2.End)
+	}
+	if evs[1].Start < vtime.Time(5*time.Millisecond) {
+		t.Errorf("second task started at %v, before the first finished", evs[1].Start)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuickProfile runs every registered experiment under
+// the quick profile and validates its shape check — the repository's
+// central regression test: it asserts that the qualitative findings of
+// every paper table and figure still hold.
+func TestAllExperimentsQuickProfile(t *testing.T) {
+	p := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("%s: run: %v", e.ID, err)
+			}
+			if tab == nil || len(tab.RowNames) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			if err := e.Check(tab); err != nil {
+				t.Errorf("%s: shape check failed: %v\n%s", e.ID, err, tab.Render())
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"abl-dask-fusion", "abl-dask-stealing", "abl-myria-pushdown",
+		"abl-spark-pytax",
+		"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
+		"fig10g", "fig10h", "fig11", "fig12a", "fig12b", "fig12c",
+		"fig12d", "fig13", "fig14", "fig15", "sec531scidb", "sec531tf",
+		"sec533", "table1",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil || e.Check == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig11"); err != nil {
+		t.Errorf("Lookup(fig11): %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("T", "s", []string{"a", "b"}, []string{"1", "2"})
+	tab.Set("a", "1", 1.5)
+	tab.Set("b", "2", 2000)
+	out := tab.Render()
+	for _, want := range []string{"T", "[s]", "1.50", "2000", "NA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := tab.Get("a", "2"); !math.IsNaN(got) {
+		t.Errorf("unset cell = %v, want NaN", got)
+	}
+}

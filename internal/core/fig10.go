@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"imagebench/internal/synth"
+)
+
+// Figure 10: the paper's headline end-to-end results — data-size tables,
+// runtime vs. data size, normalized per-unit runtimes, and cluster-size
+// speedups.
+
+func init() {
+	Register(&Experiment{
+		ID:    "fig10a",
+		Title: "Neuroscience data sizes (GB)",
+		Paper: "Input 4.1–105 GB for 1–25 subjects; largest intermediate is 2× the input.",
+		Run: func(p Profile) (*Table, error) {
+			cols := labels(p.NeuroSubjects)
+			t := NewTable("Fig 10a: neuroscience data sizes", "GB", []string{"Input", "Largest Intermediate"}, cols)
+			for _, n := range p.NeuroSubjects {
+				in := float64(int64(n)*synth.PaperSubjectBytes) / 1e9
+				t.Set("Input", colLabel(n), in)
+				t.Set("Largest Intermediate", colLabel(n), 2*in)
+			}
+			return t, nil
+		},
+		Check: func(t *Table) error {
+			for j := range t.ColNames {
+				if err := wantRatioAtLeast("intermediate vs input", t.Cells[1][j], t.Cells[0][j], 1.9); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	Register(&Experiment{
+		ID:    "fig10b",
+		Title: "Astronomy data sizes (GB)",
+		Paper: "Input 9.6–115 GB for 2–24 visits; largest intermediate is ~2.5× the input.",
+		Run: func(p Profile) (*Table, error) {
+			cols := labels(p.AstroVisits)
+			t := NewTable("Fig 10b: astronomy data sizes", "GB", []string{"Input", "Largest Intermediate"}, cols)
+			for _, n := range p.AstroVisits {
+				in := float64(int64(n)*synth.PaperVisitBytes) / 1e9
+				t.Set("Input", colLabel(n), in)
+				t.Set("Largest Intermediate", colLabel(n), 2.5*in)
+			}
+			return t, nil
+		},
+		Check: func(t *Table) error {
+			for j := range t.ColNames {
+				if err := wantRatioAtLeast("intermediate vs input", t.Cells[1][j], t.Cells[0][j], 2.4); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	Register(&Experiment{
+		ID:    "fig10c",
+		Title: "Neuroscience: end-to-end runtime vs data size (16 nodes)",
+		Paper: "All three systems comparable; Dask ~60% slower at 1 subject (startup) but fastest (≤14%) at 25 (pipelining).",
+		Run:   runFig10c,
+		Check: checkFig10c,
+	})
+
+	Register(&Experiment{
+		ID:    "fig10d",
+		Title: "Astronomy: end-to-end runtime vs data size (16 nodes)",
+		Paper: "Spark and Myria comparable across visit counts (Dask froze; SciDB/TF not implementable end-to-end).",
+		Run:   runFig10d,
+		Check: checkFig10d,
+	})
+
+	Register(&Experiment{
+		ID:    "fig10e",
+		Title: "Neuroscience: normalized runtime per subject",
+		Paper: "Ratios drop with scale (amortized startup); Dask drops most (largest startup overhead).",
+		Run:   runFig10e,
+		Check: checkFig10e,
+	})
+
+	Register(&Experiment{
+		ID:    "fig10f",
+		Title: "Astronomy: normalized runtime per visit",
+		Paper: "Ratios drop below 1 with scale for both Spark and Myria.",
+		Run:   runFig10f,
+		Check: checkFig10f,
+	})
+
+	Register(&Experiment{
+		ID:    "fig10g",
+		Title: "Neuroscience: end-to-end runtime vs cluster size (largest dataset)",
+		Paper: "Near-linear speedup for all; Myria closest to perfect; Dask best at small clusters but degrades at 64 nodes (scheduler/work stealing).",
+		Run:   runFig10g,
+		Check: checkFig10g,
+	})
+
+	Register(&Experiment{
+		ID:    "fig10h",
+		Title: "Astronomy: end-to-end runtime vs cluster size (largest dataset)",
+		Paper: "Near-linear speedup; Myria faster than Spark when memory is plentiful (Spark's conservative spilling).",
+		Run:   runFig10h,
+		Check: checkFig10h,
+	})
+}
+
+func labels(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = colLabel(n)
+	}
+	return out
+}
+
+var neuroSystems = []string{"Dask", "Myria", "Spark"}
+var astroSystems = []string{"Spark", "Myria"}
+
+func runFig10c(p Profile) (*Table, error) {
+	t := NewTable("Fig 10c: neuroscience end-to-end runtime", "virtual s", neuroSystems, labels(p.NeuroSubjects))
+	for _, n := range p.NeuroSubjects {
+		w, err := neuroWorkload(p, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range neuroSystems {
+			d, err := neuroEndToEnd(w, defaultNodes(p), sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d subjects: %w", sys, n, err)
+			}
+			t.Set(sys, colLabel(n), seconds(d))
+		}
+	}
+	return t, nil
+}
+
+func checkFig10c(t *Table) error {
+	first, last := t.ColNames[0], t.ColNames[len(t.ColNames)-1]
+	// Dask pays its startup at the smallest scale: slowest there.
+	for _, sys := range []string{"Myria", "Spark"} {
+		if err := wantLess("small scale: "+sys+" < Dask", t.Get(sys, first), t.Get("Dask", first)); err != nil {
+			return err
+		}
+	}
+	// At the largest scale Dask's pipelining wins, and all three systems
+	// land within ~25% of each other (paper: within 14%).
+	for _, sys := range []string{"Myria", "Spark"} {
+		if err := wantLess("large scale: Dask < "+sys, t.Get("Dask", last), t.Get(sys, last)); err != nil {
+			return err
+		}
+		if err := wantWithin("large scale spread", t.Get(sys, last), t.Get("Dask", last), 0.4); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig10d(p Profile) (*Table, error) {
+	t := NewTable("Fig 10d: astronomy end-to-end runtime", "virtual s", astroSystems, labels(p.AstroVisits))
+	for _, n := range p.AstroVisits {
+		w, err := astroWorkload(p, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range astroSystems {
+			d, err := astroEndToEnd(w, defaultNodes(p), sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d visits: %w", sys, n, err)
+			}
+			t.Set(sys, colLabel(n), seconds(d))
+		}
+	}
+	return t, nil
+}
+
+func checkFig10d(t *Table) error {
+	// Myria stays ahead of Spark (the paper's Fig 10h discussion: Spark's
+	// conservative spilling and scheduling make it slower when memory is
+	// plentiful), with both in the same regime. Our Myria model's
+	// multi-threaded workers widen the gap at small scale relative to the
+	// paper; see EXPERIMENTS.md.
+	for _, c := range t.ColNames {
+		if err := wantLess("Myria <= Spark at "+c+" visits", t.Get("Myria", c), t.Get("Spark", c)); err != nil {
+			return err
+		}
+		if err := wantRatioAtLeast("same regime at "+c+" visits", 3*t.Get("Myria", c), t.Get("Spark", c), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func normalizedPerUnit(src *Table, units []string) *Table {
+	t := NewTable(src.Title+" (normalized per unit)", "ratio", src.RowNames, units)
+	for i, sys := range src.RowNames {
+		base := src.Cells[i][0]
+		for j, c := range units {
+			n0 := parseInt(units[0])
+			n := parseInt(c)
+			t.Set(sys, c, src.Cells[i][j]/(base*float64(n)/float64(n0)))
+		}
+	}
+	return t
+}
+
+func parseInt(s string) int {
+	var n int
+	fmt.Sscanf(s, "%d", &n)
+	return n
+}
+
+func runFig10e(p Profile) (*Table, error) {
+	src, err := runFig10c(p)
+	if err != nil {
+		return nil, err
+	}
+	t := normalizedPerUnit(src, src.ColNames)
+	t.Title = "Fig 10e: neuroscience normalized runtime per subject"
+	return t, nil
+}
+
+func checkFig10e(t *Table) error {
+	last := t.ColNames[len(t.ColNames)-1]
+	for _, sys := range t.RowNames {
+		if err := wantLess(sys+" amortizes startup", t.Get(sys, last), 1.0); err != nil {
+			return err
+		}
+	}
+	// Dask's drop is the most pronounced (largest startup overhead).
+	for _, sys := range []string{"Myria", "Spark"} {
+		if err := wantLess("Dask drop deepest vs "+sys, t.Get("Dask", last), t.Get(sys, last)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig10f(p Profile) (*Table, error) {
+	src, err := runFig10d(p)
+	if err != nil {
+		return nil, err
+	}
+	t := normalizedPerUnit(src, src.ColNames)
+	t.Title = "Fig 10f: astronomy normalized runtime per visit"
+	return t, nil
+}
+
+func checkFig10f(t *Table) error {
+	last := t.ColNames[len(t.ColNames)-1]
+	for _, sys := range t.RowNames {
+		if err := wantLess(sys+" amortizes startup", t.Get(sys, last), 1.0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig10g(p Profile) (*Table, error) {
+	// Speedup is only observable while work outnumbers worker slots:
+	// keep at least 4 volumes per slot at the largest cluster (the
+	// paper's 25 × 288-volume subjects easily exceed 512 slots; our
+	// scaled subjects have fewer volumes, so the count is raised).
+	maxNodes := p.ClusterNodes[len(p.ClusterNodes)-1]
+	n := p.NeuroSubjects[len(p.NeuroSubjects)-1]
+	if minSubj := (4*maxNodes*8 + p.NeuroT - 1) / p.NeuroT; n < minSubj {
+		n = minSubj
+	}
+	w, err := neuroWorkload(p, n)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(fmt.Sprintf("Fig 10g: neuroscience runtime vs cluster size (%d subjects)", n),
+		"virtual s", neuroSystems, labels(p.ClusterNodes))
+	for _, nodes := range p.ClusterNodes {
+		for _, sys := range neuroSystems {
+			d, err := neuroEndToEnd(w, nodes, sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d nodes: %w", sys, nodes, err)
+			}
+			t.Set(sys, colLabel(nodes), seconds(d))
+		}
+	}
+	return t, nil
+}
+
+func checkFig10g(t *Table) error {
+	first, last := t.ColNames[0], t.ColNames[len(t.ColNames)-1]
+	scale := float64(parseInt(last)) / float64(parseInt(first))
+	for _, sys := range t.RowNames {
+		sp := t.Get(sys, first) / t.Get(sys, last)
+		if sp < scale*0.4 {
+			return fmt.Errorf("%s speedup %.2f at %.0f× nodes: not near-linear", sys, sp, scale)
+		}
+	}
+	// Myria's speedup is closest to perfect, and better than Dask's
+	// (work-stealing overhead grows with the cluster).
+	myria := t.Get("Myria", first) / t.Get("Myria", last)
+	dask := t.Get("Dask", first) / t.Get("Dask", last)
+	if err := wantLess("Dask speedup < Myria speedup", dask, myria); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runFig10h(p Profile) (*Table, error) {
+	// As in fig10g, keep at least 4 exposures per slot at the largest
+	// cluster by raising the per-visit sensor count (the paper's visits
+	// have 60 sensors; the scaled default has fewer).
+	maxNodes := p.ClusterNodes[len(p.ClusterNodes)-1]
+	n := p.AstroVisits[len(p.AstroVisits)-1]
+	cfg := p
+	if minSensors := (4*maxNodes*8 + n - 1) / n; cfg.AstroSensors < minSensors {
+		cfg.AstroSensors = minSensors
+	}
+	w, err := astroWorkload(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(fmt.Sprintf("Fig 10h: astronomy runtime vs cluster size (%d visits)", n),
+		"virtual s", astroSystems, labels(p.ClusterNodes))
+	for _, nodes := range p.ClusterNodes {
+		for _, sys := range astroSystems {
+			d, err := astroEndToEnd(w, nodes, sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d nodes: %w", sys, nodes, err)
+			}
+			t.Set(sys, colLabel(nodes), seconds(d))
+		}
+	}
+	return t, nil
+}
+
+func checkFig10h(t *Table) error {
+	first, last := t.ColNames[0], t.ColNames[len(t.ColNames)-1]
+	scale := float64(parseInt(last)) / float64(parseInt(first))
+	for _, sys := range t.RowNames {
+		sp := t.Get(sys, first) / t.Get(sys, last)
+		if sp < scale*0.4 {
+			return fmt.Errorf("%s speedup %.2f at %.0f× nodes: not near-linear", sys, sp, scale)
+		}
+	}
+	return nil
+}

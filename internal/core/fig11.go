@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"imagebench/internal/neuro"
+	"imagebench/internal/vtime"
+)
+
+// Figure 11: data-ingest times for the neuroscience benchmark across all
+// five systems (two SciDB variants), on the 16-node cluster, log-scale in
+// the paper.
+
+var ingestVariants = []string{"Myria", "Spark", "Dask", "TensorFlow", "SciDB-1", "SciDB-2"}
+
+func init() {
+	Register(&Experiment{
+		ID:    "fig11",
+		Title: "Data ingest times (neuroscience)",
+		Paper: "Order-of-magnitude spread: Myria fastest (CSV file list, parallel), Spark close (master enumerates bucket first), Dask constant until >16 subjects, TensorFlow slow (all data through the master), SciDB-1 (from_array) slowest by ~10×, SciDB-2 (aio_input) on par with Spark/Myria but pays NIfTI→CSV conversion.",
+		Run:   runFig11,
+		Check: checkFig11,
+	})
+}
+
+func runFig11(p Profile) (*Table, error) {
+	t := NewTable("Fig 11: data ingest times", "virtual s", ingestVariants, labels(p.NeuroSubjects))
+	for _, n := range p.NeuroSubjects {
+		w, err := neuroWorkload(p, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range ingestVariants {
+			cl := newCluster(defaultNodes(p))
+			d, err := neuro.IngestTime(w, cl, nil, sys)
+			if err != nil {
+				return nil, fmt.Errorf("ingest %s at %d subjects: %w", sys, n, err)
+			}
+			t.Set(sys, colLabel(n), seconds(vtime.Duration(d)))
+		}
+	}
+	return t, nil
+}
+
+func checkFig11(t *Table) error {
+	last := t.ColNames[len(t.ColNames)-1]
+	// Myria is fastest; Spark within reach; SciDB-1 an order of magnitude
+	// slower than SciDB-2; TensorFlow slower than the parallel ingesters.
+	if err := wantLess("Myria < Spark", t.Get("Myria", last), t.Get("Spark", last)); err != nil {
+		return err
+	}
+	if err := wantRatioAtLeast("SciDB-1 ~10× SciDB-2", t.Get("SciDB-1", last), t.Get("SciDB-2", last), 5); err != nil {
+		return err
+	}
+	if err := wantRatioAtLeast("TensorFlow slower than Spark", t.Get("TensorFlow", last), t.Get("Spark", last), 1.5); err != nil {
+		return err
+	}
+	// SciDB-2's conversion overhead keeps it behind Spark and Myria.
+	if err := wantLess("Spark < SciDB-2", t.Get("Spark", last), t.Get("SciDB-2", last)); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"imagebench/internal/astro"
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/neuro"
+	"imagebench/internal/synth"
+	"imagebench/internal/vtime"
+)
+
+// newCluster builds the standard experiment cluster: nodes × 8-core
+// machines modeled on r3.2xlarge.
+func newCluster(nodes int) *cluster.Cluster {
+	return newClusterMem(nodes, 0)
+}
+
+// newClusterMem is newCluster with a per-node memory floor: speedup
+// experiments scale task counts beyond the paper's data:memory ratio, so
+// the budget grows with the workload (fig15 studies memory pressure
+// explicitly with its own budget).
+func newClusterMem(nodes int, minMemPerNode int64) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	if minMemPerNode > cfg.MemPerNode {
+		cfg.MemPerNode = minMemPerNode
+	}
+	return cluster.New(cfg)
+}
+
+// defaultNodes is the paper's base cluster size, scaled down in the quick
+// profile.
+func defaultNodes(p Profile) int {
+	if p.Name == "quick" {
+		return 4
+	}
+	return 16
+}
+
+// neuroWorkload builds (and caches per profile) the synthetic dMRI
+// dataset for the given subject count.
+func neuroWorkload(p Profile, subjects int) (*neuro.Workload, error) {
+	cfg := synth.DefaultNeuro(subjects)
+	cfg.NX, cfg.NY, cfg.NZ, cfg.T, cfg.B0 = p.NeuroNX, p.NeuroNY, p.NeuroNZ, p.NeuroT, p.NeuroB0
+	return neuro.NewWorkloadCfg(cfg)
+}
+
+// astroWorkload builds the synthetic survey dataset for the given visit
+// count.
+func astroWorkload(p Profile, visits int) (*astro.Workload, error) {
+	cfg := synth.DefaultAstro(visits)
+	cfg.Sensors, cfg.W, cfg.H, cfg.Sources = p.AstroSensors, p.AstroW, p.AstroH, p.AstroSources
+	return astro.NewWorkloadCfg(cfg)
+}
+
+// neuroEndToEnd runs the full neuroscience pipeline on one system and
+// returns the virtual runtime (cluster makespan).
+func neuroEndToEnd(w *neuro.Workload, nodes int, sys string) (vtime.Duration, error) {
+	cl := newClusterMem(nodes, 10*w.InputModelBytes()/int64(nodes))
+	model := cost.Default()
+	var err error
+	switch sys {
+	case "Spark":
+		_, err = neuro.RunSpark(w, cl, model, neuro.SparkOpts{Partitions: cl.Workers(), CacheInput: true})
+	case "Myria":
+		_, err = neuro.RunMyria(w, cl, model, neuro.MyriaOpts{})
+	case "Dask":
+		_, err = neuro.RunDask(w, cl, model)
+	default:
+		return 0, fmt.Errorf("core: no end-to-end neuroscience run for %q", sys)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return vtime.Duration(cl.Makespan()), nil
+}
+
+// astroEndToEnd runs the full astronomy pipeline on one system and
+// returns the virtual runtime.
+func astroEndToEnd(w *astro.Workload, nodes int, sys string) (vtime.Duration, error) {
+	cl := newClusterMem(nodes, 10*w.InputModelBytes()/int64(nodes))
+	model := cost.Default()
+	var err error
+	switch sys {
+	case "Spark":
+		_, err = astro.RunSpark(w, cl, model, astro.SparkOpts{Partitions: cl.Workers()})
+	case "Myria":
+		_, err = astro.RunMyria(w, cl, model, astro.MyriaOpts{})
+	default:
+		return 0, fmt.Errorf("core: no end-to-end astronomy run for %q", sys)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return vtime.Duration(cl.Makespan()), nil
+}
+
+// seconds converts a duration to float seconds for table cells.
+func seconds(d vtime.Duration) float64 { return d.Seconds() }
+
+// colLabel formats a sweep point (subject or visit count).
+func colLabel(n int) string { return fmt.Sprintf("%d", n) }

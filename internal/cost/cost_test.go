@@ -1,0 +1,61 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"imagebench/internal/vtime"
+)
+
+func TestDur(t *testing.T) {
+	if d := Dur(100e6, 100e6); d != time.Second {
+		t.Errorf("Dur = %v", d)
+	}
+	if Dur(0, 100) != 0 || Dur(100, 0) != 0 || Dur(-5, 100) != 0 {
+		t.Error("degenerate Dur not zero")
+	}
+}
+
+func TestModelTimes(t *testing.T) {
+	m := Default()
+	if m.AlgTime(Denoise, 1_600_000) != time.Second {
+		t.Errorf("denoise time %v", m.AlgTime(Denoise, 1_600_000))
+	}
+	if m.S3Fetch(2, 0) != 2*m.S3GetLatency {
+		t.Error("S3Fetch latency accounting")
+	}
+	if m.SchedTime(Dask, 10) <= m.SchedTime(Dask, 1) {
+		t.Error("Dask sched cost should grow with cluster size")
+	}
+	if m.SchedTime(Myria, 64) >= m.SchedTime(Dask, 64) {
+		t.Error("Myria dispatch should be cheaper than Dask's")
+	}
+}
+
+func TestJitterDeterministicBounded(t *testing.T) {
+	m := Default()
+	base := vtime.Duration(10 * time.Second)
+	a := m.Jitter("key1", base)
+	b := m.Jitter("key1", base)
+	if a != b {
+		t.Error("jitter not deterministic")
+	}
+	lo := time.Duration(float64(base) * (1 - m.JitterFrac))
+	hi := time.Duration(float64(base) * (1 + m.JitterFrac))
+	for _, key := range []string{"a", "b", "c", "d", "e", "f"} {
+		d := m.Jitter(key, base)
+		if d < lo || d > hi {
+			t.Errorf("jitter %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+	m.JitterFrac = 0
+	if m.Jitter("x", base) != base {
+		t.Error("zero jitter should be identity")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Denoise.String() != "denoise" || Spark.String() != "Spark" {
+		t.Error("stringers wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"imagebench/internal/vtime"
+)
+
+// Property: every modeled time is non-negative and monotone in bytes,
+// for every operation.
+func TestAlgTimeMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for op := Op(0); op < numOps; op++ {
+			tl, th := m.AlgTime(op, lo), m.AlgTime(op, hi)
+			if tl < 0 || th < 0 || tl > th {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization models are non-negative and monotone too.
+func TestSerializationMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		type pair struct{ l, h int64 }
+		checks := []pair{
+			{int64(m.GobTime(lo)), int64(m.GobTime(hi))},
+			{int64(m.TSVTime(lo)), int64(m.TSVTime(hi))},
+			{int64(m.CSVTime(lo)), int64(m.CSVTime(hi))},
+			{int64(m.TensorTime(lo)), int64(m.TensorTime(hi))},
+			{int64(m.PyIPCTime(lo)), int64(m.PyIPCTime(hi))},
+			{int64(m.FormatTime(lo)), int64(m.FormatTime(hi))},
+			{int64(m.S3Time(lo)), int64(m.S3Time(hi))},
+		}
+		for _, c := range checks {
+			if c.l < 0 || c.l > c.h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Jitter is deterministic per key and bounded by the
+// configured fraction.
+func TestJitterBoundedDeterministicProperty(t *testing.T) {
+	m := Default()
+	f := func(key string, durMs uint16) bool {
+		d := int64(durMs) * 1e6
+		j1 := m.Jitter(key, vtime.Duration(d))
+		j2 := m.Jitter(key, vtime.Duration(d))
+		if j1 != j2 {
+			return false
+		}
+		if d == 0 {
+			return j1 == 0
+		}
+		ratio := float64(j1) / float64(d)
+		return ratio >= 1-m.JitterFrac-1e-9 && ratio <= 1+m.JitterFrac+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dur is linear: doubling the bytes doubles the duration (to
+// rounding).
+func TestDurLinearProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		if n == 0 {
+			return Dur(0, 1e9) == 0
+		}
+		d1 := float64(Dur(int64(n), 1e9))
+		d2 := float64(Dur(int64(n)*2, 1e9))
+		return math.Abs(d2-2*d1) <= 2 // ns rounding
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package dask
+
+import (
+	"fmt"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/vtime"
+)
+
+// Task fusion, dask.optimization.fuse: a linear chain of tasks — each
+// consumed only by the next — collapses into a single task, paying one
+// scheduler dispatch instead of one per stage and never moving the
+// intermediates off the executing machine. Fusion is the optimization
+// that keeps Dask's per-subject pipelines cheap despite its per-task
+// scheduler overhead; the ablation bench quantifies what it saves.
+
+// EnableFusion turns on linear-chain fusion for subsequent Compute calls.
+func (s *Session) EnableFusion() { s.fuse = true }
+
+// FusedTasks reports how many task dispatches fusion has eliminated.
+func (s *Session) FusedTasks() int { return s.fusedTasks }
+
+// prepareFusion builds the dependent-count map for the graphs rooted at
+// roots, and marks the roots themselves (roots must stay materialized).
+func (s *Session) prepareFusion(roots []*Delayed) {
+	s.dependents = make(map[*Delayed]int)
+	s.rootSet = make(map[*Delayed]bool, len(roots))
+	for _, r := range roots {
+		s.rootSet[r] = true
+	}
+	seen := make(map[*Delayed]bool)
+	var walk func(d *Delayed)
+	walk = func(d *Delayed) {
+		if seen[d] {
+			return
+		}
+		seen[d] = true
+		for _, dep := range d.deps {
+			s.dependents[dep]++
+			walk(dep)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+}
+
+// fusibleChain returns the maximal linear chain ending at d, deepest
+// stage first, or nil when d heads no chain. A stage is fusible into its
+// consumer when it is that consumer's only input, the consumer is its
+// only dependent, neither is pinned to a device, it is not itself a
+// Compute root, and it is not already computed.
+func (s *Session) fusibleChain(d *Delayed) []*Delayed {
+	if s.dependents == nil || d.pinNode >= 0 {
+		return nil
+	}
+	var chain []*Delayed // built consumer-first, reversed below
+	cur := d
+	for len(cur.deps) == 1 {
+		dep := cur.deps[0]
+		if dep.done || dep.pinNode >= 0 || s.dependents[dep] != 1 || s.rootSet[dep] {
+			break
+		}
+		chain = append(chain, cur)
+		cur = dep
+	}
+	if len(chain) == 0 {
+		return nil
+	}
+	// cur is the deepest fused stage; chain holds its consumers.
+	out := []*Delayed{cur}
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i])
+	}
+	return out
+}
+
+// evalChain executes a fused chain as one task: one dispatch, one node,
+// intermediates never leave the machine. Every stage's value is recorded
+// so Value() still works on intermediates.
+func (s *Session) evalChain(chain []*Delayed) error {
+	head := chain[0]
+	var depHandles []*cluster.Handle
+	var prefer []int
+	args := make([]any, len(head.deps))
+	var inBytes int64
+	for i, dep := range head.deps {
+		if err := s.eval(dep); err != nil {
+			return err
+		}
+		args[i] = dep.value
+		inBytes += dep.size
+		depHandles = append(depHandles, dep.handle)
+		prefer = append(prefer, dep.node)
+	}
+	depHandles = append(depHandles, s.startup)
+	// One scheduler dispatch for the whole chain.
+	ready := cluster.After(depHandles...)
+	_, dispatched := s.sched.Reserve(ready, s.model.SchedTime(cost.Dask, s.cl.Nodes()))
+	depHandles = append(depHandles, &cluster.Handle{End: dispatched})
+
+	// Run the stages in order, summing their modeled durations over the
+	// true intermediate sizes.
+	var dur vtime.Duration
+	curArgs := args
+	curBytes := inBytes
+	for _, stage := range chain {
+		dur += s.model.Jitter(stage.name, stage.costFn(curBytes))
+		v, size, err := stage.f(curArgs)
+		if err != nil {
+			return fmt.Errorf("dask: task %q: %w", stage.name, err)
+		}
+		stage.value, stage.size = v, size
+		curArgs = []any{v}
+		curBytes = size
+	}
+	s.fusedTasks += len(chain) - 1
+
+	locality := s.StealLocality + s.transferDur(inBytes)
+	node := s.cl.PickNode(prefer, locality, cluster.After(depHandles...), dur)
+	for _, dep := range head.deps {
+		if dep.node != node && dep.size > 0 {
+			depHandles = append(depHandles, s.replicate(dep, node))
+		}
+	}
+	h := s.cl.Submit(node, depHandles, dur, nil)
+	if h.Err != nil {
+		return h.Err
+	}
+	for _, stage := range chain {
+		stage.node = h.Node
+		stage.handle = h
+		stage.done = true
+	}
+	if debugTasks {
+		fmt.Printf("DASKDBG fused×%d %-20s node=%d end=%v dur=%v\n", len(chain), chain[len(chain)-1].name, node, h.End, dur)
+	}
+	return nil
+}

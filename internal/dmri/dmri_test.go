@@ -1,0 +1,159 @@
+package dmri
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"imagebench/internal/volume"
+)
+
+func table(n, b0 int) *GradTable {
+	g := &GradTable{}
+	for i := 0; i < n; i++ {
+		if i < b0 {
+			g.BVals = append(g.BVals, 0)
+			g.BVecs = append(g.BVecs, [3]float64{0, 0, 0})
+			continue
+		}
+		th := float64(i) * 2.39996
+		z := 1 - 2*(float64(i-b0)+0.5)/float64(n-b0)
+		r := math.Sqrt(1 - z*z)
+		g.BVals = append(g.BVals, 1000)
+		g.BVecs = append(g.BVecs, [3]float64{r * math.Cos(th), r * math.Sin(th), z})
+	}
+	return g
+}
+
+func TestB0Mask(t *testing.T) {
+	g := table(10, 2)
+	m := g.B0Mask(50)
+	for i, want := range []bool{true, true} {
+		if m[i] != want {
+			t.Errorf("b0[%d]=%v", i, m[i])
+		}
+	}
+	for i := 2; i < 10; i++ {
+		if m[i] {
+			t.Errorf("b0[%d] should be false", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := table(10, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &GradTable{BVals: []float64{1000}, BVecs: [][3]float64{{2, 0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-unit bvec accepted")
+	}
+	if err := (&GradTable{}).Validate(); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+// signalFor synthesizes the noiseless DTM signal for a tensor.
+func signalFor(g *GradTable, tensor Tensor, s0 float64) []float64 {
+	out := make([]float64, g.N())
+	for i := range out {
+		b := g.BVals[i]
+		v := g.BVecs[i]
+		q := tensor.Dxx*v[0]*v[0] + tensor.Dyy*v[1]*v[1] + tensor.Dzz*v[2]*v[2] +
+			2*(tensor.Dxy*v[0]*v[1]+tensor.Dxz*v[0]*v[2]+tensor.Dyz*v[1]*v[2])
+		out[i] = s0 * math.Exp(-b*q)
+	}
+	return out
+}
+
+func TestFitVoxelRecoversTensor(t *testing.T) {
+	g := table(30, 3)
+	want := Tensor{Dxx: 1.5e-3, Dyy: 0.4e-3, Dzz: 0.3e-3, Dxy: 0.1e-3}
+	sig := signalFor(g, want, 800)
+	got, err := FitVoxel(DesignMatrix(g), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{
+		{got.Dxx, want.Dxx}, {got.Dyy, want.Dyy}, {got.Dzz, want.Dzz},
+		{got.Dxy, want.Dxy}, {got.Dxz, want.Dxz}, {got.Dyz, want.Dyz},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-8 {
+			t.Errorf("tensor element %v, want %v", pair[0], pair[1])
+		}
+	}
+	if math.Abs(math.Exp(got.LogS0)-800) > 1e-3 {
+		t.Errorf("S0 = %v, want 800", math.Exp(got.LogS0))
+	}
+}
+
+func TestFAExtremes(t *testing.T) {
+	iso := Tensor{Dxx: 1e-3, Dyy: 1e-3, Dzz: 1e-3}
+	if fa := iso.FA(); fa > 1e-6 {
+		t.Errorf("isotropic FA = %v, want ~0", fa)
+	}
+	stick := Tensor{Dxx: 1.7e-3, Dyy: 1e-9, Dzz: 1e-9}
+	if fa := stick.FA(); fa < 0.95 {
+		t.Errorf("stick FA = %v, want ~1", fa)
+	}
+	if fa := (Tensor{}).FA(); fa != 0 {
+		t.Errorf("zero tensor FA = %v", fa)
+	}
+}
+
+func TestFAInUnitRangeProperty(t *testing.T) {
+	// Property: FA ∈ [0,1] for any symmetric tensor.
+	f := func(a, b, c, d, e, g int8) bool {
+		tensor := Tensor{
+			Dxx: float64(a) * 1e-4, Dyy: float64(b) * 1e-4, Dzz: float64(c) * 1e-4,
+			Dxy: float64(d) * 1e-5, Dxz: float64(e) * 1e-5, Dyz: float64(g) * 1e-5,
+		}
+		fa := tensor.FA()
+		return fa >= 0 && fa <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenvaluesOrdered(t *testing.T) {
+	tensor := Tensor{Dxx: 0.3e-3, Dyy: 1.7e-3, Dzz: 0.9e-3}
+	ev := tensor.Eigenvalues()
+	if !(ev[0] >= ev[1] && ev[1] >= ev[2]) {
+		t.Errorf("eigenvalues not descending: %v", ev)
+	}
+	if math.Abs(ev[0]-1.7e-3) > 1e-12 {
+		t.Errorf("largest eigenvalue %v", ev[0])
+	}
+}
+
+func TestFitFAMaskAndShape(t *testing.T) {
+	g := table(12, 2)
+	nx, ny, nz := 3, 3, 2
+	vols := make([]*volume.V3, g.N())
+	want := Tensor{Dxx: 1.6e-3, Dyy: 0.3e-3, Dzz: 0.3e-3}
+	sig := signalFor(g, want, 1000)
+	for i := range vols {
+		vols[i] = volume.New3(nx, ny, nz)
+		for j := range vols[i].Data {
+			vols[i].Data[j] = sig[i]
+		}
+	}
+	mask := volume.New3(nx, ny, nz)
+	mask.Set(1, 1, 1, 1)
+	fa, err := FitFA(g, volume.New4(vols), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.At(1, 1, 1) < 0.5 {
+		t.Errorf("masked voxel FA %v too low", fa.At(1, 1, 1))
+	}
+	if fa.At(0, 0, 0) != 0 {
+		t.Errorf("unmasked voxel FA %v, want 0 (skipped)", fa.At(0, 0, 0))
+	}
+	// Mismatched volume count errors.
+	if _, err := FitFA(g, volume.New4(vols[:5]), nil); err == nil {
+		t.Error("volume/gradient mismatch accepted")
+	}
+}

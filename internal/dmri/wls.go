@@ -1,0 +1,144 @@
+package dmri
+
+import (
+	"fmt"
+	"math"
+
+	"imagebench/internal/linalg"
+	"imagebench/internal/volume"
+)
+
+// Dipy's default tensor fit is weighted least squares (WLS): the
+// log-linearized model's noise variance scales as 1/S², so an ordinary
+// least-squares (OLS) pass predicts the signals and a second pass
+// reweights each measurement by its predicted squared signal (Chung et
+// al. 2006, as implemented by Dipy's dti.wls_fit_tensor). The reference
+// implementation the paper re-uses runs this fit; this file adds it
+// alongside the OLS path plus the mean-diffusivity scalar.
+
+// MD returns the tensor's mean diffusivity — the second scalar map Dipy
+// reports next to FA.
+func (t Tensor) MD() float64 {
+	return (t.Dxx + t.Dyy + t.Dzz) / 3
+}
+
+// FitMethod selects the estimator for the tensor fit.
+type FitMethod int
+
+const (
+	// OLS is the single-pass ordinary least-squares fit on log signals.
+	OLS FitMethod = iota
+	// WLS reweights a second pass by the squared predicted signals,
+	// correcting the log transform's heteroscedasticity (Dipy default).
+	WLS
+)
+
+func (m FitMethod) String() string {
+	if m == WLS {
+		return "WLS"
+	}
+	return "OLS"
+}
+
+// FitVoxelWLS fits the DTM to one voxel with the two-pass weighted
+// least-squares estimator.
+func FitVoxelWLS(design *linalg.Mat, signal []float64) (Tensor, error) {
+	if design.Rows != len(signal) {
+		return Tensor{}, fmt.Errorf("dmri: %d design rows but %d samples", design.Rows, len(signal))
+	}
+	logs := make([]float64, len(signal))
+	for i, s := range signal {
+		if s < 1e-8 {
+			s = 1e-8
+		}
+		logs[i] = math.Log(s)
+	}
+	// Pass 1: OLS.
+	x, err := linalg.LeastSquares(design, logs)
+	if err != nil {
+		return Tensor{}, err
+	}
+	// Pass 2: weight rows by the predicted signal, w_i = exp(ŷ_i)
+	// (scaling row i of the system by w_i implements weights w_i² ∝ Ŝ_i²).
+	wdesign := linalg.NewMat(design.Rows, design.Cols)
+	wlogs := make([]float64, len(logs))
+	for i := 0; i < design.Rows; i++ {
+		var pred float64
+		for j := 0; j < design.Cols; j++ {
+			pred += design.At(i, j) * x[j]
+		}
+		// Clamp the predicted log signal: wild OLS estimates in noisy
+		// background voxels must not produce infinite weights.
+		if pred > 50 {
+			pred = 50
+		} else if pred < -50 {
+			pred = -50
+		}
+		w := math.Exp(pred)
+		for j := 0; j < design.Cols; j++ {
+			wdesign.Set(i, j, w*design.At(i, j))
+		}
+		wlogs[i] = w * logs[i]
+	}
+	xw, err := linalg.LeastSquares(wdesign, wlogs)
+	if err != nil {
+		// Degenerate weighting (e.g. all-zero signals): keep the OLS fit.
+		xw = x
+	}
+	return Tensor{
+		LogS0: xw[0],
+		Dxx:   xw[1], Dyy: xw[2], Dzz: xw[3],
+		Dxy: xw[4], Dxz: xw[5], Dyz: xw[6],
+	}, nil
+}
+
+// FitVoxelMethod dispatches to the chosen estimator.
+func FitVoxelMethod(design *linalg.Mat, signal []float64, method FitMethod) (Tensor, error) {
+	if method == WLS {
+		return FitVoxelWLS(design, signal)
+	}
+	return FitVoxel(design, signal)
+}
+
+// ScalarMaps bundles the per-voxel scalar summaries of a tensor fit.
+type ScalarMaps struct {
+	FA *volume.V3
+	MD *volume.V3
+}
+
+// FitScalars fits the DTM at every masked voxel with the chosen method
+// and returns both the FA and MD maps.
+func FitScalars(g *GradTable, vols *volume.V4, mask *volume.V3, method FitMethod) (*ScalarMaps, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if vols.T() != g.N() {
+		return nil, fmt.Errorf("dmri: %d volumes but %d gradient entries", vols.T(), g.N())
+	}
+	nx, ny, nz := vols.Shape()
+	if mask != nil && (mask.NX != nx || mask.NY != ny || mask.NZ != nz) {
+		return nil, fmt.Errorf("dmri: mask shape mismatch")
+	}
+	design := DesignMatrix(g)
+	out := &ScalarMaps{FA: volume.New3(nx, ny, nz), MD: volume.New3(nx, ny, nz)}
+	signal := make([]float64, g.N())
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if mask != nil && mask.At(x, y, z) == 0 {
+					continue
+				}
+				for t, v := range vols.Vols {
+					signal[t] = v.At(x, y, z)
+				}
+				tensor, err := FitVoxelMethod(design, signal, method)
+				if err != nil {
+					continue
+				}
+				out.FA.Set(x, y, z, tensor.FA())
+				out.MD.Set(x, y, z, tensor.MD())
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+// Package fits reads and writes FITS image files (the astronomy format of
+// the paper's inputs): 2880-byte header blocks of 80-character keyword
+// cards followed by big-endian image data padded to 2880 bytes. Each file
+// holds one 3-plane image (flux, variance, mask as NAXIS3=3) plus the
+// metadata the pipeline needs (visit, sensor, sky position).
+package fits
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"imagebench/internal/imaging"
+	"imagebench/internal/skymap"
+)
+
+const blockSize = 2880
+const cardSize = 80
+
+// File is a decoded single-HDU FITS image.
+type File struct {
+	Keywords map[string]string
+	Planes   []*imaging.Image // NAXIS3 planes, each NAXIS1×NAXIS2
+}
+
+// card formats one 80-byte header card.
+func card(key, value string) string {
+	s := fmt.Sprintf("%-8s= %20s", key, value)
+	if len(s) > cardSize {
+		s = s[:cardSize]
+	}
+	return s + strings.Repeat(" ", cardSize-len(s))
+}
+
+// EncodeExposure serializes an exposure as a FITS file with three planes:
+// flux, variance, and mask (mask bits stored as float values, as the HiTS
+// files do via a separate integer plane).
+func EncodeExposure(e *skymap.Exposure) []byte {
+	w, h := e.Flux.W, e.Flux.H
+	var hdr bytes.Buffer
+	hdr.WriteString(card("SIMPLE", "T"))
+	hdr.WriteString(card("BITPIX", "-32"))
+	hdr.WriteString(card("NAXIS", "3"))
+	hdr.WriteString(card("NAXIS1", strconv.Itoa(w)))
+	hdr.WriteString(card("NAXIS2", strconv.Itoa(h)))
+	hdr.WriteString(card("NAXIS3", "3"))
+	hdr.WriteString(card("VISIT", strconv.Itoa(e.Visit)))
+	hdr.WriteString(card("SENSOR", strconv.Itoa(e.Sensor)))
+	hdr.WriteString(card("CRVAL1", strconv.Itoa(e.X0)))
+	hdr.WriteString(card("CRVAL2", strconv.Itoa(e.Y0)))
+	hdr.WriteString("END" + strings.Repeat(" ", cardSize-3))
+	pad(&hdr)
+
+	var data bytes.Buffer
+	writePlane(&data, e.Flux)
+	writePlane(&data, e.Var)
+	b4 := make([]byte, 4)
+	for _, m := range e.Mask {
+		binary.BigEndian.PutUint32(b4, math.Float32bits(float32(m)))
+		data.Write(b4)
+	}
+	pad(&data)
+	return append(hdr.Bytes(), data.Bytes()...)
+}
+
+func writePlane(buf *bytes.Buffer, im *imaging.Image) {
+	b4 := make([]byte, 4)
+	for _, p := range im.Pix {
+		binary.BigEndian.PutUint32(b4, math.Float32bits(float32(p)))
+		buf.Write(b4)
+	}
+}
+
+func pad(buf *bytes.Buffer) {
+	if r := buf.Len() % blockSize; r != 0 {
+		buf.Write(bytes.Repeat([]byte{' '}, blockSize-r))
+	}
+}
+
+// Decode parses a single-HDU FITS image file.
+func Decode(data []byte) (*File, error) {
+	if len(data) < blockSize {
+		return nil, fmt.Errorf("fits: file too short (%d bytes)", len(data))
+	}
+	kw := make(map[string]string)
+	off := 0
+	done := false
+	for !done {
+		if off+blockSize > len(data) {
+			return nil, fmt.Errorf("fits: header runs past end of file")
+		}
+		for c := 0; c < blockSize/cardSize; c++ {
+			cardStr := string(data[off+c*cardSize : off+(c+1)*cardSize])
+			key := strings.TrimSpace(cardStr[:8])
+			if key == "END" {
+				done = true
+				break
+			}
+			if key == "" || !strings.Contains(cardStr, "=") {
+				continue
+			}
+			val := strings.TrimSpace(cardStr[strings.Index(cardStr, "=")+1:])
+			kw[key] = val
+		}
+		off += blockSize
+	}
+	if kw["SIMPLE"] != "T" {
+		return nil, fmt.Errorf("fits: missing SIMPLE=T")
+	}
+	if kw["BITPIX"] != "-32" {
+		return nil, fmt.Errorf("fits: unsupported BITPIX %q", kw["BITPIX"])
+	}
+	w, err := atoi(kw, "NAXIS1")
+	if err != nil {
+		return nil, err
+	}
+	h, err := atoi(kw, "NAXIS2")
+	if err != nil {
+		return nil, err
+	}
+	nplanes := 1
+	if kw["NAXIS"] == "3" {
+		if nplanes, err = atoi(kw, "NAXIS3"); err != nil {
+			return nil, err
+		}
+	}
+	need := off + w*h*nplanes*4
+	if len(data) < need {
+		return nil, fmt.Errorf("fits: truncated data: have %d bytes, need %d", len(data), need)
+	}
+	f := &File{Keywords: kw}
+	for p := 0; p < nplanes; p++ {
+		im := imaging.NewImage(w, h)
+		for i := range im.Pix {
+			im.Pix[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(data[off:])))
+			off += 4
+		}
+		f.Planes = append(f.Planes, im)
+	}
+	return f, nil
+}
+
+func atoi(kw map[string]string, key string) (int, error) {
+	v, ok := kw[key]
+	if !ok {
+		return 0, fmt.Errorf("fits: missing %s", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("fits: bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+// DecodeExposure parses a FITS file written by EncodeExposure back into an
+// exposure.
+func DecodeExposure(data []byte) (*skymap.Exposure, error) {
+	f, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Planes) != 3 {
+		return nil, fmt.Errorf("fits: expected 3 planes, got %d", len(f.Planes))
+	}
+	visit, _ := strconv.Atoi(f.Keywords["VISIT"])
+	sensor, _ := strconv.Atoi(f.Keywords["SENSOR"])
+	x0, _ := strconv.Atoi(f.Keywords["CRVAL1"])
+	y0, _ := strconv.Atoi(f.Keywords["CRVAL2"])
+	e := &skymap.Exposure{
+		Visit: visit, Sensor: sensor, X0: x0, Y0: y0,
+		Flux: f.Planes[0],
+		Var:  f.Planes[1],
+		Mask: make([]uint8, len(f.Planes[2].Pix)),
+	}
+	for i, m := range f.Planes[2].Pix {
+		e.Mask[i] = uint8(m)
+	}
+	return e, nil
+}

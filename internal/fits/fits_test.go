@@ -1,0 +1,76 @@
+package fits
+
+import (
+	"testing"
+
+	"imagebench/internal/skymap"
+)
+
+func sample() *skymap.Exposure {
+	e := skymap.NewExposure(3, 7, -12, 40, 8, 6)
+	for i := range e.Flux.Pix {
+		e.Flux.Pix[i] = float64(float32(i) * 1.5)
+		e.Var.Pix[i] = float64(float32(i % 5))
+	}
+	e.Mask[5] = skymap.MaskCosmicRay
+	return e
+}
+
+func TestExposureRoundTrip(t *testing.T) {
+	e := sample()
+	data := EncodeExposure(e)
+	if len(data)%2880 != 0 {
+		t.Errorf("FITS file length %d not a multiple of 2880", len(data))
+	}
+	got, err := DecodeExposure(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Visit != 3 || got.Sensor != 7 || got.X0 != -12 || got.Y0 != 40 {
+		t.Errorf("metadata %+v", got)
+	}
+	for i := range e.Flux.Pix {
+		if got.Flux.Pix[i] != e.Flux.Pix[i] || got.Var.Pix[i] != e.Var.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+	if got.Mask[5] != skymap.MaskCosmicRay {
+		t.Error("mask plane lost")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	data := EncodeExposure(sample())
+	if _, err := Decode(data[:100]); err == nil {
+		t.Error("short file accepted")
+	}
+	// Corrupt SIMPLE card.
+	bad := append([]byte(nil), data...)
+	copy(bad[:6], "BROKEN")
+	if _, err := Decode(bad); err == nil {
+		t.Error("missing SIMPLE accepted")
+	}
+	// Truncated data block.
+	if _, err := Decode(data[:2880+16]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestHeaderKeywords(t *testing.T) {
+	f, err := Decode(EncodeExposure(sample()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{
+		{"SIMPLE", "T"}, {"BITPIX", "-32"}, {"NAXIS", "3"},
+		{"NAXIS1", "8"}, {"NAXIS2", "6"}, {"NAXIS3", "3"},
+		{"VISIT", "3"}, {"SENSOR", "7"},
+	} {
+		if f.Keywords[kv[0]] != kv[1] {
+			t.Errorf("%s = %q, want %q", kv[0], f.Keywords[kv[0]], kv[1])
+		}
+	}
+	if len(f.Planes) != 3 {
+		t.Errorf("%d planes", len(f.Planes))
+	}
+}

@@ -1,0 +1,366 @@
+package fits
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"imagebench/internal/imaging"
+)
+
+// This file adds the parts of FITS the LSST stack writes alongside
+// images: a typed 80-character header-card API (strings, logicals,
+// integers, reals, comments) and BINTABLE extensions, which is how
+// source catalogs — the output of the astronomy pipeline's Step 4A —
+// are distributed.
+
+// Card is one parsed 80-character header card.
+type Card struct {
+	Key     string
+	Value   string // canonical FITS text (quotes stripped for strings)
+	IsStr   bool
+	Comment string
+}
+
+// FormatCard renders a typed value as a FITS card: strings are quoted
+// with doubled internal quotes, booleans render as T/F, numbers
+// right-justify in columns 11–30, and an optional comment follows " / ".
+func FormatCard(key string, value any, comment string) string {
+	var val string
+	switch v := value.(type) {
+	case string:
+		val = fmt.Sprintf("%-20s", "'"+strings.ReplaceAll(v, "'", "''")+"'")
+	case bool:
+		t := "F"
+		if v {
+			t = "T"
+		}
+		val = fmt.Sprintf("%20s", t)
+	case int:
+		val = fmt.Sprintf("%20d", v)
+	case int64:
+		val = fmt.Sprintf("%20d", v)
+	case float64:
+		val = fmt.Sprintf("%20s", strconv.FormatFloat(v, 'G', 14, 64))
+	default:
+		val = fmt.Sprintf("%20v", v)
+	}
+	s := fmt.Sprintf("%-8s= %s", key, val)
+	if comment != "" {
+		s += " / " + comment
+	}
+	if len(s) > cardSize {
+		s = s[:cardSize]
+	}
+	return s + strings.Repeat(" ", cardSize-len(s))
+}
+
+// ParseCard parses one 80-character card into its key, value, and
+// comment. COMMENT/HISTORY/blank cards return a Card with an empty Key.
+func ParseCard(s string) (Card, error) {
+	if len(s) != cardSize {
+		return Card{}, fmt.Errorf("fits: card is %d bytes, want %d", len(s), cardSize)
+	}
+	key := strings.TrimSpace(s[:8])
+	if key == "" || key == "COMMENT" || key == "HISTORY" || s[8:10] != "= " {
+		return Card{Comment: strings.TrimSpace(s[8:])}, nil
+	}
+	rest := s[10:]
+	c := Card{Key: key}
+	trimmed := strings.TrimLeft(rest, " ")
+	if strings.HasPrefix(trimmed, "'") {
+		// Quoted string: scan for the closing quote, honoring doubled
+		// quotes as escapes.
+		c.IsStr = true
+		var sb strings.Builder
+		i := 1
+		for i < len(trimmed) {
+			if trimmed[i] == '\'' {
+				if i+1 < len(trimmed) && trimmed[i+1] == '\'' {
+					sb.WriteByte('\'')
+					i += 2
+					continue
+				}
+				i++
+				break
+			}
+			sb.WriteByte(trimmed[i])
+			i++
+		}
+		c.Value = strings.TrimRight(sb.String(), " ")
+		if idx := strings.Index(trimmed[i:], "/"); idx >= 0 {
+			c.Comment = strings.TrimSpace(trimmed[i+idx+1:])
+		}
+		return c, nil
+	}
+	if idx := strings.Index(rest, "/"); idx >= 0 {
+		c.Comment = strings.TrimSpace(rest[idx+1:])
+		rest = rest[:idx]
+	}
+	c.Value = strings.TrimSpace(rest)
+	if c.Value == "" {
+		return Card{}, fmt.Errorf("fits: card %q has no value", key)
+	}
+	return c, nil
+}
+
+// Column describes one BINTABLE column: a name and its TFORM code.
+// Supported forms: J (32-bit int), K (64-bit int), E (32-bit float),
+// D (64-bit float).
+type Column struct {
+	Name string
+	Form string
+}
+
+func (c Column) width() (int, error) {
+	switch c.Form {
+	case "J", "E":
+		return 4, nil
+	case "K", "D":
+		return 8, nil
+	}
+	return 0, fmt.Errorf("fits: unsupported TFORM %q", c.Form)
+}
+
+// Table is an in-memory BINTABLE: typed columns and float64-valued rows
+// (integer columns round on write).
+type Table struct {
+	Name string // EXTNAME
+	Cols []Column
+	Rows [][]float64
+}
+
+// EncodeTable serializes the table as a complete FITS file: a minimal
+// primary HDU followed by one BINTABLE extension.
+func EncodeTable(t *Table) ([]byte, error) {
+	rowBytes := 0
+	for _, c := range t.Cols {
+		w, err := c.width()
+		if err != nil {
+			return nil, err
+		}
+		rowBytes += w
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Cols) {
+			return nil, fmt.Errorf("fits: row %d has %d values, want %d", i, len(r), len(t.Cols))
+		}
+	}
+
+	var buf bytes.Buffer
+	// Primary HDU: header only.
+	buf.WriteString(FormatCard("SIMPLE", true, "conforms to FITS"))
+	buf.WriteString(FormatCard("BITPIX", 8, ""))
+	buf.WriteString(FormatCard("NAXIS", 0, "no primary data"))
+	buf.WriteString(FormatCard("EXTEND", true, ""))
+	buf.WriteString("END" + strings.Repeat(" ", cardSize-3))
+	pad(&buf)
+
+	// BINTABLE header.
+	buf.WriteString(FormatCard("XTENSION", "BINTABLE", "binary table"))
+	buf.WriteString(FormatCard("BITPIX", 8, ""))
+	buf.WriteString(FormatCard("NAXIS", 2, ""))
+	buf.WriteString(FormatCard("NAXIS1", rowBytes, "bytes per row"))
+	buf.WriteString(FormatCard("NAXIS2", len(t.Rows), "rows"))
+	buf.WriteString(FormatCard("PCOUNT", 0, ""))
+	buf.WriteString(FormatCard("GCOUNT", 1, ""))
+	buf.WriteString(FormatCard("TFIELDS", len(t.Cols), ""))
+	if t.Name != "" {
+		buf.WriteString(FormatCard("EXTNAME", t.Name, ""))
+	}
+	for i, c := range t.Cols {
+		buf.WriteString(FormatCard(fmt.Sprintf("TTYPE%d", i+1), c.Name, ""))
+		buf.WriteString(FormatCard(fmt.Sprintf("TFORM%d", i+1), c.Form, ""))
+	}
+	buf.WriteString("END" + strings.Repeat(" ", cardSize-3))
+	pad(&buf)
+
+	// Row data, big-endian.
+	scratch := make([]byte, 8)
+	for _, row := range t.Rows {
+		for ci, c := range t.Cols {
+			switch c.Form {
+			case "J":
+				binary.BigEndian.PutUint32(scratch, uint32(int32(math.Round(row[ci]))))
+				buf.Write(scratch[:4])
+			case "K":
+				binary.BigEndian.PutUint64(scratch, uint64(int64(math.Round(row[ci]))))
+				buf.Write(scratch[:8])
+			case "E":
+				binary.BigEndian.PutUint32(scratch, math.Float32bits(float32(row[ci])))
+				buf.Write(scratch[:4])
+			case "D":
+				binary.BigEndian.PutUint64(scratch, math.Float64bits(row[ci]))
+				buf.Write(scratch[:8])
+			}
+		}
+	}
+	padZero(&buf)
+	return buf.Bytes(), nil
+}
+
+func padZero(buf *bytes.Buffer) {
+	if r := buf.Len() % blockSize; r != 0 {
+		buf.Write(make([]byte, blockSize-r))
+	}
+}
+
+// readHeader parses header blocks starting at off and returns the cards
+// plus the offset of the data that follows.
+func readHeader(data []byte, off int) (map[string]Card, int, error) {
+	cards := make(map[string]Card)
+	for {
+		if off+blockSize > len(data) {
+			return nil, 0, fmt.Errorf("fits: header runs past end of file")
+		}
+		for c := 0; c < blockSize/cardSize; c++ {
+			s := string(data[off+c*cardSize : off+(c+1)*cardSize])
+			if strings.TrimSpace(s[:8]) == "END" {
+				return cards, off + blockSize, nil
+			}
+			card, err := ParseCard(s)
+			if err != nil || card.Key == "" {
+				continue
+			}
+			cards[card.Key] = card
+		}
+		off += blockSize
+	}
+}
+
+// DecodeTable parses a FITS file produced by EncodeTable (or any file
+// whose first extension is a BINTABLE of supported column forms).
+func DecodeTable(data []byte) (*Table, error) {
+	primary, off, err := readHeader(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	if primary["SIMPLE"].Value != "T" {
+		return nil, fmt.Errorf("fits: missing SIMPLE=T")
+	}
+	// Primary data would follow here; EncodeTable writes none (NAXIS=0).
+	if primary["NAXIS"].Value != "0" {
+		return nil, fmt.Errorf("fits: expected headerless primary HDU, NAXIS=%s", primary["NAXIS"].Value)
+	}
+	ext, off, err := readHeader(data, off)
+	if err != nil {
+		return nil, err
+	}
+	if ext["XTENSION"].Value != "BINTABLE" {
+		return nil, fmt.Errorf("fits: first extension is %q, want BINTABLE", ext["XTENSION"].Value)
+	}
+	intVal := func(key string) (int, error) {
+		c, ok := ext[key]
+		if !ok {
+			return 0, fmt.Errorf("fits: missing %s", key)
+		}
+		n, err := strconv.Atoi(c.Value)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("fits: bad %s=%q", key, c.Value)
+		}
+		return n, nil
+	}
+	rowBytes, err := intVal("NAXIS1")
+	if err != nil {
+		return nil, err
+	}
+	nRows, err := intVal("NAXIS2")
+	if err != nil {
+		return nil, err
+	}
+	nFields, err := intVal("TFIELDS")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: ext["EXTNAME"].Value}
+	width := 0
+	for i := 1; i <= nFields; i++ {
+		col := Column{
+			Name: ext[fmt.Sprintf("TTYPE%d", i)].Value,
+			Form: ext[fmt.Sprintf("TFORM%d", i)].Value,
+		}
+		w, err := col.width()
+		if err != nil {
+			return nil, err
+		}
+		width += w
+		t.Cols = append(t.Cols, col)
+	}
+	if width != rowBytes {
+		return nil, fmt.Errorf("fits: NAXIS1=%d does not match column widths (%d)", rowBytes, width)
+	}
+	if off+nRows*rowBytes > len(data) {
+		return nil, fmt.Errorf("fits: truncated table data")
+	}
+	for r := 0; r < nRows; r++ {
+		row := make([]float64, nFields)
+		for ci, c := range t.Cols {
+			switch c.Form {
+			case "J":
+				row[ci] = float64(int32(binary.BigEndian.Uint32(data[off:])))
+				off += 4
+			case "K":
+				row[ci] = float64(int64(binary.BigEndian.Uint64(data[off:])))
+				off += 8
+			case "E":
+				row[ci] = float64(math.Float32frombits(binary.BigEndian.Uint32(data[off:])))
+				off += 4
+			case "D":
+				row[ci] = math.Float64frombits(binary.BigEndian.Uint64(data[off:]))
+				off += 8
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// SourceCatalog builds the standard LSST-style catalog table from
+// detected sources (the pipeline's Step 4A output).
+func SourceCatalog(sources []imaging.Source) *Table {
+	t := &Table{
+		Name: "SRC",
+		Cols: []Column{
+			{Name: "id", Form: "J"},
+			{Name: "x", Form: "D"},
+			{Name: "y", Form: "D"},
+			{Name: "flux", Form: "D"},
+			{Name: "npix", Form: "J"},
+			{Name: "peak", Form: "D"},
+		},
+	}
+	for _, s := range sources {
+		t.Rows = append(t.Rows, []float64{
+			float64(s.ID), s.X, s.Y, s.Flux, float64(s.NPix), s.PeakFlux,
+		})
+	}
+	return t
+}
+
+// CatalogSources converts a decoded catalog table back into sources.
+func CatalogSources(t *Table) ([]imaging.Source, error) {
+	idx := make(map[string]int, len(t.Cols))
+	for i, c := range t.Cols {
+		idx[c.Name] = i
+	}
+	for _, need := range []string{"id", "x", "y", "flux", "npix", "peak"} {
+		if _, ok := idx[need]; !ok {
+			return nil, fmt.Errorf("fits: catalog missing column %q", need)
+		}
+	}
+	out := make([]imaging.Source, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = imaging.Source{
+			ID:       int(r[idx["id"]]),
+			X:        r[idx["x"]],
+			Y:        r[idx["y"]],
+			Flux:     r[idx["flux"]],
+			NPix:     int(r[idx["npix"]]),
+			PeakFlux: r[idx["peak"]],
+		}
+	}
+	return out, nil
+}

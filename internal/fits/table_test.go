@@ -1,0 +1,295 @@
+package fits
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"imagebench/internal/imaging"
+)
+
+func TestFormatCardTypes(t *testing.T) {
+	cases := []struct {
+		key     string
+		value   any
+		wantSub string
+	}{
+		{"SIMPLE", true, "= " + strings.Repeat(" ", 19) + "T"},
+		{"NAXIS", 3, "3"},
+		{"EXTNAME", "SRC", "'SRC'"},
+		{"CRVAL1", 12.5, "12.5"},
+		{"QUOTED", "it's", "'it''s'"},
+	}
+	for _, tc := range cases {
+		s := FormatCard(tc.key, tc.value, "")
+		if len(s) != 80 {
+			t.Errorf("%s: card length %d", tc.key, len(s))
+		}
+		if !strings.Contains(s, tc.wantSub) {
+			t.Errorf("%s: card %q missing %q", tc.key, s, tc.wantSub)
+		}
+	}
+}
+
+func TestCardRoundTrip(t *testing.T) {
+	cases := []struct {
+		key   string
+		value any
+	}{
+		{"EXTNAME", "SRC"},
+		{"OBSERVER", "O'Neill"},
+		{"NAXIS1", 2880},
+		{"GAIN", 1.75},
+		{"SIMPLE", true},
+	}
+	for _, tc := range cases {
+		s := FormatCard(tc.key, tc.value, "a comment")
+		c, err := ParseCard(s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.key, err)
+		}
+		if c.Key != tc.key {
+			t.Errorf("key: %q != %q", c.Key, tc.key)
+		}
+		if c.Comment != "a comment" {
+			t.Errorf("%s: comment %q", tc.key, c.Comment)
+		}
+		switch v := tc.value.(type) {
+		case string:
+			if !c.IsStr || c.Value != v {
+				t.Errorf("%s: value %q (str=%v), want %q", tc.key, c.Value, c.IsStr, v)
+			}
+		case bool:
+			if c.Value != "T" {
+				t.Errorf("%s: value %q, want T", tc.key, c.Value)
+			}
+		case int:
+			if c.Value != "2880" {
+				t.Errorf("%s: value %q", tc.key, c.Value)
+			}
+		}
+	}
+}
+
+func TestParseCardSpecials(t *testing.T) {
+	comment, err := ParseCard("COMMENT this is free text" + strings.Repeat(" ", 80-25))
+	if err != nil || comment.Key != "" {
+		t.Errorf("COMMENT card: %+v, %v", comment, err)
+	}
+	if _, err := ParseCard("short"); err == nil {
+		t.Error("short card should error")
+	}
+	if _, err := ParseCard("BADVAL  = " + strings.Repeat(" ", 70)); err == nil {
+		t.Error("valueless card should error")
+	}
+}
+
+func TestCardStringRoundTripProperty(t *testing.T) {
+	f := func(raw string) bool {
+		// Printable subset that fits a card.
+		var sb strings.Builder
+		for _, r := range raw {
+			if r >= 32 && r < 127 {
+				sb.WriteRune(r)
+			}
+		}
+		s := sb.String()
+		if len(s) > 16 {
+			s = s[:16]
+		}
+		s = strings.TrimRight(s, " ") // FITS strips trailing spaces
+		c, err := ParseCard(FormatCard("KEY", s, ""))
+		return err == nil && c.Value == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleTable() *Table {
+	return &Table{
+		Name: "SRC",
+		Cols: []Column{
+			{Name: "id", Form: "J"},
+			{Name: "ra", Form: "D"},
+			{Name: "flux", Form: "E"},
+			{Name: "count", Form: "K"},
+		},
+		Rows: [][]float64{
+			{1, 123.456789, 10.5, 1 << 40},
+			{2, -0.25, 0, -7},
+			{3, 1e100, -2.5, 0},
+		},
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	enc, err := EncodeTable(sampleTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc)%2880 != 0 {
+		t.Errorf("file size %d not a multiple of 2880", len(enc))
+	}
+	got, err := DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "SRC" || len(got.Cols) != 4 || len(got.Rows) != 3 {
+		t.Fatalf("table shape: %+v", got)
+	}
+	want := sampleTable()
+	for r := range want.Rows {
+		for c := range want.Cols {
+			w := want.Rows[r][c]
+			if want.Cols[c].Form == "E" {
+				w = float64(float32(w))
+			}
+			if got.Rows[r][c] != w {
+				t.Errorf("row %d col %s: %v != %v", r, want.Cols[c].Name, got.Rows[r][c], w)
+			}
+		}
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	tbl := &Table{Cols: []Column{{Name: "x", Form: "D"}}}
+	enc, err := EncodeTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 {
+		t.Fatalf("got %d rows, want 0", len(got.Rows))
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	if _, err := EncodeTable(&Table{Cols: []Column{{Name: "x", Form: "Z"}}}); err == nil {
+		t.Error("unsupported TFORM should error")
+	}
+	if _, err := EncodeTable(&Table{
+		Cols: []Column{{Name: "x", Form: "D"}},
+		Rows: [][]float64{{1, 2}},
+	}); err == nil {
+		t.Error("ragged row should error")
+	}
+	enc, err := EncodeTable(sampleTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTable(enc[:2880]); err == nil {
+		t.Error("truncated file should error")
+	}
+	// An image file is not a table.
+	if _, err := DecodeTable(enc[2880:]); err == nil {
+		t.Error("missing primary HDU should error")
+	}
+}
+
+func TestSourceCatalogRoundTrip(t *testing.T) {
+	srcs := []imaging.Source{
+		{ID: 1, X: 10.25, Y: 20.5, Flux: 500.75, NPix: 12, PeakFlux: 99.5},
+		{ID: 2, X: 0, Y: 0, Flux: 1.5, NPix: 5, PeakFlux: 1.5},
+	}
+	enc, err := EncodeTable(SourceCatalog(srcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CatalogSources(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d sources, want 2", len(got))
+	}
+	for i := range srcs {
+		if got[i] != srcs[i] {
+			t.Errorf("source %d: %+v != %+v", i, got[i], srcs[i])
+		}
+	}
+}
+
+func TestCatalogSourcesMissingColumn(t *testing.T) {
+	tbl := &Table{Cols: []Column{{Name: "id", Form: "J"}}}
+	if _, err := CatalogSources(tbl); err == nil {
+		t.Error("missing columns should error")
+	}
+}
+
+// Property: tables of random doubles round-trip bit-exactly through the
+// D column form.
+func TestTableDoubleRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		tbl := &Table{Cols: []Column{{Name: "v", Form: "D"}}}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				v = 0 // NaN != NaN would fail equality, not the codec
+			}
+			tbl.Rows = append(tbl.Rows, []float64{v})
+		}
+		enc, err := EncodeTable(tbl)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTable(enc)
+		if err != nil || len(got.Rows) != len(tbl.Rows) {
+			return false
+		}
+		for i := range tbl.Rows {
+			if got.Rows[i][0] != tbl.Rows[i][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the FITS decoders never panic on arbitrary input.
+func TestFitsDecodeRobustnessProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		_, _ = DecodeTable(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutating one byte of a valid table file either errors or
+// yields a structurally consistent table — never a panic.
+func TestFitsTableMutationProperty(t *testing.T) {
+	base, err := EncodeTable(sampleTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, val byte) bool {
+		data := append([]byte(nil), base...)
+		data[int(off)%len(data)] = val
+		tbl, err := DecodeTable(data)
+		if err != nil {
+			return true
+		}
+		for _, r := range tbl.Rows {
+			if len(r) != len(tbl.Cols) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

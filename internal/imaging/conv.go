@@ -1,0 +1,118 @@
+package imaging
+
+import (
+	"math"
+
+	"imagebench/internal/volume"
+)
+
+// 3-D convolution. The paper's TensorFlow implementation could not
+// express non-local means and "rewrote Step 2N using convolutions"
+// (Section 4.5): a Gaussian smoothing pass expressed as tensor ops.
+// Separable evaluation applies the 1-D kernel along each axis in turn —
+// the form a dataflow engine would run it in — and is mathematically
+// identical to the dense 3-D product kernel.
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
+// standard deviation, truncated at ±3σ (at least radius 1).
+func GaussianKernel(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	k := make([]float64, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// axis identifies a convolution direction.
+type axis int
+
+const (
+	axisX axis = iota
+	axisY
+	axisZ
+)
+
+// convAxis convolves v with the 1-D kernel along one axis, clamping at
+// the borders (replicate padding).
+func convAxis(v *volume.V3, kernel []float64, ax axis) *volume.V3 {
+	out := volume.New3(v.NX, v.NY, v.NZ)
+	r := len(kernel) / 2
+	for z := 0; z < v.NZ; z++ {
+		for y := 0; y < v.NY; y++ {
+			for x := 0; x < v.NX; x++ {
+				var acc float64
+				for k := -r; k <= r; k++ {
+					xx, yy, zz := x, y, z
+					switch ax {
+					case axisX:
+						xx = clamp(x+k, v.NX)
+					case axisY:
+						yy = clamp(y+k, v.NY)
+					case axisZ:
+						zz = clamp(z+k, v.NZ)
+					}
+					acc += kernel[k+r] * v.At(xx, yy, zz)
+				}
+				out.Set(x, y, z, acc)
+			}
+		}
+	}
+	return out
+}
+
+// SeparableConv3 convolves v with the outer product kernel kx⊗ky⊗kz,
+// evaluated as three 1-D passes.
+func SeparableConv3(v *volume.V3, kx, ky, kz []float64) *volume.V3 {
+	out := convAxis(v, kx, axisX)
+	out = convAxis(out, ky, axisY)
+	return convAxis(out, kz, axisZ)
+}
+
+// Conv3 convolves v with a dense 3-D kernel (odd-sized in each
+// dimension), clamping at the borders. It is the reference for
+// SeparableConv3 and supports non-separable kernels.
+func Conv3(v *volume.V3, kernel [][][]float64) *volume.V3 {
+	rz := len(kernel) / 2
+	ry := len(kernel[0]) / 2
+	rx := len(kernel[0][0]) / 2
+	out := volume.New3(v.NX, v.NY, v.NZ)
+	for z := 0; z < v.NZ; z++ {
+		for y := 0; y < v.NY; y++ {
+			for x := 0; x < v.NX; x++ {
+				var acc float64
+				for dz := -rz; dz <= rz; dz++ {
+					for dy := -ry; dy <= ry; dy++ {
+						for dx := -rx; dx <= rx; dx++ {
+							w := kernel[dz+rz][dy+ry][dx+rx]
+							acc += w * v.At(clamp(x+dx, v.NX), clamp(y+dy, v.NY), clamp(z+dz, v.NZ))
+						}
+					}
+				}
+				out.Set(x, y, z, acc)
+			}
+		}
+	}
+	return out
+}
+
+// GaussianSmooth3 is the convolution-based denoiser the paper's
+// TensorFlow implementation substitutes for non-local means: an
+// isotropic Gaussian blur, unmasked (TensorFlow cannot apply the mask,
+// Section 5.2.3).
+func GaussianSmooth3(v *volume.V3, sigma float64) *volume.V3 {
+	k := GaussianKernel(sigma)
+	return SeparableConv3(v, k, k, k)
+}

@@ -1,0 +1,236 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"imagebench/internal/volume"
+)
+
+func TestOtsuBimodal(t *testing.T) {
+	var samples []float64
+	for i := 0; i < 500; i++ {
+		samples = append(samples, 10+float64(i%5))  // background ~10
+		samples = append(samples, 100+float64(i%5)) // foreground ~100
+	}
+	th := Otsu(samples)
+	if th < 14 || th >= 100 {
+		t.Errorf("threshold %v not between modes", th)
+	}
+	for _, s := range samples {
+		if s < 50 && s > th {
+			t.Errorf("background sample %v above threshold %v", s, th)
+		}
+		if s > 50 && s <= th {
+			t.Errorf("foreground sample %v below threshold %v", s, th)
+		}
+	}
+}
+
+func TestOtsuDegenerate(t *testing.T) {
+	if th := Otsu([]float64{5, 5, 5}); th != 5 {
+		t.Errorf("constant input threshold %v", th)
+	}
+	if th := Otsu(nil); th != 0 {
+		t.Errorf("empty input threshold %v", th)
+	}
+}
+
+func TestOtsuMaskSeparates(t *testing.T) {
+	v := volume.New3(4, 4, 4)
+	for i := range v.Data {
+		if i%2 == 0 {
+			v.Data[i] = 100
+		} else {
+			v.Data[i] = 5
+		}
+	}
+	m := OtsuMask(v)
+	for i := range v.Data {
+		want := 0.0
+		if v.Data[i] == 100 {
+			want = 1
+		}
+		if m.Data[i] != want {
+			t.Fatalf("voxel %d: mask %v for value %v", i, m.Data[i], v.Data[i])
+		}
+	}
+}
+
+func TestMedianFilterRemovesSpike(t *testing.T) {
+	v := volume.New3(5, 5, 5)
+	for i := range v.Data {
+		v.Data[i] = 10
+	}
+	v.Set(2, 2, 2, 1000)
+	out := MedianFilter3(v, 1)
+	if out.At(2, 2, 2) != 10 {
+		t.Errorf("spike survived: %v", out.At(2, 2, 2))
+	}
+	if r0 := MedianFilter3(v, 0); volume.MaxAbsDiff(r0, v) != 0 {
+		t.Error("radius 0 should be identity")
+	}
+}
+
+func TestNLMeansPreservesConstant(t *testing.T) {
+	v := volume.New3(6, 6, 6)
+	for i := range v.Data {
+		v.Data[i] = 42
+	}
+	out := NLMeans3(v, nil, NLMeansOpts{H: 10})
+	if volume.MaxAbsDiff(out, v) > 1e-9 {
+		t.Error("constant volume changed by denoising")
+	}
+}
+
+func TestNLMeansMaskRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := volume.New3(6, 6, 6)
+	for i := range v.Data {
+		v.Data[i] = 100 + rng.NormFloat64()*10
+	}
+	mask := volume.New3(6, 6, 6) // all zero: nothing to denoise
+	out := NLMeans3(v, mask, NLMeansOpts{})
+	if volume.MaxAbsDiff(out, v) != 0 {
+		t.Error("masked-out voxels were modified")
+	}
+}
+
+func TestSigmaClippedStats(t *testing.T) {
+	// A single outlier among n samples can be at most (n-1)/sqrt(n) sigma
+	// out, so use enough inliers that 3-sigma clipping can fire.
+	xs := []float64{10, 11, 9, 10, 12, 8, 10, 11, 9, 10, 11, 9, 10, 12, 8, 10, 11, 9, 10, 10, 10000}
+	m, s := SigmaClippedStats(xs, 3, 3)
+	if m < 8 || m > 12 {
+		t.Errorf("clipped mean %v should ignore the outlier", m)
+	}
+	if s > 3 {
+		t.Errorf("clipped std %v too large", s)
+	}
+	if m2, s2 := SigmaClippedStats(nil, 3, 3); m2 != 0 || s2 != 0 {
+		t.Error("empty input should give zeros")
+	}
+}
+
+func TestEstimateBackgroundGradient(t *testing.T) {
+	im := NewImage(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			im.Set(x, y, 100+float64(x)) // smooth ramp
+		}
+	}
+	// Add one bright star the background estimate must ignore.
+	im.Set(32, 32, 1e6)
+	bg := EstimateBackground(im, 16)
+	var worst float64
+	for y := 8; y < 56; y++ {
+		for x := 8; x < 56; x++ {
+			if x == 32 && y == 32 {
+				continue
+			}
+			d := math.Abs(bg.At(x, y) - (100 + float64(x)))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 25 {
+		t.Errorf("background deviates by %v from the ramp", worst)
+	}
+}
+
+func TestDetectAndRepairCosmicRays(t *testing.T) {
+	flux := NewImage(32, 32)
+	variance := NewImage(32, 32)
+	for i := range flux.Pix {
+		flux.Pix[i] = 100
+		variance.Pix[i] = 100
+	}
+	flux.Set(10, 10, 5000)
+	flux.Set(20, 5, 4000)
+	hits := DetectCosmicRays(flux, variance, 6)
+	if len(hits) != 2 {
+		t.Fatalf("detected %d cosmic rays, want 2", len(hits))
+	}
+	mask := make([]uint8, len(flux.Pix))
+	RepairPixels(flux, mask, hits, 2)
+	if flux.At(10, 10) != 100 || flux.At(20, 5) != 100 {
+		t.Error("repair did not restore neighbourhood value")
+	}
+	if mask[10*32+10]&2 == 0 {
+		t.Error("repaired pixel not flagged")
+	}
+}
+
+func TestDetectSourcesFindsInjected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	im := NewImage(64, 64)
+	for i := range im.Pix {
+		im.Pix[i] = rng.NormFloat64() * 2
+	}
+	// Two bright 3×3 sources.
+	centers := [][2]int{{16, 20}, {45, 40}}
+	for _, c := range centers {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				im.Set(c[0]+dx, c[1]+dy, 200)
+			}
+		}
+	}
+	srcs := DetectSources(im, 5, 3)
+	if len(srcs) != 2 {
+		t.Fatalf("detected %d sources, want 2", len(srcs))
+	}
+	for _, c := range centers {
+		found := false
+		for _, s := range srcs {
+			if math.Hypot(s.X-float64(c[0]), s.Y-float64(c[1])) < 1.5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("source at %v not recovered (got %+v)", c, srcs)
+		}
+	}
+	// Sources are sorted by decreasing flux.
+	if len(srcs) == 2 && srcs[0].Flux < srcs[1].Flux {
+		t.Error("sources not sorted by flux")
+	}
+}
+
+func TestDetectSourcesEmptyField(t *testing.T) {
+	im := NewImage(32, 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range im.Pix {
+		im.Pix[i] = rng.NormFloat64()
+	}
+	if srcs := DetectSources(im, 8, 3); len(srcs) != 0 {
+		t.Errorf("detected %d sources in pure noise at 8σ", len(srcs))
+	}
+}
+
+func TestSigmaClipIdempotentProperty(t *testing.T) {
+	// Property: clipping twice with the same sigma gives the same mean as
+	// running more iterations (convergence), and mean stays within data
+	// range.
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m3, _ := SigmaClippedStats(xs, 3, 3)
+		m6, _ := SigmaClippedStats(xs, 3, 6)
+		return m3 >= lo-1e-9 && m3 <= hi+1e-9 && math.Abs(m3-m6) < math.Max(1, (hi-lo))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

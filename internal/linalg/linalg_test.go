@@ -1,0 +1,197 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := NewMat(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	x, err := Solve(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(x[i]-want) > 1e-12 {
+			t.Errorf("x[%d]=%v", i, x[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x=1, y=3
+	a := NewMat(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("got %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMat(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected singular-matrix error")
+	}
+}
+
+func TestSolveRandomProperty(t *testing.T) {
+	// Property: for diagonally dominant random systems, a·x = b holds.
+	f := func(seed [12]int8) bool {
+		n := 3
+		a := NewMat(n, n)
+		b := make([]float64, n)
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, float64(seed[k]%7))
+				k++
+			}
+			a.Set(i, i, a.At(i, i)+25) // dominance → nonsingular
+			b[i] = float64(seed[k%12])
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		r := MulVec(a, x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2t + 1 sampled at 4 points.
+	a := NewMat(4, 2)
+	b := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i))
+		a.Set(i, 1, 1)
+		b[i] = 2*float64(i) + 1
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-1) > 1e-10 {
+		t.Errorf("fit %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewMat(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("expected underdetermined error")
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := NewMat(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 5)
+	a.Set(2, 2, 3)
+	vals, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Errorf("vals = %v", vals)
+		}
+	}
+}
+
+func TestSymEigKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMat(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("vals = %v", vals)
+	}
+	// Verify a·v = λ·v for the first eigenvector.
+	v := []float64{vecs.At(0, 0), vecs.At(1, 0)}
+	av := MulVec(a, v)
+	for i := range v {
+		if math.Abs(av[i]-3*v[i]) > 1e-10 {
+			t.Errorf("a·v != λv: %v vs %v", av, v)
+		}
+	}
+}
+
+func TestSymEigTraceProperty(t *testing.T) {
+	// Property: eigenvalues of a random symmetric matrix sum to its trace.
+	f := func(seed [6]int8) bool {
+		a := NewMat(3, 3)
+		k := 0
+		for i := 0; i < 3; i++ {
+			for j := i; j < 3; j++ {
+				v := float64(seed[k] % 9)
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+				k++
+			}
+		}
+		vals, _, err := SymEig(a)
+		if err != nil {
+			return false
+		}
+		trace := a.At(0, 0) + a.At(1, 1) + a.At(2, 2)
+		return math.Abs(vals[0]+vals[1]+vals[2]-trace) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatHelpers(t *testing.T) {
+	a := NewMat(2, 3)
+	a.Set(0, 1, 7)
+	tt := a.T()
+	if tt.Rows != 3 || tt.Cols != 2 || tt.At(1, 0) != 7 {
+		t.Error("transpose wrong")
+	}
+	c := a.Clone()
+	c.Set(0, 1, 9)
+	if a.At(0, 1) != 7 {
+		t.Error("clone aliases data")
+	}
+	// Mul dimensions and content: (1x2)·(2x1).
+	x := NewMat(1, 2)
+	x.Set(0, 0, 2)
+	x.Set(0, 1, 3)
+	y := NewMat(2, 1)
+	y.Set(0, 0, 4)
+	y.Set(1, 0, 5)
+	if got := Mul(x, y).At(0, 0); got != 23 {
+		t.Errorf("Mul = %v, want 23", got)
+	}
+}

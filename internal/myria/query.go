@@ -1,0 +1,371 @@
+package myria
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/vtime"
+)
+
+// PyUDF is a registered Python user-defined function (or aggregate):
+// real computation in F, modeled cost from Op, plus the Python-process
+// IPC tax on the BLOB bytes crossing the boundary in each direction.
+type PyUDF struct {
+	Name string
+	Op   cost.Op
+	F    func(Tuple) []Tuple
+}
+
+// PyUDA is a Python user-defined aggregate applied to the grouped tuples
+// of one key.
+type PyUDA struct {
+	Name string
+	Op   cost.Op
+	F    func(key string, group []Tuple) []Tuple
+}
+
+// Query is one MyriaL query executing against the engine. Operators are
+// applied eagerly in submission order; the memory mode governs how
+// intermediates flow between them.
+type Query struct {
+	eng   *Engine
+	err   error
+	start *cluster.Handle // query submission; every operator waits for it
+	held  []heldAlloc     // pipelined-mode live intermediates
+	done  []*cluster.Handle
+}
+
+type heldAlloc struct {
+	node  int
+	bytes int64
+}
+
+// NewQuery starts a query after the given dependencies (queries in a
+// MyriaL program run sequentially: pass the previous query's Finish
+// handle). Each query pays a small submission cost on the coordinator
+// (MultiQuery mode pays it once per chunk).
+func (e *Engine) NewQuery(after ...*cluster.Handle) *Query {
+	e.queries++
+	deps := append([]*cluster.Handle{e.startup}, after...)
+	h := e.cl.Submit(0, deps, 100*time.Millisecond, nil)
+	return &Query{eng: e, start: h, done: []*cluster.Handle{h}}
+}
+
+// Err returns the first error the query encountered (e.g. OOM in
+// pipelined mode).
+func (q *Query) Err() error { return q.err }
+
+// Finish releases pipelined-mode memory and returns a handle for the
+// completion of the whole query.
+func (q *Query) Finish() (*cluster.Handle, error) {
+	for _, a := range q.held {
+		q.eng.cl.Mem(a.node).Release(a.bytes)
+	}
+	q.held = nil
+	if q.err != nil {
+		return nil, q.err
+	}
+	return q.eng.cl.Barrier(q.done...), nil
+}
+
+// reserve models an intermediate relation coming alive. In pipelined mode
+// the memory stays reserved until Finish (all operators run at once); in
+// materialized modes each operator's output is written to and re-read
+// from disk instead.
+func (q *Query) reserve(rel *Relation) {
+	if q.err != nil {
+		return
+	}
+	e := q.eng
+	switch e.cfg.Mode {
+	case Pipelined:
+		perNode := make(map[int]int64)
+		for w := range rel.parts {
+			perNode[e.nodeOf(w)] += rel.partBytes(w)
+		}
+		for node, bytes := range perNode {
+			if err := e.cl.Mem(node).Alloc(bytes); err != nil {
+				q.err = fmt.Errorf("myria: query failed: %w", err)
+				return
+			}
+			q.held = append(q.held, heldAlloc{node, bytes})
+		}
+	case Materialized, MultiQuery:
+		for w := range rel.parts {
+			b := rel.partBytes(w)
+			node := e.nodeOf(w)
+			wr := e.cl.DiskWrite(node, b, rel.ready[w])
+			rel.ready[w] = e.cl.DiskRead(node, b, wr)
+		}
+	}
+}
+
+// track records operator completion handles toward the query barrier.
+func (q *Query) track(rel *Relation) {
+	q.done = append(q.done, rel.ready...)
+}
+
+// Scan reads an ingested relation from node-local storage into the
+// query's pipeline.
+func (q *Query) Scan(rel *Relation) *Relation {
+	return q.scanWhere(rel, nil, "scan:"+rel.Name)
+}
+
+// ScanWhere reads rel with a predicate pushed down into the node-local
+// store: only matching tuples enter the pipeline, and no Python boundary
+// is crossed (Fig 12a).
+func (q *Query) ScanWhere(rel *Relation, pred func(Tuple) bool) *Relation {
+	return q.scanWhere(rel, pred, "scanwhere:"+rel.Name)
+}
+
+func (q *Query) scanWhere(rel *Relation, pred func(Tuple) bool, name string) *Relation {
+	if q.err != nil {
+		return emptyLike(q.eng, name)
+	}
+	e := q.eng
+	out := &Relation{Name: name, eng: e,
+		parts: make([][]Tuple, e.Workers()),
+		ready: make([]*cluster.Handle, e.Workers()),
+	}
+	for w := range rel.parts {
+		node := e.nodeOf(w)
+		var kept []Tuple
+		var keptBytes int64
+		for _, t := range rel.parts[w] {
+			if pred == nil || pred(t) {
+				kept = append(kept, t)
+				keptBytes += t.Size
+			}
+		}
+		deps := []*cluster.Handle{q.start}
+		if w < len(rel.ready) && rel.ready[w] != nil {
+			deps = append(deps, rel.ready[w])
+		}
+		var h *cluster.Handle
+		if rel.onDisk {
+			// Selection pushed down into PostgreSQL: only matching
+			// records (located via the catalog) leave the local store.
+			h = e.cl.DiskRead(node, keptBytes, deps...)
+		} else {
+			h = e.cl.Barrier(deps...)
+		}
+		// Native predicate evaluation at scan speed over the returned rows.
+		d := e.work(e.model.Jitter(fmt.Sprintf("%s/w%d", name, w), e.model.AlgTime(cost.Filter, keptBytes)))
+		out.parts[w] = kept
+		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{h}, d, nil)
+	}
+	q.reserve(out)
+	q.track(out)
+	return out
+}
+
+// Apply runs a Python UDF over every tuple (1→N), in place on each
+// worker's partition — a pipelined, non-exchanging operator.
+func (q *Query) Apply(rel *Relation, udf PyUDF) *Relation {
+	if q.err != nil {
+		return emptyLike(q.eng, udf.Name)
+	}
+	e := q.eng
+	out := &Relation{Name: udf.Name, eng: e,
+		parts: make([][]Tuple, e.Workers()),
+		ready: make([]*cluster.Handle, e.Workers()),
+	}
+	for w := range rel.parts {
+		node := e.nodeOf(w)
+		var dur vtime.Duration
+		var results []Tuple
+		for _, t := range rel.parts[w] {
+			dur += e.model.AlgTime(udf.Op, t.Size) + e.model.PyIPCTime(t.Size)
+			res := udf.F(t)
+			for _, o := range res {
+				dur += e.model.PyIPCTime(o.Size)
+			}
+			results = append(results, res...)
+		}
+		out.parts[w] = results
+		key := fmt.Sprintf("%s/w%d", udf.Name, w)
+		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{rel.ready[w], q.start}, e.work(e.model.Jitter(key, dur)), nil)
+	}
+	q.reserve(out)
+	q.track(out)
+	return out
+}
+
+// BroadcastJoin replicates the (small) right relation to every worker and
+// joins on key prefix: each left tuple is matched with right tuples whose
+// key is a prefix of the left key (e.g. mask keyed by subject joined to
+// volumes keyed by subject/volume). The join itself is native.
+func (q *Query) BroadcastJoin(name string, left, right *Relation, combine func(l Tuple, rs []Tuple) []Tuple) *Relation {
+	if q.err != nil {
+		return emptyLike(q.eng, name)
+	}
+	e := q.eng
+	// Broadcast the right side.
+	bh := e.cl.Broadcast(0, right.Bytes(), append(append([]*cluster.Handle{q.start}, right.ready...), e.startup)...)
+	byPrefix := make(map[string][]Tuple)
+	for _, p := range right.parts {
+		for _, t := range p {
+			byPrefix[t.Key] = append(byPrefix[t.Key], t)
+		}
+	}
+	prefixes := make([]string, 0, len(byPrefix))
+	for k := range byPrefix {
+		prefixes = append(prefixes, k)
+	}
+	sort.Strings(prefixes)
+	match := func(key string) []Tuple {
+		for _, p := range prefixes {
+			if len(p) <= len(key) && key[:len(p)] == p {
+				return byPrefix[p]
+			}
+		}
+		return nil
+	}
+	out := &Relation{Name: name, eng: e,
+		parts: make([][]Tuple, e.Workers()),
+		ready: make([]*cluster.Handle, e.Workers()),
+	}
+	for w := range left.parts {
+		node := e.nodeOf(w)
+		var results []Tuple
+		var in int64
+		for _, t := range left.parts[w] {
+			results = append(results, combine(t, match(t.Key))...)
+			in += t.Size
+		}
+		d := e.work(e.model.Jitter(fmt.Sprintf("%s/w%d", name, w), e.model.AlgTime(cost.Filter, in)))
+		out.parts[w] = results
+		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{left.ready[w], bh}, d, nil)
+	}
+	q.reserve(out)
+	q.track(out)
+	return out
+}
+
+// Shuffle re-partitions rel by a derived key (groupKey), moving tuples to
+// their hash-home workers over the network. GroupByApply depends on all
+// senders: a pipeline-breaking exchange.
+func (q *Query) Shuffle(rel *Relation, groupKey func(Tuple) string) *Relation {
+	if q.err != nil {
+		return emptyLike(q.eng, "shuffle")
+	}
+	e := q.eng
+	out := &Relation{Name: "shuffle:" + rel.Name, eng: e,
+		parts: make([][]Tuple, e.Workers()),
+		ready: make([]*cluster.Handle, e.Workers()),
+	}
+	// Bytes moving between each node pair.
+	type route struct{ src, dst int }
+	traffic := make(map[route]int64)
+	for w := range rel.parts {
+		src := e.nodeOf(w)
+		for _, t := range rel.parts[w] {
+			gk := groupKey(t)
+			hw := e.hashWorker(gk)
+			out.parts[hw] = append(out.parts[hw], t)
+			dst := e.nodeOf(hw)
+			if src != dst {
+				traffic[route{src, dst}] += t.Size
+			}
+		}
+	}
+	send := e.cl.Barrier(rel.ready...)
+	var xfers []*cluster.Handle
+	// Deterministic iteration over routes.
+	routes := make([]route, 0, len(traffic))
+	for r := range traffic {
+		routes = append(routes, r)
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].src != routes[j].src {
+			return routes[i].src < routes[j].src
+		}
+		return routes[i].dst < routes[j].dst
+	})
+	for _, r := range routes {
+		xfers = append(xfers, e.cl.Transfer(r.src, r.dst, traffic[r], send))
+	}
+	arrive := e.cl.Barrier(xfers...)
+	if len(xfers) == 0 {
+		arrive = send
+	}
+	for w := range out.parts {
+		out.ready[w] = arrive
+	}
+	q.reserve(out)
+	q.track(out)
+	return out
+}
+
+// GroupByApply shuffles rel by groupKey and applies the Python UDA to each
+// group on its home worker.
+func (q *Query) GroupByApply(rel *Relation, groupKey func(Tuple) string, uda PyUDA) *Relation {
+	sh := q.Shuffle(rel, groupKey)
+	if q.err != nil {
+		return emptyLike(q.eng, uda.Name)
+	}
+	e := q.eng
+	out := &Relation{Name: uda.Name, eng: e,
+		parts: make([][]Tuple, e.Workers()),
+		ready: make([]*cluster.Handle, e.Workers()),
+	}
+	for w := range sh.parts {
+		node := e.nodeOf(w)
+		groups := make(map[string][]Tuple)
+		var order []string
+		for _, t := range sh.parts[w] {
+			gk := groupKey(t)
+			if _, ok := groups[gk]; !ok {
+				order = append(order, gk)
+			}
+			groups[gk] = append(groups[gk], t)
+		}
+		sort.Strings(order)
+		var dur vtime.Duration
+		var results []Tuple
+		for _, k := range order {
+			g := groups[k]
+			var gb int64
+			for _, t := range g {
+				gb += t.Size
+			}
+			dur += e.model.AlgTime(uda.Op, gb) + e.model.PyIPCTime(gb)
+			res := uda.F(k, g)
+			for _, o := range res {
+				dur += e.model.PyIPCTime(o.Size)
+			}
+			results = append(results, res...)
+		}
+		out.parts[w] = results
+		key := fmt.Sprintf("%s/w%d", uda.Name, w)
+		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{sh.ready[w]}, e.work(e.model.Jitter(key, dur)), nil)
+	}
+	q.reserve(out)
+	q.track(out)
+	return out
+}
+
+// Collect gathers rel's tuples on the coordinator.
+func (q *Query) Collect(rel *Relation) ([]Tuple, *cluster.Handle) {
+	if q.err != nil {
+		return nil, nil
+	}
+	e := q.eng
+	var out []Tuple
+	var deps []*cluster.Handle
+	for w := range rel.parts {
+		deps = append(deps, e.cl.Transfer(e.nodeOf(w), 0, rel.partBytes(w), rel.ready[w]))
+		out = append(out, rel.parts[w]...)
+	}
+	return out, e.cl.Barrier(deps...)
+}
+
+func emptyLike(e *Engine, name string) *Relation {
+	return &Relation{Name: name, eng: e,
+		parts: make([][]Tuple, e.Workers()),
+		ready: make([]*cluster.Handle, e.Workers()),
+	}
+}

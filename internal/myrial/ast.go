@@ -1,0 +1,262 @@
+package myrial
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed MyriaL program: a sequence of statements executed
+// as one Myria query (assignments build the operator graph; STORE marks
+// which relations the program outputs).
+type Program struct {
+	Stmts []Stmt
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&b, "%s;\n", s)
+	}
+	return b.String()
+}
+
+// Stmt is one MyriaL statement.
+type Stmt interface {
+	fmt.Stringer
+	stmt()
+}
+
+// AssignStmt binds a relational expression to a name: `T1 = SCAN(Images)`.
+type AssignStmt struct {
+	Line int
+	Name string
+	Expr RelExpr
+}
+
+func (s *AssignStmt) stmt()          {}
+func (s *AssignStmt) String() string { return fmt.Sprintf("%s = %s", s.Name, s.Expr) }
+
+// StoreStmt marks a bound relation as a program output:
+// `STORE(Denoised, DenoisedImages)`.
+type StoreStmt struct {
+	Line int
+	Rel  string // bound relation to store
+	As   string // output name
+}
+
+func (s *StoreStmt) stmt()          {}
+func (s *StoreStmt) String() string { return fmt.Sprintf("STORE(%s, %s)", s.Rel, s.As) }
+
+// RelExpr is a relational expression appearing on the right-hand side of
+// an assignment.
+type RelExpr interface {
+	fmt.Stringer
+	relExpr()
+}
+
+// ScanExpr reads an ingested base relation: `SCAN(Images)`.
+type ScanExpr struct {
+	Line  int
+	Table string
+}
+
+func (e *ScanExpr) relExpr()       {}
+func (e *ScanExpr) String() string { return fmt.Sprintf("SCAN(%s)", e.Table) }
+
+// SelectExpr is the bracketed select form:
+// `[SELECT items FROM refs WHERE conjuncts]`. An empty Where means no
+// predicate. If any item is a UDA call the statement is an implicit
+// group-by over the plain column items (MyriaL's aggregate shorthand),
+// or over the explicit GROUP BY columns when present.
+type SelectExpr struct {
+	Line    int
+	Items   []Item
+	From    []TableRef
+	Where   []Comparison
+	GroupBy []ColRef
+}
+
+func (e *SelectExpr) relExpr() {}
+func (e *SelectExpr) String() string {
+	var b strings.Builder
+	b.WriteString("[SELECT ")
+	for i, it := range e.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range e.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if len(e.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range e.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(e.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range e.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// EmitExpr is the bracketed emit form: `[FROM rel EMIT items]` — a
+// per-tuple transformation (typically a PYUDF call plus carried columns).
+type EmitExpr struct {
+	Line  int
+	From  string
+	Items []Item
+}
+
+func (e *EmitExpr) relExpr() {}
+func (e *EmitExpr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[FROM %s EMIT ", e.From)
+	for i, it := range e.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// TableRef names a bound relation, optionally under an alias
+// (`Images AS T1`; a bare name aliases itself).
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != t.Name {
+		return fmt.Sprintf("%s AS %s", t.Name, t.Alias)
+	}
+	return t.Name
+}
+
+// Item is one projection item: a column reference, a `*`, or a
+// PYUDF/PYUDA call with an optional alias.
+type Item struct {
+	Star  bool
+	Col   *ColRef
+	Call  *Call
+	Alias string // output column name for calls (AS alias)
+}
+
+func (it Item) String() string {
+	switch {
+	case it.Star:
+		return "*"
+	case it.Col != nil:
+		return it.Col.String()
+	case it.Call != nil:
+		s := it.Call.String()
+		if it.Alias != "" {
+			s += " AS " + it.Alias
+		}
+		return s
+	}
+	return "?"
+}
+
+// Call is a PYUDF or PYUDA invocation: the registered function name and
+// its column arguments.
+type Call struct {
+	Aggregate bool // true for PYUDA
+	Func      string
+	Args      []ColRef
+}
+
+func (c *Call) String() string {
+	kw := "PYUDF"
+	if c.Aggregate {
+		kw = "PYUDA"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s", kw, c.Func)
+	for _, a := range c.Args {
+		fmt.Fprintf(&b, ", %s", a)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ColRef is a possibly alias-qualified column reference (`T1.img` or
+// `img`).
+type ColRef struct {
+	Table string // alias; empty when unqualified
+	Col   string
+}
+
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Col
+	}
+	return c.Col
+}
+
+// Comparison is one WHERE conjunct: `left op right` where operands are
+// column references or literals and op ∈ {=, <>, <, <=, >, >=}.
+type Comparison struct {
+	Left  Operand
+	Op    TokenKind
+	Right Operand
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, opText(c.Op), c.Right)
+}
+
+func opText(k TokenKind) string {
+	switch k {
+	case TokEq:
+		return "="
+	case TokNeq:
+		return "<>"
+	case TokLt:
+		return "<"
+	case TokLeq:
+		return "<="
+	case TokGt:
+		return ">"
+	case TokGeq:
+		return ">="
+	}
+	return "?"
+}
+
+// Operand is a comparison operand: exactly one field is set.
+type Operand struct {
+	Col *ColRef
+	Num *float64
+	Str *string
+}
+
+func (o Operand) String() string {
+	switch {
+	case o.Col != nil:
+		return o.Col.String()
+	case o.Num != nil:
+		return fmt.Sprintf("%g", *o.Num)
+	case o.Str != nil:
+		return fmt.Sprintf("%q", *o.Str)
+	}
+	return "?"
+}

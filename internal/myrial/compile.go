@@ -1,0 +1,678 @@
+package myrial
+
+import (
+	"fmt"
+	"strings"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/myria"
+)
+
+// Result is the outcome of running a program: the relations named by
+// STORE statements, every bound intermediate (for inspection), and the
+// completion handle of the single Myria query the program executed as.
+type Result struct {
+	Stored map[string]*myria.Relation
+	Bound  map[string]*myria.Relation
+	Done   *cluster.Handle
+}
+
+// Run parses, compiles, and executes a MyriaL program against eng using
+// the bindings in env. The whole program runs as one Myria query (the
+// paper's programs submit one query per MyriaQuery.submit call).
+func Run(eng *myria.Engine, src string, env *Env, after ...*cluster.Handle) (*Result, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(eng, prog, env, after...)
+}
+
+// Exec executes an already-parsed program.
+func Exec(eng *myria.Engine, prog *Program, env *Env, after ...*cluster.Handle) (*Result, error) {
+	c := &compiler{
+		eng:      eng,
+		env:      env,
+		q:        eng.NewQuery(after...),
+		bindings: make(map[string]*binding),
+		res:      &Result{Stored: make(map[string]*myria.Relation), Bound: make(map[string]*myria.Relation)},
+	}
+	for _, st := range prog.Stmts {
+		if err := c.stmt(st); err != nil {
+			return nil, err
+		}
+	}
+	done, err := c.q.Finish()
+	if err != nil {
+		return nil, err
+	}
+	c.res.Done = done
+	return c.res, nil
+}
+
+// binding is a name bound by an assignment: either a still-unscanned base
+// table (scan deferred so WHERE can push down) or a pipeline relation.
+type binding struct {
+	name   string
+	schema Schema
+	base   *myria.Relation // non-nil until first scanned
+	rel    *myria.Relation // non-nil once in the pipeline
+}
+
+type compiler struct {
+	eng      *myria.Engine
+	env      *Env
+	q        *myria.Query
+	bindings map[string]*binding
+	res      *Result
+}
+
+func (c *compiler) stmt(st Stmt) error {
+	switch s := st.(type) {
+	case *AssignStmt:
+		b, err := c.relExpr(s)
+		if err != nil {
+			return err
+		}
+		b.name = s.Name
+		c.bindings[s.Name] = b
+		if b.rel != nil {
+			c.res.Bound[s.Name] = b.rel
+		}
+		return nil
+	case *StoreStmt:
+		b, ok := c.bindings[s.Rel]
+		if !ok {
+			return fmt.Errorf("myrial: line %d: STORE of unbound relation %q", s.Line, s.Rel)
+		}
+		rel := c.materialize(b)
+		c.res.Stored[s.As] = rel
+		return nil
+	}
+	return fmt.Errorf("myrial: unknown statement %T", st)
+}
+
+// materialize forces a deferred base scan into the pipeline.
+func (c *compiler) materialize(b *binding) *myria.Relation {
+	if b.rel == nil {
+		b.rel = c.q.Scan(b.base)
+		c.res.Bound[b.name] = b.rel
+	}
+	return b.rel
+}
+
+func (c *compiler) relExpr(s *AssignStmt) (*binding, error) {
+	switch e := s.Expr.(type) {
+	case *ScanExpr:
+		return c.scan(e)
+	case *SelectExpr:
+		return c.selectExpr(e)
+	case *EmitExpr:
+		return c.emit(e)
+	}
+	return nil, fmt.Errorf("myrial: unknown expression %T", s.Expr)
+}
+
+func (c *compiler) scan(e *ScanExpr) (*binding, error) {
+	rel, ok := c.env.tables[e.Table]
+	if !ok {
+		return nil, fmt.Errorf("myrial: line %d: unknown base table %q (DefineTable it first)", e.Line, e.Table)
+	}
+	// The scan is deferred: a following single-table WHERE compiles to a
+	// pushed-down ScanWhere instead of scan + filter.
+	return &binding{base: rel, schema: c.env.schemas[e.Table]}, nil
+}
+
+// lookup resolves a table reference to its binding.
+func (c *compiler) lookup(line int, name string) (*binding, error) {
+	b, ok := c.bindings[name]
+	if !ok {
+		return nil, fmt.Errorf("myrial: line %d: unbound relation %q", line, name)
+	}
+	return b, nil
+}
+
+func (c *compiler) selectExpr(e *SelectExpr) (*binding, error) {
+	switch len(e.From) {
+	case 1:
+		return c.selectOne(e)
+	case 2:
+		return c.selectJoin(e)
+	}
+	return nil, fmt.Errorf("myrial: line %d: FROM supports 1 or 2 relations, got %d", e.Line, len(e.From))
+}
+
+// aliasSchemas validates item/predicate alias qualifiers against the FROM
+// clause and returns alias → schema.
+func aliasSchemas(e *SelectExpr, bs []*binding) map[string]Schema {
+	out := make(map[string]Schema, len(e.From))
+	for i, ref := range e.From {
+		out[ref.Alias] = bs[i].schema
+	}
+	return out
+}
+
+// selectOne compiles a single-table SELECT: projection, optional
+// predicate, optional implicit/explicit group-by when UDA items appear.
+func (c *compiler) selectOne(e *SelectExpr) (*binding, error) {
+	in, err := c.lookup(e.Line, e.From[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	scopes := aliasSchemas(e, []*binding{in})
+	if hasAggregate(e.Items) {
+		return c.groupBy(e, in, scopes)
+	}
+	proj, outSchema, err := projection(e.Line, e.Items, scopes, in.schema)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := predicate(e.Line, e.Where, scopes)
+	if err != nil {
+		return nil, err
+	}
+	out := &binding{schema: outSchema}
+	if in.rel == nil && pred != nil {
+		// Selection over a base table: push the predicate down into the
+		// node-local store (the paper's Fig 12a fast path).
+		out.rel = c.q.ScanWhere(in.base, func(t myria.Tuple) bool {
+			return pred(t.Value.(Row))
+		})
+		out.rel = c.applyProjection(out.rel, proj, outSchema)
+		return out, nil
+	}
+	rel := c.materialize(in)
+	udf := myria.PyUDF{Name: "select", Op: cost.Filter, F: func(t myria.Tuple) []myria.Tuple {
+		row := t.Value.(Row)
+		if pred != nil && !pred(row) {
+			return nil
+		}
+		nr := proj(row)
+		return []myria.Tuple{{Key: t.Key, Value: nr, Size: nr.Bytes()}}
+	}}
+	out.rel = c.q.Apply(rel, udf)
+	return out, nil
+}
+
+// applyProjection narrows scanned rows to the projected columns. A `*`
+// projection is the identity and costs nothing extra.
+func (c *compiler) applyProjection(rel *myria.Relation, proj func(Row) Row, schema Schema) *myria.Relation {
+	return c.q.Apply(rel, myria.PyUDF{Name: "project", Op: cost.Filter, F: func(t myria.Tuple) []myria.Tuple {
+		nr := proj(t.Value.(Row))
+		return []myria.Tuple{{Key: t.Key, Value: nr, Size: nr.Bytes()}}
+	}})
+}
+
+// selectJoin compiles the two-table broadcast-join form of Figure 7:
+// exactly one equality conjunct must relate a column of each side; the
+// second relation (the mask in the paper) is broadcast.
+func (c *compiler) selectJoin(e *SelectExpr) (*binding, error) {
+	left, err := c.lookup(e.Line, e.From[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.lookup(e.Line, e.From[1].Name)
+	if err != nil {
+		return nil, err
+	}
+	scopes := aliasSchemas(e, []*binding{left, right})
+	lAlias, rAlias := e.From[0].Alias, e.From[1].Alias
+
+	var joinL, joinR string
+	var rest []Comparison
+	for _, cmp := range e.Where {
+		lc, rc := cmp.Left.Col, cmp.Right.Col
+		if cmp.Op == TokEq && lc != nil && rc != nil && lc.Table != rc.Table &&
+			lc.Table != "" && rc.Table != "" && joinL == "" {
+			a, b := *lc, *rc
+			if a.Table == rAlias {
+				a, b = b, a
+			}
+			if a.Table != lAlias || b.Table != rAlias {
+				return nil, fmt.Errorf("myrial: line %d: join predicate %s references unknown aliases", e.Line, cmp)
+			}
+			joinL, joinR = a.Col, b.Col
+			continue
+		}
+		rest = append(rest, cmp)
+	}
+	if joinL == "" {
+		return nil, fmt.Errorf("myrial: line %d: two-table SELECT requires an equality join predicate", e.Line)
+	}
+	if !left.schema.hasCol(joinL) {
+		return nil, fmt.Errorf("myrial: line %d: join column %q not in %s", e.Line, joinL, lAlias)
+	}
+	if !right.schema.hasCol(joinR) {
+		return nil, fmt.Errorf("myrial: line %d: join column %q not in %s", e.Line, joinR, rAlias)
+	}
+	// Broadcast-join correctness depends on the probe side's tuple keys
+	// beginning with the join attribute (the build side is re-keyed by it
+	// below). Enforce rather than silently dropping matches.
+	if len(left.schema.Key) == 0 || left.schema.Key[0] != joinL {
+		return nil, fmt.Errorf("myrial: line %d: broadcast join requires %q to be the first key column of %s (key is %v)",
+			e.Line, joinL, lAlias, left.schema.Key)
+	}
+
+	proj, outSchema, err := projection(e.Line, e.Items, scopes, mergeSchemas(left.schema, right.schema))
+	if err != nil {
+		return nil, err
+	}
+	restPred, err := predicate(e.Line, rest, scopes)
+	if err != nil {
+		return nil, err
+	}
+
+	lrel := c.materialize(left)
+	rrel := c.materialize(right)
+	// Re-key the build side by the join attribute so the engine's
+	// prefix-match broadcast join finds it.
+	var rekeyed []myria.Tuple
+	for _, t := range rrel.Tuples() {
+		row := t.Value.(Row)
+		rekeyed = append(rekeyed, myria.Tuple{Key: fmt.Sprint(row[joinR].V), Value: row, Size: row.Bytes()})
+	}
+	build := c.eng.RelationFromTuples(c.q, "join-build", rekeyed)
+
+	joined := c.q.BroadcastJoin("join", lrel, build, func(l myria.Tuple, rs []myria.Tuple) []myria.Tuple {
+		lrow := l.Value.(Row)
+		var out []myria.Tuple
+		for _, rt := range rs {
+			rrow := rt.Value.(Row)
+			if fmt.Sprint(lrow[joinL].V) != fmt.Sprint(rrow[joinR].V) {
+				continue
+			}
+			merged := lrow.Clone()
+			for k, v := range rrow {
+				if _, exists := merged[k]; !exists {
+					merged[k] = v
+				}
+			}
+			if restPred != nil && !restPred(merged) {
+				continue
+			}
+			nr := proj(merged)
+			out = append(out, myria.Tuple{Key: l.Key, Value: nr, Size: nr.Bytes()})
+		}
+		return out
+	})
+	return &binding{schema: outSchema, rel: joined}, nil
+}
+
+func mergeSchemas(l, r Schema) Schema {
+	out := Schema{Key: append([]string(nil), l.Key...), Cols: append([]string(nil), l.Cols...)}
+	for _, c := range r.Cols {
+		if !out.hasCol(c) {
+			out.Cols = append(out.Cols, c)
+		}
+	}
+	return out
+}
+
+func hasAggregate(items []Item) bool {
+	for _, it := range items {
+		if it.Call != nil && it.Call.Aggregate {
+			return true
+		}
+	}
+	return false
+}
+
+// groupBy compiles an aggregate SELECT: shuffle by the grouping columns,
+// then run each PYUDA over its groups. Non-aggregate column items form
+// the implicit grouping key when no GROUP BY clause is present.
+func (c *compiler) groupBy(e *SelectExpr, in *binding, scopes map[string]Schema) (*binding, error) {
+	var groupCols []string
+	if len(e.GroupBy) > 0 {
+		for _, g := range e.GroupBy {
+			if err := checkCol(e.Line, g, scopes, in.schema); err != nil {
+				return nil, err
+			}
+			groupCols = append(groupCols, g.Col)
+		}
+	} else {
+		for _, it := range e.Items {
+			if it.Col != nil {
+				if err := checkCol(e.Line, *it.Col, scopes, in.schema); err != nil {
+					return nil, err
+				}
+				groupCols = append(groupCols, it.Col.Col)
+			}
+		}
+	}
+	if len(groupCols) == 0 {
+		return nil, fmt.Errorf("myrial: line %d: aggregate SELECT needs grouping columns", e.Line)
+	}
+
+	type aggItem struct {
+		name string
+		uda  UDA
+		args []string
+	}
+	var aggs []aggItem
+	outSchema := Schema{Key: groupCols, Cols: append([]string(nil), groupCols...)}
+	for _, it := range e.Items {
+		if it.Call == nil {
+			continue
+		}
+		if !it.Call.Aggregate {
+			return nil, fmt.Errorf("myrial: line %d: PYUDF in aggregate SELECT (use an EMIT statement first)", e.Line)
+		}
+		uda, ok := c.env.udas[it.Call.Func]
+		if !ok {
+			return nil, fmt.Errorf("myrial: line %d: unknown UDA %q (DefineUDA it first)", e.Line, it.Call.Func)
+		}
+		var args []string
+		for _, a := range it.Call.Args {
+			if err := checkCol(e.Line, a, scopes, in.schema); err != nil {
+				return nil, err
+			}
+			args = append(args, a.Col)
+		}
+		name := it.Alias
+		if name == "" {
+			name = strings.ToLower(it.Call.Func)
+		}
+		aggs = append(aggs, aggItem{name: name, uda: uda, args: args})
+		outSchema.Cols = append(outSchema.Cols, name)
+	}
+
+	rel := c.materialize(in)
+	groupKey := func(t myria.Tuple) string {
+		row := t.Value.(Row)
+		parts := make([]string, len(groupCols))
+		for i, g := range groupCols {
+			parts[i] = fmt.Sprint(row[g].V)
+		}
+		return strings.Join(parts, "/")
+	}
+	op := cost.Mean
+	if len(aggs) > 0 {
+		op = aggs[0].uda.Op
+	}
+	out := c.q.GroupByApply(rel, groupKey, myria.PyUDA{Name: "groupby", Op: op, F: func(key string, group []myria.Tuple) []myria.Tuple {
+		nr := make(Row)
+		first := group[0].Value.(Row)
+		for _, g := range groupCols {
+			nr[g] = first[g]
+		}
+		for _, ag := range aggs {
+			calls := make([][]Cell, len(group))
+			for i, t := range group {
+				row := t.Value.(Row)
+				args := make([]Cell, len(ag.args))
+				for j, a := range ag.args {
+					args[j] = row[a]
+				}
+				calls[i] = args
+			}
+			nr[ag.name] = ag.uda.F(calls)
+		}
+		return []myria.Tuple{{Key: key, Value: nr, Size: nr.Bytes()}}
+	}})
+	return &binding{schema: outSchema, rel: out}, nil
+}
+
+// emit compiles `[FROM R EMIT items]`: one Apply running the PYUDF calls
+// per tuple, carrying the plain column items through.
+func (c *compiler) emit(e *EmitExpr) (*binding, error) {
+	in, err := c.lookup(e.Line, e.From)
+	if err != nil {
+		return nil, err
+	}
+	scope := map[string]Schema{e.From: in.schema}
+
+	type udfItem struct {
+		name string
+		udf  UDF
+		args []string
+	}
+	var calls []udfItem
+	var carry []string
+	outSchema := Schema{Key: in.schema.Key}
+	for _, it := range e.Items {
+		switch {
+		case it.Star:
+			carry = append(carry, in.schema.Cols...)
+			outSchema.Cols = append(outSchema.Cols, in.schema.Cols...)
+		case it.Col != nil:
+			if err := checkCol(e.Line, *it.Col, scope, in.schema); err != nil {
+				return nil, err
+			}
+			carry = append(carry, it.Col.Col)
+			outSchema.Cols = append(outSchema.Cols, it.Col.Col)
+		case it.Call != nil:
+			if it.Call.Aggregate {
+				return nil, fmt.Errorf("myrial: line %d: PYUDA in EMIT (aggregates need a SELECT)", e.Line)
+			}
+			udf, ok := c.env.udfs[it.Call.Func]
+			if !ok {
+				return nil, fmt.Errorf("myrial: line %d: unknown UDF %q (DefineUDF it first)", e.Line, it.Call.Func)
+			}
+			var args []string
+			for _, a := range it.Call.Args {
+				if err := checkCol(e.Line, a, scope, in.schema); err != nil {
+					return nil, err
+				}
+				args = append(args, a.Col)
+			}
+			name := it.Alias
+			if name == "" {
+				name = strings.ToLower(it.Call.Func)
+			}
+			calls = append(calls, udfItem{name: name, udf: udf, args: args})
+			outSchema.Cols = append(outSchema.Cols, name)
+		}
+	}
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("myrial: line %d: EMIT without a PYUDF call (use SELECT for projections)", e.Line)
+	}
+
+	// Key columns must survive into the output for downstream grouping.
+	for _, k := range in.schema.Key {
+		if !outSchema.hasCol(k) {
+			outSchema.Key = nil
+			break
+		}
+	}
+
+	op := calls[0].udf.Op
+	rel := c.materialize(in)
+	out := c.q.Apply(rel, myria.PyUDF{Name: "emit:" + calls[0].name, Op: op, F: func(t myria.Tuple) []myria.Tuple {
+		row := t.Value.(Row)
+		base := make(Row, len(carry))
+		for _, col := range carry {
+			base[col] = row[col]
+		}
+		// The first call may flatmap (k cells → k rows); additional calls
+		// must be scalar and are evaluated per output row.
+		first := calls[0]
+		args := make([]Cell, len(first.args))
+		for j, a := range first.args {
+			args[j] = row[a]
+		}
+		var outs []myria.Tuple
+		for _, cell := range first.udf.F(args) {
+			nr := base.Clone()
+			nr[first.name] = cell
+			for _, extra := range calls[1:] {
+				eargs := make([]Cell, len(extra.args))
+				for j, a := range extra.args {
+					eargs[j] = row[a]
+				}
+				cells := extra.udf.F(eargs)
+				if len(cells) != 1 {
+					continue
+				}
+				nr[extra.name] = cells[0]
+			}
+			outs = append(outs, myria.Tuple{Key: t.Key, Value: nr, Size: nr.Bytes()})
+		}
+		return outs
+	}})
+	return &binding{schema: outSchema, rel: out}, nil
+}
+
+// checkCol validates a column reference against the scope.
+func checkCol(line int, c ColRef, scopes map[string]Schema, def Schema) error {
+	if c.Table != "" {
+		s, ok := scopes[c.Table]
+		if !ok {
+			return fmt.Errorf("myrial: line %d: unknown alias %q in %s", line, c.Table, c)
+		}
+		if !s.hasCol(c.Col) {
+			return fmt.Errorf("myrial: line %d: no column %q in %s", line, c.Col, c.Table)
+		}
+		return nil
+	}
+	if !def.hasCol(c.Col) {
+		return fmt.Errorf("myrial: line %d: no column %q", line, c.Col)
+	}
+	return nil
+}
+
+// projection compiles the item list into a row transform and the output
+// schema. Key columns of the input are preserved when projected.
+func projection(line int, items []Item, scopes map[string]Schema, in Schema) (func(Row) Row, Schema, error) {
+	star := false
+	var cols []string
+	for _, it := range items {
+		switch {
+		case it.Star:
+			star = true
+		case it.Col != nil:
+			if err := checkCol(line, *it.Col, scopes, in); err != nil {
+				return nil, Schema{}, err
+			}
+			cols = append(cols, it.Col.Col)
+		case it.Call != nil:
+			return nil, Schema{}, fmt.Errorf("myrial: line %d: PYUDF in SELECT items (use an EMIT statement)", line)
+		}
+	}
+	if star {
+		return func(r Row) Row { return r }, in, nil
+	}
+	out := Schema{Cols: cols}
+	for _, k := range in.Key {
+		if out.hasCol(k) {
+			out.Key = append(out.Key, k)
+		}
+	}
+	return func(r Row) Row {
+		nr := make(Row, len(cols))
+		for _, c := range cols {
+			if cell, ok := r[c]; ok {
+				nr[c] = cell
+			}
+		}
+		return nr
+	}, out, nil
+}
+
+// predicate compiles WHERE conjuncts into a row predicate (nil when the
+// clause is empty).
+func predicate(line int, cmps []Comparison, scopes map[string]Schema) (func(Row) bool, error) {
+	if len(cmps) == 0 {
+		return nil, nil
+	}
+	// Validate column operands against their scopes.
+	var def Schema
+	for _, s := range scopes {
+		def = mergeSchemas(def, s)
+	}
+	for _, cmp := range cmps {
+		for _, o := range []Operand{cmp.Left, cmp.Right} {
+			if o.Col != nil {
+				if err := checkCol(line, *o.Col, scopes, def); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	conj := append([]Comparison(nil), cmps...)
+	return func(r Row) bool {
+		for _, cmp := range conj {
+			if !evalCmp(cmp, r) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func evalCmp(c Comparison, r Row) bool {
+	l, lok := operandValue(c.Left, r)
+	rv, rok := operandValue(c.Right, r)
+	if !lok || !rok {
+		return false
+	}
+	if lf, lisnum := toFloat(l); lisnum {
+		if rf, risnum := toFloat(rv); risnum {
+			return cmpOrder(compareFloat(lf, rf), c.Op)
+		}
+	}
+	ls, rs := fmt.Sprint(l), fmt.Sprint(rv)
+	return cmpOrder(strings.Compare(ls, rs), c.Op)
+}
+
+func operandValue(o Operand, r Row) (any, bool) {
+	switch {
+	case o.Col != nil:
+		c, ok := r[o.Col.Col]
+		return c.V, ok
+	case o.Num != nil:
+		return *o.Num, true
+	case o.Str != nil:
+		return *o.Str, true
+	}
+	return nil, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOrder(ord int, op TokenKind) bool {
+	switch op {
+	case TokEq:
+		return ord == 0
+	case TokNeq:
+		return ord != 0
+	case TokLt:
+		return ord < 0
+	case TokLeq:
+		return ord <= 0
+	case TokGt:
+		return ord > 0
+	case TokGeq:
+		return ord >= 0
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package myrial
+
+import (
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/myria"
+)
+
+// Connection mirrors the client API of the paper's Figure 7 — the
+// MyriaConnection / MyriaQuery.submit surface — on top of the frontend:
+//
+//	conn = MyriaConnection(url="...")      → Connect(eng)
+//	conn.create_function("Denoise", f)     → conn.CreateFunction(...)
+//	MyriaQuery.submit("""T1 = SCAN…""")    → conn.Submit(...)
+//
+// Submitted programs run sequentially: each query waits for the previous
+// one, as the coordinator would schedule them.
+type Connection struct {
+	eng  *myria.Engine
+	env  *Env
+	last *cluster.Handle
+}
+
+// Connect opens a connection to a deployed Myria engine.
+func Connect(eng *myria.Engine) *Connection {
+	return &Connection{eng: eng, env: NewEnv()}
+}
+
+// Env exposes the connection's binding environment (for DefineTable of
+// pre-ingested relations).
+func (c *Connection) Env() *Env { return c.env }
+
+// CreateFunction registers a Python UDF under name, the counterpart of
+// conn.create_function.
+func (c *Connection) CreateFunction(name string, op cost.Op, f func(args []Cell) []Cell) {
+	c.env.DefineUDF(name, op, f)
+}
+
+// CreateAggregate registers a Python UDA under name.
+func (c *Connection) CreateAggregate(name string, op cost.Op, f func(group [][]Cell) Cell) {
+	c.env.DefineUDA(name, op, f)
+}
+
+// RegisterTable binds an ingested base relation into the catalog the
+// submitted programs see.
+func (c *Connection) RegisterTable(name string, schema Schema, rel *myria.Relation) {
+	c.env.DefineTable(name, schema, rel)
+}
+
+// Submit parses, compiles, and executes a MyriaL program, sequenced
+// after every previously submitted program. Stored outputs are
+// automatically registered as base tables for later programs, keyed by
+// their output schema (the engine-side STORE semantics).
+func (c *Connection) Submit(src string, schemas map[string]Schema) (*Result, error) {
+	var after []*cluster.Handle
+	if c.last != nil {
+		after = append(after, c.last)
+	}
+	res, err := Run(c.eng, src, c.env, after...)
+	if err != nil {
+		return nil, err
+	}
+	c.last = res.Done
+	for name, rel := range res.Stored {
+		schema, ok := schemas[name]
+		if !ok {
+			continue // outputs without a declared schema stay unregistered
+		}
+		c.env.DefineTable(name, schema, rel)
+	}
+	return res, nil
+}

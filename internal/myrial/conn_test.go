@@ -1,0 +1,77 @@
+package myrial
+
+import (
+	"testing"
+
+	"imagebench/internal/cost"
+)
+
+// TestConnectionTwoQuerySequence mirrors the paper's client flow:
+// register UDFs, submit the mask query, submit the denoise query that
+// consumes the stored mask.
+func TestConnectionTwoQuerySequence(t *testing.T) {
+	const nSubj, nVols = 2, 4
+	eng, env := testEngine(t, nSubj, nVols)
+	conn := Connect(eng)
+	// Carry the pre-ingested tables over.
+	conn.RegisterTable("Images", env.schemas["Images"], env.tables["Images"])
+
+	conn.CreateAggregate("MeanVol", cost.Mean, func(group [][]Cell) Cell {
+		var sum float64
+		for _, args := range group {
+			sum += args[0].V.(float64)
+		}
+		return Cell{V: sum / float64(len(group)), Size: 1 << 10}
+	})
+	conn.CreateFunction("Denoise", cost.Denoise, func(args []Cell) []Cell {
+		return []Cell{{V: args[0].V.(float64) + args[1].V.(float64), Size: args[0].Size}}
+	})
+
+	maskSchema := Schema{Key: []string{"subjId"}, Cols: []string{"subjId", "mask"}}
+	res1, err := conn.Submit(`
+		T1 = SCAN(Images);
+		B0 = [SELECT * FROM T1 WHERE T1.imgId < 2];
+		M  = [SELECT B0.subjId, PYUDA(MeanVol, B0.img) AS mask FROM B0];
+		STORE(M, Mask);
+	`, map[string]Schema{"Mask": maskSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Rows(res1.Stored["Mask"])) != nSubj {
+		t.Fatalf("mask query produced %d rows, want %d", len(Rows(res1.Stored["Mask"])), nSubj)
+	}
+
+	res2, err := conn.Submit(`
+		T1 = SCAN(Images);
+		T2 = SCAN(Mask);
+		J  = [SELECT T1.subjId, T1.imgId, T1.img, T2.mask FROM T1, T2 WHERE T1.subjId = T2.subjId];
+		D  = [FROM J EMIT PYUDF(Denoise, img, mask) AS img, subjId, imgId];
+		STORE(D, Denoised);
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Rows(res2.Stored["Denoised"])
+	if len(rows) != nSubj*nVols {
+		t.Fatalf("denoise query produced %d rows, want %d", len(rows), nSubj*nVols)
+	}
+	// b0 mean of volumes {0,1} is 0.5; denoised = imgId + 0.5.
+	for _, r := range rows {
+		want := float64(r["imgId"].V.(int)) + 0.5
+		if got := r["img"].V.(float64); got != want {
+			t.Errorf("subj %v vol %v: %v, want %v", r["subjId"].V, r["imgId"].V, got, want)
+		}
+	}
+	// Queries sequenced on the virtual clock.
+	if res2.Done.End <= res1.Done.End {
+		t.Error("second query did not run after the first")
+	}
+}
+
+func TestConnectionSubmitError(t *testing.T) {
+	eng, _ := testEngine(t, 1, 2)
+	conn := Connect(eng)
+	if _, err := conn.Submit(`X = SCAN(Ghost);`, nil); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}

@@ -1,0 +1,153 @@
+// Package myrial implements a frontend for MyriaL, the
+// imperative-declarative hybrid query language of the Myria big-data
+// management system. The paper's Myria implementations of both use cases
+// are MyriaL programs calling Python UDFs (Figure 7); this package lexes,
+// parses, and compiles that language subset onto the internal/myria
+// engine's query operators:
+//
+//	SCAN(R)                              → base-table scan
+//	[SELECT … FROM R WHERE pred]         → selection pushed down to the
+//	                                       node-local store when R is a
+//	                                       base table (Fig 12a)
+//	[SELECT … FROM A, B WHERE A.k = B.k] → broadcast join (the mask join)
+//	[FROM R EMIT PYUDF(F, cols) AS c, …] → per-tuple Python UDF apply
+//	[SELECT k, PYUDA(G, col) FROM R]     → shuffle + grouped Python UDA
+//	STORE(R, Name)                       → program output
+//
+// Programs execute as a single Myria query, exactly as the MyriaL
+// coordinator would run them.
+package myrial
+
+import (
+	"fmt"
+	"strings"
+
+	"imagebench/internal/cost"
+	"imagebench/internal/myria"
+)
+
+// Cell is one attribute value: the decoded Go value plus its paper-scale
+// size in bytes (non-zero for BLOB attributes such as serialized NumPy
+// arrays; scalar attributes may leave it 0).
+type Cell struct {
+	V    any
+	Size int64
+}
+
+// Row is one relational tuple as the frontend sees it: column name →
+// cell. Rows travel through the myria engine as the Tuple BLOB value.
+type Row map[string]Cell
+
+// Bytes returns the paper-scale size of the row (the sum of its cells).
+func (r Row) Bytes() int64 {
+	var n int64
+	for _, c := range r {
+		n += c.Size
+	}
+	return n
+}
+
+// Clone returns a copy of the row sharing cell values.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Schema describes a relation: its column names and the key columns whose
+// values (joined with '/') form the engine-level tuple key. Key order
+// matters: broadcast joins require the join column to be the first key
+// column of the probe side.
+type Schema struct {
+	Key  []string
+	Cols []string
+}
+
+func (s Schema) hasCol(name string) bool {
+	for _, c := range s.Cols {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// KeyOf derives the engine tuple key for a row under this schema.
+func (s Schema) KeyOf(r Row) string {
+	parts := make([]string, len(s.Key))
+	for i, k := range s.Key {
+		parts[i] = fmt.Sprint(r[k].V)
+	}
+	return strings.Join(parts, "/")
+}
+
+// TupleOf wraps a row into an engine tuple under this schema.
+func (s Schema) TupleOf(r Row) myria.Tuple {
+	return myria.Tuple{Key: s.KeyOf(r), Value: r, Size: r.Bytes()}
+}
+
+// UDF is a registered Python user-defined function: the calibrated cost
+// operation and the real computation over the call's argument cells. Each
+// returned cell becomes one output tuple (flatmap semantics; most UDFs
+// return exactly one cell).
+type UDF struct {
+	Op cost.Op
+	F  func(args []Cell) []Cell
+}
+
+// UDA is a registered Python user-defined aggregate: it folds one group —
+// one []Cell of call arguments per input row — into a single cell.
+type UDA struct {
+	Op cost.Op
+	F  func(group [][]Cell) Cell
+}
+
+// Env is the binding environment a program compiles against: ingested
+// base tables with their schemas, and registered UDFs/UDAs — the
+// counterpart of MyriaConnection.create_function in the paper's Figure 7.
+type Env struct {
+	tables  map[string]*myria.Relation
+	schemas map[string]Schema
+	udfs    map[string]UDF
+	udas    map[string]UDA
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		tables:  make(map[string]*myria.Relation),
+		schemas: make(map[string]Schema),
+		udfs:    make(map[string]UDF),
+		udas:    make(map[string]UDA),
+	}
+}
+
+// DefineTable registers an ingested base relation under name. The
+// relation's tuples must carry Row values whose keys match schema.
+func (e *Env) DefineTable(name string, schema Schema, rel *myria.Relation) {
+	e.tables[name] = rel
+	e.schemas[name] = schema
+}
+
+// DefineUDF registers a Python UDF for PYUDF(name, …) calls.
+func (e *Env) DefineUDF(name string, op cost.Op, f func(args []Cell) []Cell) {
+	e.udfs[name] = UDF{Op: op, F: f}
+}
+
+// DefineUDA registers a Python UDA for PYUDA(name, …) calls.
+func (e *Env) DefineUDA(name string, op cost.Op, f func(group [][]Cell) Cell) {
+	e.udas[name] = UDA{Op: op, F: f}
+}
+
+// Rows extracts the frontend rows from a relation produced by Run.
+func Rows(rel *myria.Relation) []Row {
+	var out []Row
+	for _, t := range rel.Tuples() {
+		if r, ok := t.Value.(Row); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

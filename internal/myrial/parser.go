@@ -1,0 +1,397 @@
+package myrial
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a MyriaL program. The supported grammar is the subset the
+// paper's programs use (Figure 7 and the pipeline queries):
+//
+//	program  := stmt+
+//	stmt     := IDENT '=' relexpr ';'
+//	          | 'STORE' '(' IDENT ',' IDENT ')' ';'
+//	relexpr  := 'SCAN' '(' IDENT ')'
+//	          | '[' 'SELECT' items 'FROM' refs ('WHERE' conj)? ('GROUP' 'BY' cols)? ']'
+//	          | '[' 'FROM' IDENT 'EMIT' items ']'
+//	items    := item (',' item)*
+//	item     := '*' | colref | call ('AS' IDENT)?
+//	call     := ('PYUDF'|'PYUDA') '(' IDENT (',' colref)* ')'
+//	refs     := ref (',' ref)*
+//	ref      := IDENT ('AS' IDENT)?
+//	conj     := cmp ('AND' cmp)*
+//	cmp      := operand ('='|'<>'|'<'|'<='|'>'|'>=') operand
+//	operand  := colref | NUMBER | STRING
+//	colref   := IDENT ('.' IDENT)?
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().Kind != TokEOF {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, st)
+	}
+	if len(prog.Stmts) == 0 {
+		return nil, fmt.Errorf("myrial: empty program")
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return fmt.Errorf("myrial: line %d: %s", t.Line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, p.errf(t, "expected %s, found %s", kind, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return t, p.errf(t, "expected %s, found %s", kw, t)
+	}
+	return t, nil
+}
+
+// atKeyword reports whether the next token is the given keyword, without
+// consuming it.
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == "STORE" {
+		return p.storeStmt()
+	}
+	if t.Kind != TokIdent {
+		return nil, p.errf(t, "expected assignment or STORE, found %s", t)
+	}
+	name := p.next()
+	if _, err := p.expect(TokEq); err != nil {
+		return nil, err
+	}
+	expr, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Line: name.Line, Name: name.Text, Expr: expr}, nil
+}
+
+func (p *parser) storeStmt() (Stmt, error) {
+	kw, _ := p.expectKeyword("STORE")
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	rel, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	as, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &StoreStmt{Line: kw.Line, Rel: rel.Text, As: as.Text}, nil
+}
+
+func (p *parser) relExpr() (RelExpr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "SCAN":
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &ScanExpr{Line: t.Line, Table: tbl.Text}, nil
+	case t.Kind == TokLBracket:
+		return p.bracketExpr()
+	}
+	return nil, p.errf(t, "expected SCAN or '[', found %s", t)
+}
+
+func (p *parser) bracketExpr() (RelExpr, error) {
+	open, _ := p.expect(TokLBracket)
+	switch {
+	case p.atKeyword("SELECT"):
+		return p.selectExpr(open.Line)
+	case p.atKeyword("FROM"):
+		return p.emitExpr(open.Line)
+	}
+	return nil, p.errf(p.peek(), "expected SELECT or FROM after '[', found %s", p.peek())
+}
+
+func (p *parser) selectExpr(line int) (RelExpr, error) {
+	p.next() // SELECT
+	items, err := p.items()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	refs, err := p.tableRefs()
+	if err != nil {
+		return nil, err
+	}
+	e := &SelectExpr{Line: line, Items: items, From: refs}
+	if p.atKeyword("WHERE") {
+		p.next()
+		e.Where, err = p.conjuncts()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("GROUP") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			e.GroupBy = append(e.GroupBy, c)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) emitExpr(line int) (RelExpr, error) {
+	p.next() // FROM
+	from, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("EMIT"); err != nil {
+		return nil, err
+	}
+	items, err := p.items()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	return &EmitExpr{Line: line, From: from.Text, Items: items}, nil
+}
+
+func (p *parser) items() ([]Item, error) {
+	var out []Item
+	for {
+		it, err := p.item()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, it)
+		if p.peek().Kind != TokComma {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) item() (Item, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokStar:
+		p.next()
+		return Item{Star: true}, nil
+	case t.Kind == TokKeyword && (t.Text == "PYUDF" || t.Text == "PYUDA"):
+		call, err := p.call()
+		if err != nil {
+			return Item{}, err
+		}
+		it := Item{Call: call}
+		if p.atKeyword("AS") {
+			p.next()
+			alias, err := p.expect(TokIdent)
+			if err != nil {
+				return Item{}, err
+			}
+			it.Alias = alias.Text
+		}
+		return it, nil
+	case t.Kind == TokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return Item{}, err
+		}
+		return Item{Col: &c}, nil
+	}
+	return Item{}, p.errf(t, "expected projection item, found %s", t)
+}
+
+func (p *parser) call() (*Call, error) {
+	kw := p.next() // PYUDF | PYUDA
+	c := &Call{Aggregate: kw.Text == "PYUDA"}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c.Func = fn.Text
+	for p.peek().Kind == TokComma {
+		p.next()
+		a, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, a)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) tableRefs() ([]TableRef, error) {
+	var out []TableRef
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: name.Text, Alias: name.Text}
+		if p.atKeyword("AS") {
+			p.next()
+			alias, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = alias.Text
+		}
+		out = append(out, ref)
+		if p.peek().Kind != TokComma {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) conjuncts() ([]Comparison, error) {
+	var out []Comparison
+	for {
+		c, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if !p.atKeyword("AND") {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) comparison() (Comparison, error) {
+	left, err := p.operand()
+	if err != nil {
+		return Comparison{}, err
+	}
+	op := p.next()
+	switch op.Kind {
+	case TokEq, TokNeq, TokLt, TokLeq, TokGt, TokGeq:
+	default:
+		return Comparison{}, p.errf(op, "expected comparison operator, found %s", op)
+	}
+	right, err := p.operand()
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Left: left, Op: op.Kind, Right: right}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Col: &c}, nil
+	case TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return Operand{}, p.errf(t, "bad number %q", t.Text)
+		}
+		return Operand{Num: &v}, nil
+	case TokString:
+		p.next()
+		s := t.Text
+		return Operand{Str: &s}, nil
+	}
+	return Operand{}, p.errf(t, "expected column, number, or string, found %s", t)
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	first, err := p.expect(TokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.peek().Kind != TokDot {
+		return ColRef{Col: first.Text}, nil
+	}
+	p.next()
+	col, err := p.expect(TokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Table: first.Text, Col: col.Text}, nil
+}

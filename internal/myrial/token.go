@@ -1,0 +1,240 @@
+package myrial
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens of MyriaL.
+type TokenKind int
+
+// Token kinds. Keywords are case-insensitive in MyriaL source; the lexer
+// canonicalizes them to upper case in Token.Text.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokDot      // .
+	TokStar     // *
+	TokEq       // =
+	TokNeq      // <>
+	TokLt       // <
+	TokLeq      // <=
+	TokGt       // >
+	TokGeq      // >=
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokSemi:
+		return "';'"
+	case TokDot:
+		return "'.'"
+	case TokStar:
+		return "'*'"
+	case TokEq:
+		return "'='"
+	case TokNeq:
+		return "'<>'"
+	case TokLt:
+		return "'<'"
+	case TokLeq:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGeq:
+		return "'>='"
+	}
+	return "token?"
+}
+
+// keywords is the set of reserved words. PYUDF/PYUDA are recognized as
+// keywords so calls are unambiguous from column references.
+var keywords = map[string]bool{
+	"SCAN": true, "SELECT": true, "FROM": true, "WHERE": true,
+	"EMIT": true, "AS": true, "AND": true, "STORE": true,
+	"PYUDF": true, "PYUDA": true, "GROUP": true, "BY": true,
+}
+
+// Token is one lexical token with its source position (1-based line).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber, TokKeyword:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// lexer splits MyriaL source into tokens. MyriaL uses SQL-style line
+// comments (--) and Python-style (#) — both are supported.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src), line: 1} }
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() rune {
+	r := l.peek()
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.next()
+		case r == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.next()
+			}
+		case r == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// Lex tokenizes the whole source, ending with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		l.skipSpaceAndComments()
+		line := l.line
+		if l.pos >= len(l.src) {
+			out = append(out, Token{Kind: TokEOF, Line: line})
+			return out, nil
+		}
+		r := l.next()
+		switch {
+		case isIdentStart(r):
+			start := l.pos - 1
+			for l.pos < len(l.src) && isIdentPart(l.peek()) {
+				l.next()
+			}
+			text := string(l.src[start:l.pos])
+			if keywords[strings.ToUpper(text)] {
+				out = append(out, Token{Kind: TokKeyword, Text: strings.ToUpper(text), Line: line})
+			} else {
+				out = append(out, Token{Kind: TokIdent, Text: text, Line: line})
+			}
+		case unicode.IsDigit(r):
+			start := l.pos - 1
+			for l.pos < len(l.src) && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+				l.next()
+			}
+			out = append(out, Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Line: line})
+		case r == '\'' || r == '"':
+			quote := r
+			start := l.pos
+			for l.pos < len(l.src) && l.peek() != quote {
+				if l.peek() == '\n' {
+					return nil, fmt.Errorf("myrial: line %d: unterminated string", line)
+				}
+				l.next()
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("myrial: line %d: unterminated string", line)
+			}
+			text := string(l.src[start:l.pos])
+			l.next() // closing quote
+			out = append(out, Token{Kind: TokString, Text: text, Line: line})
+		case r == '(':
+			out = append(out, Token{Kind: TokLParen, Line: line})
+		case r == ')':
+			out = append(out, Token{Kind: TokRParen, Line: line})
+		case r == '[':
+			out = append(out, Token{Kind: TokLBracket, Line: line})
+		case r == ']':
+			out = append(out, Token{Kind: TokRBracket, Line: line})
+		case r == ',':
+			out = append(out, Token{Kind: TokComma, Line: line})
+		case r == ';':
+			out = append(out, Token{Kind: TokSemi, Line: line})
+		case r == '.':
+			out = append(out, Token{Kind: TokDot, Line: line})
+		case r == '*':
+			out = append(out, Token{Kind: TokStar, Line: line})
+		case r == '=':
+			out = append(out, Token{Kind: TokEq, Text: "=", Line: line})
+		case r == '<':
+			switch l.peek() {
+			case '>':
+				l.next()
+				out = append(out, Token{Kind: TokNeq, Text: "<>", Line: line})
+			case '=':
+				l.next()
+				out = append(out, Token{Kind: TokLeq, Text: "<=", Line: line})
+			default:
+				out = append(out, Token{Kind: TokLt, Text: "<", Line: line})
+			}
+		case r == '>':
+			if l.peek() == '=' {
+				l.next()
+				out = append(out, Token{Kind: TokGeq, Text: ">=", Line: line})
+			} else {
+				out = append(out, Token{Kind: TokGt, Text: ">", Line: line})
+			}
+		default:
+			return nil, fmt.Errorf("myrial: line %d: unexpected character %q", line, r)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package neuro
+
+import (
+	"fmt"
+
+	"imagebench/internal/nifti"
+	"imagebench/internal/npy"
+	"imagebench/internal/objstore"
+	"imagebench/internal/volume"
+)
+
+// decodeNIfTI parses a staged subject NIfTI object.
+func decodeNIfTI(obj objstore.Object) (*volume.V4, error) {
+	v4, err := nifti.Decode4(obj.Data)
+	if err != nil {
+		return nil, fmt.Errorf("neuro: decoding %s: %w", obj.Key, err)
+	}
+	return v4, nil
+}
+
+// decodeNPY parses a staged per-volume .npy object.
+func decodeNPY(obj objstore.Object) (*volume.V3, error) {
+	v, err := npy.Decode(obj.Data)
+	if err != nil {
+		return nil, fmt.Errorf("neuro: decoding %s: %w", obj.Key, err)
+	}
+	return v, nil
+}
+
+// npyKeyIDs extracts subject and volume IDs from a staged .npy key of the
+// form neuro/npy/subj-SSS/vol-TTT.npy.
+func npyKeyIDs(key string) (subject, vol int, err error) {
+	var s, t int
+	if _, err := fmt.Sscanf(key, "neuro/npy/subj-%03d/vol-%03d.npy", &s, &t); err != nil {
+		return 0, 0, fmt.Errorf("neuro: bad npy key %q: %w", key, err)
+	}
+	return s, t, nil
+}
+
+// niftiKeyID extracts the subject ID from a staged NIfTI key.
+func niftiKeyID(key string) (subject int, err error) {
+	var s int
+	if _, err := fmt.Sscanf(key, "neuro/nii/subj-%03d.nii", &s); err != nil {
+		return 0, fmt.Errorf("neuro: bad nifti key %q: %w", key, err)
+	}
+	return s, nil
+}

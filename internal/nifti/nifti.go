@@ -1,0 +1,233 @@
+// Package nifti reads and writes NIfTI-1 files (the neuroimaging format of
+// the paper's dMRI inputs): the 348-byte fixed header with the "n+1" magic,
+// followed by a float32 or float64 voxel block. Only the fields the
+// pipelines need are interpreted, but files are valid NIfTI-1 and
+// round-trip exactly.
+package nifti
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"imagebench/internal/volume"
+)
+
+// NIfTI-1 datatype codes (subset).
+const (
+	DTUInt8   int16 = 2
+	DTInt16   int16 = 4
+	DTFloat32 int16 = 16
+	DTFloat64 int16 = 64
+)
+
+// elemSize returns the storage bytes per voxel for a datatype code.
+func elemSize(dt int16) int {
+	switch dt {
+	case DTUInt8:
+		return 1
+	case DTInt16:
+		return 2
+	case DTFloat32:
+		return 4
+	case DTFloat64:
+		return 8
+	}
+	return 0
+}
+
+const (
+	headerSize = 348
+	voxOffset  = 352 // header + 4-byte extension flag
+	magicOff   = 344
+)
+
+// Header carries the subset of NIfTI-1 metadata the pipelines use.
+type Header struct {
+	Dim      [8]int16 // dim[0]=rank, dim[1..4]=nx,ny,nz,nt
+	Datatype int16
+	// PixDim holds the grid spacings: pixdim[1..3] are voxel sizes in mm
+	// (1.25 for the HCP data), pixdim[4] the repetition time.
+	PixDim [8]float32
+	// SclSlope and SclInter map stored values to real values:
+	// real = stored×slope + inter. A zero slope means unscaled.
+	SclSlope, SclInter float32
+	// QOffset is the qform translation (scanner-space position of voxel
+	// (0,0,0)).
+	QOffset [3]float32
+}
+
+// VoxelSize returns the spatial voxel dimensions in mm (zero pixdims
+// default to 1, as NIfTI readers conventionally assume).
+func (h *Header) VoxelSize() (dx, dy, dz float64) {
+	get := func(i int) float64 {
+		if h.PixDim[i] > 0 {
+			return float64(h.PixDim[i])
+		}
+		return 1
+	}
+	return get(1), get(2), get(3)
+}
+
+// Rank returns the number of dimensions.
+func (h *Header) Rank() int { return int(h.Dim[0]) }
+
+// Voxels returns the total number of data elements.
+func (h *Header) Voxels() int {
+	n := 1
+	for i := 1; i <= h.Rank(); i++ {
+		n *= int(h.Dim[i])
+	}
+	return n
+}
+
+// Encode4 serializes a 4-D volume series as a float32 NIfTI-1 file
+// (float32 matches the HCP release format).
+func Encode4(v *volume.V4) []byte {
+	nx, ny, nz := v.Shape()
+	h := Header{Datatype: DTFloat32}
+	h.Dim = [8]int16{4, int16(nx), int16(ny), int16(nz), int16(v.T()), 1, 1, 1}
+	var buf bytes.Buffer
+	writeHeader(&buf, &h)
+	b4 := make([]byte, 4)
+	for _, vol := range v.Vols {
+		for _, x := range vol.Data {
+			binary.LittleEndian.PutUint32(b4, math.Float32bits(float32(x)))
+			buf.Write(b4)
+		}
+	}
+	return buf.Bytes()
+}
+
+// Encode3 serializes one 3-D volume as a float32 NIfTI-1 file.
+func Encode3(v *volume.V3) []byte {
+	h := Header{Datatype: DTFloat32}
+	h.Dim = [8]int16{3, int16(v.NX), int16(v.NY), int16(v.NZ), 1, 1, 1, 1}
+	var buf bytes.Buffer
+	writeHeader(&buf, &h)
+	b4 := make([]byte, 4)
+	for _, x := range v.Data {
+		binary.LittleEndian.PutUint32(b4, math.Float32bits(float32(x)))
+		buf.Write(b4)
+	}
+	return buf.Bytes()
+}
+
+func writeHeader(buf *bytes.Buffer, h *Header) {
+	hdr := make([]byte, voxOffset)
+	binary.LittleEndian.PutUint32(hdr[0:], headerSize)
+	for i, d := range h.Dim {
+		binary.LittleEndian.PutUint16(hdr[40+2*i:], uint16(d))
+	}
+	binary.LittleEndian.PutUint16(hdr[70:], uint16(h.Datatype))
+	bitpix := int16(8 * elemSize(h.Datatype))
+	binary.LittleEndian.PutUint16(hdr[72:], uint16(bitpix))
+	for i, p := range h.PixDim {
+		binary.LittleEndian.PutUint32(hdr[76+4*i:], math.Float32bits(p))
+	}
+	binary.LittleEndian.PutUint32(hdr[108:], math.Float32bits(voxOffset)) // vox_offset
+	binary.LittleEndian.PutUint32(hdr[112:], math.Float32bits(h.SclSlope))
+	binary.LittleEndian.PutUint32(hdr[116:], math.Float32bits(h.SclInter))
+	for i, q := range h.QOffset {
+		binary.LittleEndian.PutUint32(hdr[268+4*i:], math.Float32bits(q))
+	}
+	copy(hdr[magicOff:], "n+1\x00")
+	buf.Write(hdr)
+}
+
+// DecodeHeader parses and validates the NIfTI-1 header.
+func DecodeHeader(data []byte) (*Header, error) {
+	if len(data) < voxOffset {
+		return nil, fmt.Errorf("nifti: file too short (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != headerSize {
+		return nil, fmt.Errorf("nifti: bad sizeof_hdr")
+	}
+	if string(data[magicOff:magicOff+4]) != "n+1\x00" {
+		return nil, fmt.Errorf("nifti: bad magic %q", data[magicOff:magicOff+4])
+	}
+	var h Header
+	for i := range h.Dim {
+		h.Dim[i] = int16(binary.LittleEndian.Uint16(data[40+2*i:]))
+	}
+	h.Datatype = int16(binary.LittleEndian.Uint16(data[70:]))
+	if elemSize(h.Datatype) == 0 {
+		return nil, fmt.Errorf("nifti: unsupported datatype %d", h.Datatype)
+	}
+	for i := range h.PixDim {
+		h.PixDim[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[76+4*i:]))
+	}
+	h.SclSlope = math.Float32frombits(binary.LittleEndian.Uint32(data[112:]))
+	h.SclInter = math.Float32frombits(binary.LittleEndian.Uint32(data[116:]))
+	for i := range h.QOffset {
+		h.QOffset[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[268+4*i:]))
+	}
+	if h.Rank() < 3 || h.Rank() > 4 {
+		return nil, fmt.Errorf("nifti: unsupported rank %d", h.Rank())
+	}
+	for i := 1; i <= h.Rank(); i++ {
+		if h.Dim[i] <= 0 {
+			return nil, fmt.Errorf("nifti: non-positive dim[%d]=%d", i, h.Dim[i])
+		}
+	}
+	return &h, nil
+}
+
+// Decode4 parses a 3-D or 4-D NIfTI-1 file into a volume series (a 3-D file
+// yields a single-volume series).
+func Decode4(data []byte) (*volume.V4, error) {
+	h, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	elem := elemSize(h.Datatype)
+	need := voxOffset + h.Voxels()*elem
+	if len(data) < need {
+		return nil, fmt.Errorf("nifti: truncated data: have %d bytes, need %d", len(data), need)
+	}
+	slope, inter := float64(h.SclSlope), float64(h.SclInter)
+	if slope == 0 {
+		slope, inter = 1, 0
+	}
+	nx, ny, nz := int(h.Dim[1]), int(h.Dim[2]), int(h.Dim[3])
+	nt := 1
+	if h.Rank() == 4 {
+		nt = int(h.Dim[4])
+	}
+	per := nx * ny * nz
+	vols := make([]*volume.V3, nt)
+	off := voxOffset
+	for t := 0; t < nt; t++ {
+		v := volume.New3(nx, ny, nz)
+		for i := 0; i < per; i++ {
+			var raw float64
+			switch h.Datatype {
+			case DTUInt8:
+				raw = float64(data[off])
+			case DTInt16:
+				raw = float64(int16(binary.LittleEndian.Uint16(data[off:])))
+			case DTFloat32:
+				raw = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:])))
+			case DTFloat64:
+				raw = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			}
+			v.Data[i] = raw*slope + inter
+			off += elem
+		}
+		vols[t] = v
+	}
+	return volume.New4(vols), nil
+}
+
+// Decode3 parses a 3-D NIfTI-1 file into a single volume.
+func Decode3(data []byte) (*volume.V3, error) {
+	v4, err := Decode4(data)
+	if err != nil {
+		return nil, err
+	}
+	if v4.T() != 1 {
+		return nil, fmt.Errorf("nifti: expected 3-D file, got %d volumes", v4.T())
+	}
+	return v4.Vols[0], nil
+}

@@ -1,0 +1,82 @@
+package nifti
+
+import (
+	"testing"
+	"testing/quick"
+
+	"imagebench/internal/volume"
+)
+
+func TestRoundTrip4D(t *testing.T) {
+	vols := make([]*volume.V3, 3)
+	for i := range vols {
+		vols[i] = volume.New3(4, 5, 6)
+		for j := range vols[i].Data {
+			// Values exactly representable in float32.
+			vols[i].Data[j] = float64(float32(i*1000 + j))
+		}
+	}
+	v4 := volume.New4(vols)
+	data := Encode4(v4)
+	got, err := Decode4(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T() != 3 {
+		t.Fatalf("T=%d", got.T())
+	}
+	for i := range vols {
+		if volume.MaxAbsDiff(got.Vols[i], vols[i]) != 0 {
+			t.Errorf("volume %d differs", i)
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	v := volume.New3(3, 3, 3)
+	v.Data[13] = 42
+	got, err := Decode3(Encode3(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volume.MaxAbsDiff(got, v) != 0 {
+		t.Error("3-D round trip differs")
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	v := volume.New3(2, 2, 2)
+	data := Encode3(v)
+	// Corrupt the magic.
+	bad := append([]byte(nil), data...)
+	copy(bad[magicOff:], "nope")
+	if _, err := Decode3(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated voxel data.
+	if _, err := Decode3(data[:len(data)-4]); err == nil {
+		t.Error("truncated data accepted")
+	}
+	// Too short for a header at all.
+	if _, err := DecodeHeader(data[:100]); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: encode→decode is identity for float32-representable data.
+	f := func(vals [24]float32) bool {
+		v := volume.New3(2, 3, 4)
+		for i := range v.Data {
+			v.Data[i] = float64(vals[i])
+		}
+		got, err := Decode3(Encode3(v))
+		if err != nil {
+			return false
+		}
+		return volume.MaxAbsDiff(got, v) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

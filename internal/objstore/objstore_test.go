@@ -1,0 +1,73 @@
+package objstore
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	s.Put("a/b", []byte("hello"), 1000)
+	o, err := s.Get("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(o.Data) != "hello" || o.Size() != 1000 {
+		t.Errorf("object %+v", o)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Error("missing key accepted")
+	}
+	// Zero ModelBytes falls back to the real size.
+	s.Put("c", []byte("xyz"), 0)
+	if o, _ := s.Get("c"); o.Size() != 3 {
+		t.Errorf("size %d", o.Size())
+	}
+}
+
+func TestListSortedPrefix(t *testing.T) {
+	s := New()
+	for _, k := range []string{"n/2", "n/1", "a/3", "n/10"} {
+		s.Put(k, nil, 1)
+	}
+	got := s.List("n/")
+	want := []string{"n/1", "n/10", "n/2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTotalModelBytesAndDelete(t *testing.T) {
+	s := New()
+	s.Put("x/1", nil, 10)
+	s.Put("x/2", nil, 20)
+	s.Put("y/1", nil, 40)
+	if n := s.TotalModelBytes("x/"); n != 30 {
+		t.Errorf("total %d", n)
+	}
+	s.Delete("x/1")
+	if s.Len() != 2 {
+		t.Errorf("len %d", s.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			s.Put(key, []byte{byte(i)}, int64(i))
+			s.Get(key)
+			s.List("")
+		}(i)
+	}
+	wg.Wait()
+}

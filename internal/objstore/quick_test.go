@@ -1,0 +1,119 @@
+package objstore
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Put then Get round-trips data and model bytes for arbitrary
+// keys and payloads.
+func TestPutGetRoundTripProperty(t *testing.T) {
+	f := func(key string, data []byte, model uint32) bool {
+		if key == "" {
+			return true // empty keys are not meaningful object names
+		}
+		s := New()
+		s.Put(key, data, int64(model))
+		obj, err := s.Get(key)
+		if err != nil {
+			return false
+		}
+		if obj.Key != key || len(obj.Data) != len(data) {
+			return false
+		}
+		for i := range data {
+			if obj.Data[i] != data[i] {
+				return false
+			}
+		}
+		wantSize := int64(model)
+		if wantSize == 0 {
+			wantSize = int64(len(data))
+		}
+		return obj.Size() == wantSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: List(prefix) returns exactly the stored keys with that
+// prefix, sorted.
+func TestListPrefixProperty(t *testing.T) {
+	f := func(keys []string, prefix string) bool {
+		s := New()
+		want := map[string]bool{}
+		for _, k := range keys {
+			if k == "" {
+				continue
+			}
+			s.Put(k, nil, 1)
+			if strings.HasPrefix(k, prefix) {
+				want[k] = true
+			}
+		}
+		got := s.List(prefix)
+		if !sort.StringsAreSorted(got) {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, k := range got {
+			if !want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TotalModelBytes equals the sum of sizes under the prefix.
+func TestTotalModelBytesProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := New()
+		var want int64
+		for i, sz := range sizes {
+			key := "p/" + string(rune('a'+i%26)) + strings.Repeat("x", i%5)
+			// Overwrites replace: track the final value per key.
+			s.Put(key, nil, int64(sz)+1)
+		}
+		for _, k := range s.List("p/") {
+			obj, err := s.Get(k)
+			if err != nil {
+				return false
+			}
+			want += obj.Size()
+		}
+		return s.TotalModelBytes("p/") == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Delete removes exactly the named key.
+func TestDeleteProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		s := New()
+		keys := make([]string, 0, int(n%20)+2)
+		for i := 0; i < cap(keys); i++ {
+			k := "k/" + strings.Repeat("a", i+1)
+			s.Put(k, nil, 1)
+			keys = append(keys, k)
+		}
+		s.Delete(keys[0])
+		if _, err := s.Get(keys[0]); err == nil {
+			return false
+		}
+		return s.Len() == len(keys)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

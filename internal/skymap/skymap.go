@@ -1,0 +1,343 @@
+// Package skymap implements the sky geometry of the astronomy use case:
+// sensor exposures positioned on a pixel sky plane (a linearized WCS), the
+// rectangular patch grid, the exposure→patch overlap flatmap (Step 2A),
+// patch-exposure assembly, and sigma-clipped co-addition (Step 3A).
+package skymap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"imagebench/internal/imaging"
+)
+
+// Mask plane bits carried with each exposure pixel.
+const (
+	MaskBad       uint8 = 1 << 0 // cosmetic defect
+	MaskCosmicRay uint8 = 1 << 1 // repaired cosmic-ray hit
+	MaskClipped   uint8 = 1 << 2 // nulled by co-addition outlier clipping
+)
+
+// Exposure is one sensor read-out placed on the sky: a flux plane, a
+// per-pixel variance plane, and a mask plane, with pixel (0,0) at sky
+// position (X0,Y0). This mirrors the FITS structure in the paper's data
+// (header + three 2-D arrays).
+type Exposure struct {
+	Visit  int
+	Sensor int
+	X0, Y0 int
+	Flux   *imaging.Image
+	Var    *imaging.Image
+	Mask   []uint8
+}
+
+// NewExposure allocates an exposure of the given geometry.
+func NewExposure(visit, sensor, x0, y0, w, h int) *Exposure {
+	return &Exposure{
+		Visit: visit, Sensor: sensor, X0: x0, Y0: y0,
+		Flux: imaging.NewImage(w, h),
+		Var:  imaging.NewImage(w, h),
+		Mask: make([]uint8, w*h),
+	}
+}
+
+// Bytes returns the in-memory size of the exposure's pixel data.
+func (e *Exposure) Bytes() int64 {
+	return e.Flux.Bytes() + e.Var.Bytes() + int64(len(e.Mask))
+}
+
+// Clone returns a deep copy.
+func (e *Exposure) Clone() *Exposure {
+	c := *e
+	c.Flux = e.Flux.Clone()
+	c.Var = e.Var.Clone()
+	c.Mask = append([]uint8(nil), e.Mask...)
+	return &c
+}
+
+// Patch identifies one rectangular sky region in the patch grid.
+type Patch struct{ PX, PY int }
+
+func (p Patch) String() string { return fmt.Sprintf("patch(%d,%d)", p.PX, p.PY) }
+
+// Grid partitions the sky plane into PatchW×PatchH-pixel patches.
+type Grid struct {
+	PatchW, PatchH int
+}
+
+// Overlaps returns the patches a rectangle at (x0,y0) of size w×h touches,
+// in row-major order. In the paper each exposure lands in 1–6 patches.
+func (g Grid) Overlaps(x0, y0, w, h int) []Patch {
+	if w <= 0 || h <= 0 {
+		return nil
+	}
+	px0 := floorDiv(x0, g.PatchW)
+	px1 := floorDiv(x0+w-1, g.PatchW)
+	py0 := floorDiv(y0, g.PatchH)
+	py1 := floorDiv(y0+h-1, g.PatchH)
+	var out []Patch
+	for py := py0; py <= py1; py++ {
+		for px := px0; px <= px1; px++ {
+			out = append(out, Patch{PX: px, PY: py})
+		}
+	}
+	return out
+}
+
+// ExposureOverlaps returns the patches e touches.
+func (g Grid) ExposureOverlaps(e *Exposure) []Patch {
+	return g.Overlaps(e.X0, e.Y0, e.Flux.W, e.Flux.H)
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// PatchExposure is the pixels one visit contributes to one patch: a
+// patch-sized flux/variance raster with a validity plane (pixels outside
+// the contributing sensors are invalid).
+type PatchExposure struct {
+	Patch Patch
+	Visit int
+	Flux  *imaging.Image
+	Var   *imaging.Image
+	Valid []bool
+}
+
+// NewPatchExposure allocates an all-invalid patch exposure.
+func NewPatchExposure(g Grid, p Patch, visit int) *PatchExposure {
+	return &PatchExposure{
+		Patch: p, Visit: visit,
+		Flux:  imaging.NewImage(g.PatchW, g.PatchH),
+		Var:   imaging.NewImage(g.PatchW, g.PatchH),
+		Valid: make([]bool, g.PatchW*g.PatchH),
+	}
+}
+
+// Bytes returns the in-memory size of the patch exposure's pixel data.
+func (pe *PatchExposure) Bytes() int64 {
+	return pe.Flux.Bytes() + pe.Var.Bytes() + int64(len(pe.Valid))
+}
+
+// ValidCount returns the number of valid pixels.
+func (pe *PatchExposure) ValidCount() int {
+	n := 0
+	for _, v := range pe.Valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Project copies the pixels of e that fall inside patch p into a new
+// PatchExposure. Pixels masked MaskBad are left invalid.
+func (g Grid) Project(e *Exposure, p Patch) *PatchExposure {
+	pe := NewPatchExposure(g, p, e.Visit)
+	baseX, baseY := p.PX*g.PatchW, p.PY*g.PatchH
+	for y := 0; y < e.Flux.H; y++ {
+		sy := e.Y0 + y - baseY
+		if sy < 0 || sy >= g.PatchH {
+			continue
+		}
+		for x := 0; x < e.Flux.W; x++ {
+			sx := e.X0 + x - baseX
+			if sx < 0 || sx >= g.PatchW {
+				continue
+			}
+			if e.Mask[y*e.Flux.W+x]&MaskBad != 0 {
+				continue
+			}
+			di := sy*g.PatchW + sx
+			pe.Flux.Pix[di] = e.Flux.At(x, y)
+			pe.Var.Pix[di] = e.Var.At(x, y)
+			pe.Valid[di] = true
+		}
+	}
+	return pe
+}
+
+// Merge unions the valid pixels of src into dst (same patch and visit).
+// Overlapping sensor pixels keep dst's value; sensors within a visit abut
+// rather than overlap, so ties are rare and benign.
+func Merge(dst, src *PatchExposure) error {
+	if dst.Patch != src.Patch || dst.Visit != src.Visit {
+		return fmt.Errorf("skymap: merging %v/visit %d into %v/visit %d",
+			src.Patch, src.Visit, dst.Patch, dst.Visit)
+	}
+	for i, v := range src.Valid {
+		if v && !dst.Valid[i] {
+			dst.Flux.Pix[i] = src.Flux.Pix[i]
+			dst.Var.Pix[i] = src.Var.Pix[i]
+			dst.Valid[i] = true
+		}
+	}
+	return nil
+}
+
+// AssemblePatches groups a visit's projected pieces by patch and merges
+// each group into one PatchExposure per (patch, visit) — the grouping half
+// of Step 2A. The input may contain pieces from many visits.
+func AssemblePatches(pieces []*PatchExposure) ([]*PatchExposure, error) {
+	type key struct {
+		p     Patch
+		visit int
+	}
+	byKey := make(map[key]*PatchExposure)
+	var order []key
+	for _, pc := range pieces {
+		k := key{pc.Patch, pc.Visit}
+		if cur, ok := byKey[k]; ok {
+			if err := Merge(cur, pc); err != nil {
+				return nil, err
+			}
+		} else {
+			byKey[k] = pc
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.p.PY != b.p.PY {
+			return a.p.PY < b.p.PY
+		}
+		if a.p.PX != b.p.PX {
+			return a.p.PX < b.p.PX
+		}
+		return a.visit < b.visit
+	})
+	out := make([]*PatchExposure, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out, nil
+}
+
+// Coadd is the co-added image of one patch across visits.
+type Coadd struct {
+	Patch   Patch
+	Flux    *imaging.Image // per-pixel sum of clipped stack
+	NVisits *imaging.Image // per-pixel count of contributing visits
+}
+
+// CoaddPatch stacks the given patch exposures (all for the same patch,
+// different visits) with iterative outlier rejection: in each of iters
+// rounds it computes the per-pixel mean and standard deviation across
+// visits and nulls samples more than nsigma standard deviations from the
+// mean; it then sums the surviving samples (the paper's Step 3A, with
+// iters=2, nsigma=3).
+func CoaddPatch(stack []*PatchExposure, nsigma float64, iters int) (*Coadd, error) {
+	st, err := NewCoaddState(stack)
+	if err != nil {
+		return nil, err
+	}
+	for it := 0; it < iters; it++ {
+		st.ClipIteration(nsigma)
+	}
+	return st.Sum(), nil
+}
+
+// CoaddState exposes co-addition one clipping iteration at a time, for
+// engines whose iteration is driven externally (SciDB's AQL statements run
+// one materialized pass per iteration).
+type CoaddState struct {
+	stack []*PatchExposure
+	alive [][]bool
+}
+
+// NewCoaddState starts a stepwise co-addition over the stack.
+func NewCoaddState(stack []*PatchExposure) (*CoaddState, error) {
+	if len(stack) == 0 {
+		return nil, fmt.Errorf("skymap: empty coadd stack")
+	}
+	p := stack[0].Patch
+	for _, pe := range stack {
+		if pe.Patch != p || pe.Flux.W != stack[0].Flux.W || pe.Flux.H != stack[0].Flux.H {
+			return nil, fmt.Errorf("skymap: inconsistent stack for %v", p)
+		}
+	}
+	st := &CoaddState{stack: stack}
+	for _, pe := range stack {
+		st.alive = append(st.alive, append([]bool(nil), pe.Valid...))
+	}
+	return st, nil
+}
+
+// ClipIteration performs one mean/std outlier-rejection pass.
+func (st *CoaddState) ClipIteration(nsigma float64) {
+	clipOnce(st.stack, st.alive, nsigma)
+}
+
+// Sum produces the final coadd from the surviving samples.
+func (st *CoaddState) Sum() *Coadd {
+	w, h := st.stack[0].Flux.W, st.stack[0].Flux.H
+	co := &Coadd{
+		Patch:   st.stack[0].Patch,
+		Flux:    imaging.NewImage(w, h),
+		NVisits: imaging.NewImage(w, h),
+	}
+	for v, pe := range st.stack {
+		for i, ok := range st.alive[v] {
+			if ok {
+				co.Flux.Pix[i] += pe.Flux.Pix[i]
+				co.NVisits.Pix[i]++
+			}
+		}
+	}
+	return co
+}
+
+// clipOnce performs one mean/std pass and nulls >nsigma outliers.
+func clipOnce(stack []*PatchExposure, alive [][]bool, nsigma float64) {
+	n := len(stack[0].Valid)
+	for i := 0; i < n; i++ {
+		var sum, sq float64
+		var cnt int
+		for v := range stack {
+			if alive[v][i] {
+				f := stack[v].Flux.Pix[i]
+				sum += f
+				sq += f * f
+				cnt++
+			}
+		}
+		if cnt < 3 {
+			continue // too few samples to clip meaningfully
+		}
+		mean := sum / float64(cnt)
+		variance := sq/float64(cnt) - mean*mean
+		if variance <= 0 {
+			continue
+		}
+		std := math.Sqrt(variance)
+		for v := range stack {
+			if alive[v][i] && math.Abs(stack[v].Flux.Pix[i]-mean) > nsigma*std {
+				alive[v][i] = false
+			}
+		}
+	}
+}
+
+// GroupByPatch buckets patch exposures by patch, preserving visit order
+// within each bucket, returning patches in row-major order.
+func GroupByPatch(pes []*PatchExposure) (patches []Patch, groups map[Patch][]*PatchExposure) {
+	groups = make(map[Patch][]*PatchExposure)
+	for _, pe := range pes {
+		if _, ok := groups[pe.Patch]; !ok {
+			patches = append(patches, pe.Patch)
+		}
+		groups[pe.Patch] = append(groups[pe.Patch], pe)
+	}
+	sort.Slice(patches, func(i, j int) bool {
+		if patches[i].PY != patches[j].PY {
+			return patches[i].PY < patches[j].PY
+		}
+		return patches[i].PX < patches[j].PX
+	})
+	return patches, groups
+}

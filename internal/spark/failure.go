@@ -1,0 +1,145 @@
+package spark
+
+import (
+	"fmt"
+
+	"imagebench/internal/cluster"
+)
+
+// This file implements executor failure and lineage-based recovery — the
+// fault-tolerance mechanism the RDD abstraction exists for (Zaharia et
+// al., NSDI'12, reference [42] of the paper). Killing an executor loses
+// every partition it hosted (cached blocks, shuffle outputs); the next
+// action detects the loss and recomputes exactly the lost partitions
+// from lineage, rescheduling them on surviving nodes.
+
+// KillExecutor marks node's executor dead: partitions hosted there are
+// lost and will be recomputed from lineage by the next action. Node 0
+// hosts the driver and cannot be killed, so at least one node always
+// survives. Killing an already-dead node is a no-op.
+func (s *Session) KillExecutor(node int) error {
+	if node == 0 {
+		return fmt.Errorf("spark: node 0 hosts the driver")
+	}
+	if node < 0 || node >= s.cl.Nodes() {
+		return fmt.Errorf("spark: no node %d", node)
+	}
+	if s.dead == nil {
+		s.dead = make(map[int]bool)
+	}
+	if s.dead[node] {
+		return nil
+	}
+	s.dead[node] = true
+	s.epoch++
+	return nil
+}
+
+// DeadExecutors returns how many executors have been killed.
+func (s *Session) DeadExecutors() int { return len(s.dead) }
+
+// nodeFor maps a partition index onto an alive node.
+func (s *Session) nodeFor(p int) int {
+	n := s.cl.Nodes()
+	if len(s.dead) == 0 {
+		return p % n
+	}
+	alive := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !s.dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	return alive[p%len(alive)]
+}
+
+// lostPartitions returns the indices of materialized partitions hosted
+// on dead nodes.
+func (r *RDD) lostPartitions() []int {
+	var lost []int
+	for p, node := range r.nodes {
+		if r.s.dead[node] {
+			lost = append(lost, p)
+		}
+	}
+	return lost
+}
+
+// repair recomputes the partitions lost to executor failures since this
+// RDD was materialized, using its lineage, and re-stamps the epoch.
+// Partitions on surviving nodes are untouched.
+func (r *RDD) repair() error {
+	s := r.s
+	lost := r.lostPartitions()
+	if len(lost) == 0 {
+		r.epoch = s.epoch
+		return nil
+	}
+	switch r.kind {
+	case opSource:
+		if r.decode == nil {
+			// parallelize(): the driver still has the data; re-ship.
+			for i, p := range lost {
+				node := s.nodeFor(p + i + 1) // spread away from the old spot
+				var bytes int64
+				for _, rec := range r.parts[p] {
+					bytes += rec.Size
+				}
+				ship := s.cl.Transfer(0, node, bytes, s.startup)
+				r.nodes[p] = node
+				r.ready[p] = s.cl.Submit(node, []*cluster.Handle{ship}, s.model.GobTime(bytes), nil)
+			}
+		} else {
+			// Re-enumerate is unnecessary (the driver kept the listing);
+			// re-download the lost partitions only.
+			for i, p := range lost {
+				if err := r.fetchPartition(p, s.nodeFor(p+i+1), s.startup); err != nil {
+					return err
+				}
+			}
+		}
+	case opNarrow:
+		chain, base := r.narrowChain()
+		if err := base.compute(); err != nil { // repairs base recursively
+			return err
+		}
+		for _, p := range lost {
+			r.narrowPartition(chain, base, p)
+		}
+	case opShuffle:
+		// Dead nodes lost their map outputs too: recompute the map side
+		// (the parent repairs itself recursively), then re-run only the
+		// lost reduce partitions.
+		if err := r.parent.compute(); err != nil {
+			return err
+		}
+		blocks, barrier := r.mapSide()
+		for i, p := range lost {
+			r.reducePartition(p, s.nodeFor(p+i+1), blocks, barrier, nil)
+		}
+	case opUnion:
+		// A union owns no partitions; repair the inputs and re-point.
+		var parts [][]Pair
+		var nodes []int
+		var ready []*cluster.Handle
+		for _, in := range r.parents {
+			if err := in.compute(); err != nil {
+				return err
+			}
+			parts = append(parts, in.parts...)
+			nodes = append(nodes, in.nodes...)
+			ready = append(ready, in.ready...)
+		}
+		r.parts, r.nodes, r.ready = parts, nodes, ready
+	}
+	if r.cached && r.spilled != nil {
+		for _, p := range lost {
+			if p < len(r.spilled) {
+				r.spilled[p] = false
+				r.cachePartition(p)
+			}
+		}
+	}
+	r.epoch = s.epoch
+	return nil
+}

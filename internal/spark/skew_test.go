@@ -1,0 +1,55 @@
+package spark
+
+import (
+	"fmt"
+	"testing"
+
+	"imagebench/internal/cost"
+	"imagebench/internal/vtime"
+)
+
+// Section 5.3.2: image analytics pipelines skew — the astronomy use case
+// grows data 2.5× on average but 6× on some workers. Stage barriers
+// amplify skew: the stage ends when the most loaded reducer ends.
+
+// runGroup materializes a GroupByKey over the given records and returns
+// the virtual makespan.
+func runGroup(t *testing.T, recs []Pair) vtime.Duration {
+	t.Helper()
+	s, _, _ := session(4)
+	rdd := s.Parallelize("xs", recs, 8).
+		GroupByKey("g", cost.CoaddIter, 4, func(k string, vs []Pair) []Pair {
+			return vs[:1]
+		})
+	h, err := rdd.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vtime.Duration(h.End)
+}
+
+func TestShuffleSkewInflatesMakespan(t *testing.T) {
+	const n = 32
+	const size = 64 << 20
+	balanced := make([]Pair, n)
+	skewed := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		balanced[i] = Pair{Key: fmt.Sprintf("patch-%02d", i%8), Value: i, Size: size}
+		// 6× hot spot: three quarters of the bytes land on one key.
+		key := "patch-hot"
+		if i%4 == 0 {
+			key = fmt.Sprintf("patch-%02d", i%8)
+		}
+		skewed[i] = Pair{Key: key, Value: i, Size: size}
+	}
+	bal := runGroup(t, balanced)
+	skw := runGroup(t, skewed)
+	if skw <= bal {
+		t.Fatalf("skewed shuffle (%v) should be slower than balanced (%v)", skw, bal)
+	}
+	// The hot reducer serializes most of the combine work; expect a
+	// clearly super-unit inflation, not jitter noise.
+	if ratio := float64(skw) / float64(bal); ratio < 1.3 {
+		t.Errorf("skew inflation %.2f×, want ≥1.3×", ratio)
+	}
+}

@@ -1,0 +1,138 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"imagebench/internal/fits"
+	"imagebench/internal/objstore"
+	"imagebench/internal/skymap"
+)
+
+// Paper-scale constants for the astronomy dataset (HiTS, Section 3.2.1):
+// 60 sensors per visit, 4000×4072 pixels, ~80 MB per sensor image,
+// ~4.8 GB per visit.
+const (
+	PaperSensorW, PaperSensorH = 4000, 4072
+	PaperSensorsPerVisit       = 60
+	PaperSensorBytes           = int64(80) << 20
+	PaperVisitBytes            = PaperSensorBytes * PaperSensorsPerVisit
+)
+
+// AstroConfig controls the scaled synthetic survey dataset.
+type AstroConfig struct {
+	Visits  int
+	Sensors int // sensors per visit, tiled in a grid
+	W, H    int // pixels per sensor
+	Sources int // true point sources on the sky
+	Seed    int64
+}
+
+// DefaultAstro returns the scaled default geometry: 6 sensors of 48×48
+// pixels per visit, 24 true sources.
+func DefaultAstro(visits int) AstroConfig {
+	return AstroConfig{Visits: visits, Sensors: 6, W: 48, H: 48, Sources: 24, Seed: 1}
+}
+
+// AstroKeyFITS returns the object key of one sensor exposure.
+func AstroKeyFITS(visit, sensor int) string {
+	return fmt.Sprintf("astro/fits/visit-%02d/sensor-%02d.fits", visit, sensor)
+}
+
+// Grid returns the patch grid used with this config. Patches are 2/3 of a
+// sensor wide and one sensor tall, so a dithered sensor overlaps 1–6
+// patches, matching the paper's Step 2A description.
+func (c AstroConfig) Grid() skymap.Grid {
+	return skymap.Grid{PatchW: c.W * 2 / 3, PatchH: c.H}
+}
+
+// TrueSource is a ground-truth sky source, used by tests to validate the
+// detection step.
+type TrueSource struct {
+	X, Y float64 // sky pixel position
+	Flux float64 // total flux per visit
+}
+
+// GenAstro writes c.Visits synthetic survey visits into the store as FITS
+// files (one per sensor per visit) annotated with paper-scale sizes, and
+// returns the ground-truth source catalog.
+//
+// Every visit observes the same fixed sky sources through a per-visit
+// transparency factor and sky background, with Gaussian pixel noise,
+// per-visit dither of a few pixels, and injected cosmic rays — giving the
+// pre-processing, co-addition, and detection steps real work to do.
+func GenAstro(store *objstore.Store, c AstroConfig) ([]TrueSource, error) {
+	if c.Visits <= 0 || c.Sensors <= 0 || c.W <= 0 || c.H <= 0 {
+		return nil, fmt.Errorf("synth: invalid astro config %+v", c)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	cols := int(math.Ceil(math.Sqrt(float64(c.Sensors))))
+	skyW := cols * c.W
+	skyH := ((c.Sensors + cols - 1) / cols) * c.H
+
+	// Fixed sources on the sky, kept away from the outer border so that
+	// every dithered visit still covers them.
+	margin := 6.0
+	sources := make([]TrueSource, c.Sources)
+	for i := range sources {
+		sources[i] = TrueSource{
+			X:    margin + rng.Float64()*(float64(skyW)-2*margin),
+			Y:    margin + rng.Float64()*(float64(skyH)-2*margin),
+			Flux: 800 + rng.Float64()*2400,
+		}
+	}
+
+	const psfSigma = 1.4
+	for v := 0; v < c.Visits; v++ {
+		vr := rand.New(rand.NewSource(c.Seed + 1000 + int64(v)))
+		transparency := 0.8 + 0.4*vr.Float64()
+		skyBG := 80 + 40*vr.Float64()
+		ditherX := vr.Intn(7) - 3
+		ditherY := vr.Intn(7) - 3
+		for s := 0; s < c.Sensors; s++ {
+			x0 := (s%cols)*c.W + ditherX
+			y0 := (s/cols)*c.H + ditherY
+			e := skymap.NewExposure(v, s, x0, y0, c.W, c.H)
+			renderSensor(e, sources, transparency, skyBG, psfSigma, vr)
+			store.Put(AstroKeyFITS(v, s), fits.EncodeExposure(e), PaperSensorBytes)
+		}
+	}
+	return sources, nil
+}
+
+func renderSensor(e *skymap.Exposure, sources []TrueSource, transparency, skyBG, psfSigma float64, rng *rand.Rand) {
+	noiseStd := math.Sqrt(skyBG)
+	for y := 0; y < e.Flux.H; y++ {
+		for x := 0; x < e.Flux.W; x++ {
+			e.Flux.Set(x, y, skyBG+rng.NormFloat64()*noiseStd)
+			e.Var.Set(x, y, skyBG)
+		}
+	}
+	// Render PSF-spread sources that fall on this sensor.
+	for _, src := range sources {
+		lx, ly := src.X-float64(e.X0), src.Y-float64(e.Y0)
+		if lx < -5 || ly < -5 || lx > float64(e.Flux.W)+5 || ly > float64(e.Flux.H)+5 {
+			continue
+		}
+		amp := transparency * src.Flux / (2 * math.Pi * psfSigma * psfSigma)
+		r := int(math.Ceil(4 * psfSigma))
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				px, py := int(math.Round(lx))+dx, int(math.Round(ly))+dy
+				if !e.Flux.In(px, py) {
+					continue
+				}
+				ddx, ddy := float64(px)-lx, float64(py)-ly
+				f := amp * math.Exp(-(ddx*ddx+ddy*ddy)/(2*psfSigma*psfSigma))
+				e.Flux.Set(px, py, e.Flux.At(px, py)+f)
+			}
+		}
+	}
+	// Cosmic rays: isolated hot pixels, ~0.2% of the sensor.
+	nCR := len(e.Flux.Pix) / 500
+	for i := 0; i < nCR; i++ {
+		idx := rng.Intn(len(e.Flux.Pix))
+		e.Flux.Pix[idx] += 3000 + rng.Float64()*5000
+	}
+}

@@ -1,0 +1,118 @@
+package synth
+
+import (
+	"testing"
+
+	"imagebench/internal/fits"
+	"imagebench/internal/nifti"
+	"imagebench/internal/npy"
+	"imagebench/internal/objstore"
+	"imagebench/internal/volume"
+)
+
+func TestGenNeuroStagingsAgree(t *testing.T) {
+	store := objstore.New()
+	cfg := DefaultNeuro(2)
+	cfg.NX, cfg.NY, cfg.NZ, cfg.T, cfg.B0 = 6, 6, 6, 6, 2
+	g, err := GenNeuro(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != cfg.T {
+		t.Fatalf("gradient table has %d entries", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The NIfTI and .npy stagings must hold identical voxel data.
+	obj, err := store.Get(NeuroKeyNIfTI(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err := nifti.Decode4(obj.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < cfg.T; tt++ {
+		o, err := store.Get(NeuroKeyNPY(0, tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := npy.Decode(o.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if volume.MaxAbsDiff(v, v4.Vols[tt]) != 0 {
+			t.Fatalf("volume %d: nii and npy stagings differ", tt)
+		}
+		if o.Size() != PaperVolBytes {
+			t.Errorf("npy model bytes %d", o.Size())
+		}
+	}
+	if obj.Size() != cfg.SubjectModelBytes() {
+		t.Errorf("subject model bytes %d, want %d", obj.Size(), cfg.SubjectModelBytes())
+	}
+}
+
+func TestGenNeuroDeterministic(t *testing.T) {
+	cfg := DefaultNeuro(1)
+	cfg.NX, cfg.NY, cfg.NZ, cfg.T, cfg.B0 = 5, 5, 5, 4, 1
+	s1, s2 := objstore.New(), objstore.New()
+	if _, err := GenNeuro(s1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenNeuro(s2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s1.Get(NeuroKeyNIfTI(0))
+	b, _ := s2.Get(NeuroKeyNIfTI(0))
+	if string(a.Data) != string(b.Data) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestGenNeuroInvalidConfig(t *testing.T) {
+	if _, err := GenNeuro(objstore.New(), NeuroConfig{Subjects: 0}); err == nil {
+		t.Error("zero subjects accepted")
+	}
+	bad := DefaultNeuro(1)
+	bad.B0 = bad.T // no diffusion-weighted volumes
+	if _, err := GenNeuro(objstore.New(), bad); err == nil {
+		t.Error("all-b0 config accepted")
+	}
+}
+
+func TestGenAstroGeometry(t *testing.T) {
+	store := objstore.New()
+	cfg := DefaultAstro(3)
+	cfg.Sensors, cfg.W, cfg.H, cfg.Sources = 4, 24, 24, 6
+	truth, err := GenAstro(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 6 {
+		t.Fatalf("%d true sources", len(truth))
+	}
+	keys := store.List("astro/fits/")
+	if len(keys) != 3*4 {
+		t.Fatalf("%d FITS files", len(keys))
+	}
+	for _, k := range keys {
+		obj, _ := store.Get(k)
+		e, err := fits.DecodeExposure(obj.Data)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if e.Flux.W != 24 || e.Flux.H != 24 {
+			t.Fatalf("%s: sensor %dx%d", k, e.Flux.W, e.Flux.H)
+		}
+		if obj.Size() != PaperSensorBytes {
+			t.Errorf("%s model bytes %d", k, obj.Size())
+		}
+	}
+	// The grid produces 1–6 overlaps per sensor by construction.
+	g := cfg.Grid()
+	if g.PatchW != 16 || g.PatchH != 24 {
+		t.Errorf("grid %+v", g)
+	}
+}

@@ -1,0 +1,126 @@
+package tfgraph
+
+import (
+	"strings"
+	"testing"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/cost"
+	"imagebench/internal/objstore"
+)
+
+func splitSession(nodes int) *Session {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	return NewSession(cluster.New(cfg), objstore.New(), nil)
+}
+
+func tensorsN(n int, size int64) []Tensor {
+	out := make([]Tensor, n)
+	for i := range out {
+		out[i] = Tensor{Value: i, Size: size}
+	}
+	return out
+}
+
+func TestRunStepSplitSingleGraphWhenSmall(t *testing.T) {
+	s := splitSession(4)
+	out, graphs, h, err := s.RunStepSplit("mean", cost.Mean, tensorsN(8, 1<<20), StepOpts{},
+		func(in Tensor) (Tensor, error) { return Tensor{Value: in.Value, Size: in.Size}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs != 1 {
+		t.Errorf("small step split into %d graphs, want 1", graphs)
+	}
+	if len(out) != 8 || h == nil {
+		t.Fatalf("got %d outputs", len(out))
+	}
+}
+
+func TestRunStepSplitRespectsLimit(t *testing.T) {
+	s := splitSession(4)
+	s.MaxGraphBytes = 4 << 20 // tiny limit: ~3 MB of constants per graph
+	// 12 items × 100 MB/50 = 2 MB of graph constants each.
+	items := tensorsN(12, 100<<20)
+	out, graphs, _, err := s.RunStepSplit("denoise", cost.Denoise, items, StepOpts{},
+		func(in Tensor) (Tensor, error) { return in, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs < 2 {
+		t.Fatalf("oversized step ran as %d graph(s); the 2 GB analogue limit did not bite", graphs)
+	}
+	if len(out) != len(items) {
+		t.Fatalf("got %d outputs, want %d", len(out), len(items))
+	}
+	// Order preserved.
+	for i, o := range out {
+		if o.Value.(int) != i {
+			t.Fatalf("output %d out of order: %v", i, o.Value)
+		}
+	}
+}
+
+func TestRunStepSplitItemTooLarge(t *testing.T) {
+	s := splitSession(2)
+	s.MaxGraphBytes = 2 << 20
+	// One item whose constants alone exceed the limit.
+	_, _, _, err := s.RunStepSplit("x", cost.Mean, tensorsN(1, 100<<30), StepOpts{},
+		func(in Tensor) (Tensor, error) { return in, nil })
+	if err == nil || !strings.Contains(err.Error(), "alone exceeds") {
+		t.Fatalf("expected item-too-large error, got %v", err)
+	}
+}
+
+func TestRunStepSplitSlicesAssignments(t *testing.T) {
+	s := splitSession(4)
+	s.MaxGraphBytes = 4 << 20
+	items := tensorsN(6, 100<<20)
+	assign := []int{3, 3, 3, 3, 3, 3} // everything on device 3
+	_, graphs, _, err := s.RunStepSplit("assigned", cost.Mean, items, StepOpts{Assign: assign},
+		func(in Tensor) (Tensor, error) { return in, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs < 2 {
+		t.Fatalf("expected multiple graphs, got %d", graphs)
+	}
+	// Mismatched assignment length still errors.
+	_, _, _, err = s.RunStepSplit("bad", cost.Mean, items, StepOpts{Assign: assign[:2]},
+		func(in Tensor) (Tensor, error) { return in, nil })
+	if err == nil {
+		t.Error("short assignment should error")
+	}
+}
+
+func TestRunStepSplitVsUnsplitCost(t *testing.T) {
+	// Splitting pays extra graph builds and barriers: the split run of
+	// the same work should take at least as long as the single-graph run.
+	run := func(limit int64) float64 {
+		s := splitSession(4)
+		if limit > 0 {
+			s.MaxGraphBytes = limit
+		}
+		_, _, h, err := s.RunStepSplit("w", cost.Denoise, tensorsN(8, 100<<20), StepOpts{},
+			func(in Tensor) (Tensor, error) { return in, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(h.End)
+	}
+	single := run(0)
+	split := run(4 << 20)
+	if split < single {
+		t.Errorf("split run (%v) faster than single graph (%v)", split, single)
+	}
+}
+
+func TestRunStepSplitEmpty(t *testing.T) {
+	s := splitSession(2)
+	out, graphs, h, err := s.RunStepSplit("empty", cost.Mean, nil, StepOpts{},
+		func(in Tensor) (Tensor, error) { return in, nil })
+	if err != nil || len(out) != 0 || graphs != 0 || h == nil {
+		t.Fatalf("empty step: out=%d graphs=%d h=%v err=%v", len(out), graphs, h, err)
+	}
+}

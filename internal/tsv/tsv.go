@@ -1,0 +1,142 @@
+// Package tsv implements the tab- and comma-separated volume codecs
+// SciDB's boundaries impose: the stream() interface hands chunk data to
+// external processes as TSV (Section 4.1: "assumes that TSV can be
+// easily digested by the external process"), and the aio_input() ingest
+// path parses CSV ("we first convert the NIfTI files into
+// Comma-Separated Value files"). One line per cell: x, y, z
+// coordinates and the value.
+package tsv
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"imagebench/internal/volume"
+)
+
+// Encode serializes a volume as TSV: one "x\ty\tz\tvalue" line per cell.
+func Encode(v *volume.V3) []byte {
+	return encode(v, '\t')
+}
+
+// EncodeCSV serializes a volume as CSV: one "x,y,z,value" line per cell.
+func EncodeCSV(v *volume.V3) []byte {
+	return encode(v, ',')
+}
+
+func encode(v *volume.V3, sep byte) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for z := 0; z < v.NZ; z++ {
+		for y := 0; y < v.NY; y++ {
+			for x := 0; x < v.NX; x++ {
+				w.WriteString(strconv.Itoa(x))
+				w.WriteByte(sep)
+				w.WriteString(strconv.Itoa(y))
+				w.WriteByte(sep)
+				w.WriteString(strconv.Itoa(z))
+				w.WriteByte(sep)
+				w.WriteString(strconv.FormatFloat(v.At(x, y, z), 'g', -1, 64))
+				w.WriteByte('\n')
+			}
+		}
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// Decode parses a TSV volume stream back into a volume. The grid extent
+// is inferred from the maximum coordinates; cells may appear in any
+// order, and every cell of the grid must be present exactly once.
+func Decode(data []byte) (*volume.V3, error) {
+	return decode(data, "\t")
+}
+
+// DecodeCSV parses a CSV volume stream.
+func DecodeCSV(data []byte) (*volume.V3, error) {
+	return decode(data, ",")
+}
+
+func decode(data []byte, sep string) (*volume.V3, error) {
+	type cell struct {
+		x, y, z int
+		v       float64
+	}
+	var cells []cell
+	nx, ny, nz := 0, 0, 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, sep)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("tsv: line %d: %d fields, want 4", line, len(parts))
+		}
+		x, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("tsv: line %d: bad x %q", line, parts[0])
+		}
+		y, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("tsv: line %d: bad y %q", line, parts[1])
+		}
+		z, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("tsv: line %d: bad z %q", line, parts[2])
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("tsv: line %d: bad value %q", line, parts[3])
+		}
+		if x < 0 || y < 0 || z < 0 {
+			return nil, fmt.Errorf("tsv: line %d: negative coordinate", line)
+		}
+		if x+1 > nx {
+			nx = x + 1
+		}
+		if y+1 > ny {
+			ny = y + 1
+		}
+		if z+1 > nz {
+			nz = z + 1
+		}
+		cells = append(cells, cell{x, y, z, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsv: %w", err)
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("tsv: empty stream")
+	}
+	if len(cells) != nx*ny*nz {
+		return nil, fmt.Errorf("tsv: %d cells for a %d×%d×%d grid", len(cells), nx, ny, nz)
+	}
+	out := volume.New3(nx, ny, nz)
+	seen := make([]bool, nx*ny*nz)
+	for _, c := range cells {
+		idx := out.Idx(c.x, c.y, c.z)
+		if seen[idx] {
+			return nil, fmt.Errorf("tsv: duplicate cell (%d,%d,%d)", c.x, c.y, c.z)
+		}
+		seen[idx] = true
+		out.Data[idx] = c.v
+	}
+	return out, nil
+}
+
+// Expansion reports the measured text-to-binary size ratio for a volume,
+// the quantity the cost model's TSV/CSV taxes are calibrated against.
+func Expansion(v *volume.V3) float64 {
+	if v.Len() == 0 {
+		return 0
+	}
+	return float64(len(Encode(v))) / float64(8*v.Len())
+}

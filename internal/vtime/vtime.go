@@ -1,0 +1,181 @@
+// Package vtime provides virtual (simulated) time primitives used by the
+// cluster simulator. All performance experiments in this repository run in
+// virtual time: tasks advance per-resource clocks by modeled durations
+// instead of waiting on the wall clock, which makes 64-node experiments
+// deterministic and runnable on a single physical core.
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start of
+// a simulation. The zero value is the simulation start.
+type Time time.Duration
+
+// Duration aliases time.Duration for readability in simulator APIs.
+type Duration = time.Duration
+
+// Add returns t advanced by d. Negative durations are clamped so that time
+// never moves backwards; the simulator never needs to rewind a clock.
+func (t Time) Add(d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	return t + Time(d)
+}
+
+// Sub returns the duration t-u, which may be negative.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns t expressed in virtual seconds.
+func (t Time) Seconds() float64 { return Duration(t).Seconds() }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Max returns the latest of the given times. Max() is the zero time.
+func Max(ts ...Time) Time {
+	var m Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Min returns the earliest of the given times. Min() is the zero time.
+func Min(ts ...Time) Time {
+	if len(ts) == 0 {
+		return 0
+	}
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// GapTimeline models a serially-reusable resource whose requests arrive in
+// arbitrary ready-time order (a centralized scheduler dispatching tasks as
+// their dependencies complete, not in submission order): each reservation
+// books the earliest gap of sufficient length at or after the ready time,
+// so an early-ready request submitted late still uses idle time before
+// later-ready requests.
+type GapTimeline struct {
+	// busy intervals, sorted by start, non-overlapping.
+	starts, ends []Time
+	busy         Duration
+}
+
+// Reserve books the resource for duration d at the earliest gap starting no
+// earlier than ready, returning the booked interval.
+func (g *GapTimeline) Reserve(ready Time, d Duration) (start, end Time) {
+	if d < 0 {
+		d = 0
+	}
+	start = ready
+	i := 0
+	for ; i < len(g.starts); i++ {
+		if g.starts[i] >= start.Add(d) {
+			break // fits entirely before interval i
+		}
+		if g.ends[i] > start {
+			start = g.ends[i] // push past interval i
+		}
+	}
+	end = start.Add(d)
+	if d > 0 {
+		g.starts = append(g.starts, 0)
+		g.ends = append(g.ends, 0)
+		copy(g.starts[i+1:], g.starts[i:])
+		copy(g.ends[i+1:], g.ends[i:])
+		g.starts[i] = start
+		g.ends[i] = end
+		g.busy += d
+		// Coalesce with neighbours to keep the list short.
+		g.coalesce()
+	}
+	return start, end
+}
+
+func (g *GapTimeline) coalesce() {
+	out := 0
+	for i := 1; i < len(g.starts); i++ {
+		if g.starts[i] <= g.ends[out] {
+			if g.ends[i] > g.ends[out] {
+				g.ends[out] = g.ends[i]
+			}
+		} else {
+			out++
+			g.starts[out] = g.starts[i]
+			g.ends[out] = g.ends[i]
+		}
+	}
+	g.starts = g.starts[:out+1]
+	g.ends = g.ends[:out+1]
+}
+
+// StartAt returns the time Reserve(ready, d) would book, without booking.
+func (g *GapTimeline) StartAt(ready Time, d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := ready
+	for i := 0; i < len(g.starts); i++ {
+		if g.starts[i] >= start.Add(d) {
+			break
+		}
+		if g.ends[i] > start {
+			start = g.ends[i]
+		}
+	}
+	return start
+}
+
+// Busy returns the total reserved time.
+func (g *GapTimeline) Busy() Duration { return g.busy }
+
+// Timeline models a serially-reusable resource (a worker slot, a NIC, a disk
+// arm): at any moment it is either free or busy until some virtual time.
+type Timeline struct {
+	free Time
+	busy Duration // total busy time accumulated, for utilization reports
+}
+
+// FreeAt returns the earliest virtual time the resource is available.
+func (tl *Timeline) FreeAt() Time { return tl.free }
+
+// Reserve books the resource for duration d starting no earlier than
+// ready, and returns the interval's start and end times.
+func (tl *Timeline) Reserve(ready Time, d Duration) (start, end Time) {
+	if d < 0 {
+		d = 0
+	}
+	start = Max(tl.free, ready)
+	end = start.Add(d)
+	tl.free = end
+	tl.busy += d
+	return start, end
+}
+
+// Busy returns the total time the resource has been occupied.
+func (tl *Timeline) Busy() Duration { return tl.busy }
+
+// Utilization returns the fraction of time the resource was busy up to its
+// last reservation. It reports 0 for an unused timeline.
+func (tl *Timeline) Utilization() float64 {
+	if tl.free == 0 {
+		return 0
+	}
+	return tl.busy.Seconds() / Duration(tl.free).Seconds()
+}

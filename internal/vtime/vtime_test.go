@@ -1,0 +1,123 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var z Time
+	if got := z.Add(5 * time.Second); got.Seconds() != 5 {
+		t.Errorf("Add = %v, want 5s", got)
+	}
+	if got := z.Add(-time.Second); got != z {
+		t.Errorf("negative Add moved time backwards: %v", got)
+	}
+	a, b := Time(3*time.Second), Time(time.Second)
+	if a.Sub(b) != 2*time.Second {
+		t.Errorf("Sub = %v", a.Sub(b))
+	}
+	if !b.Before(a) || !a.After(b) {
+		t.Error("Before/After inconsistent")
+	}
+	if Max(a, b, z) != a || Min(a, b, z) != z {
+		t.Error("Max/Min wrong")
+	}
+	if Max() != 0 || Min() != 0 {
+		t.Error("empty Max/Min should be zero")
+	}
+	if a.String() != "3.000s" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestTimelineReserve(t *testing.T) {
+	var tl Timeline
+	s1, e1 := tl.Reserve(0, 10)
+	if s1 != 0 || e1 != Time(10) {
+		t.Fatalf("first reserve [%v,%v]", s1, e1)
+	}
+	// Second reservation queues behind the first even if ready earlier.
+	s2, e2 := tl.Reserve(5, 10)
+	if s2 != Time(10) || e2 != Time(20) {
+		t.Fatalf("second reserve [%v,%v]", s2, e2)
+	}
+	// A late-ready reservation starts at its ready time.
+	s3, _ := tl.Reserve(100, 5)
+	if s3 != Time(100) {
+		t.Fatalf("third reserve starts %v, want 100ns", s3)
+	}
+	if tl.Busy() != 25 {
+		t.Errorf("Busy = %v, want 25", tl.Busy())
+	}
+	if u := tl.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("Utilization = %v", u)
+	}
+}
+
+func TestGapTimelineBackfill(t *testing.T) {
+	var g GapTimeline
+	// Book [100,110), then a later-submitted early-ready task must use
+	// the idle time before it.
+	g.Reserve(100, 10)
+	s, e := g.Reserve(0, 10)
+	if s != 0 || e != Time(10) {
+		t.Fatalf("backfill got [%v,%v], want [0,10)", s, e)
+	}
+	// A task too big for the gap goes after the last booking.
+	s, _ = g.Reserve(0, 95)
+	if s != Time(110) {
+		t.Fatalf("oversized task starts %v, want 110", s)
+	}
+}
+
+func TestGapTimelineStartAtMatchesReserve(t *testing.T) {
+	var g GapTimeline
+	g.Reserve(10, 10)
+	g.Reserve(40, 10)
+	for _, tc := range []struct {
+		ready Time
+		d     time.Duration
+	}{{0, 5}, {0, 15}, {12, 3}, {12, 30}, {45, 1}, {100, 7}} {
+		want := g.StartAt(tc.ready, tc.d)
+		var copyG GapTimeline
+		copyG.starts = append([]Time(nil), g.starts...)
+		copyG.ends = append([]Time(nil), g.ends...)
+		got, _ := copyG.Reserve(tc.ready, tc.d)
+		if got != want {
+			t.Errorf("StartAt(%v,%v)=%v but Reserve books %v", tc.ready, tc.d, want, got)
+		}
+	}
+}
+
+func TestGapTimelineNoOverlapProperty(t *testing.T) {
+	// Property: any sequence of reservations yields non-overlapping
+	// intervals, each starting at or after its ready time.
+	f := func(seeds []uint16) bool {
+		var g GapTimeline
+		type iv struct{ s, e Time }
+		var booked []iv
+		for i, x := range seeds {
+			if i > 200 {
+				break
+			}
+			ready := Time(x%997) * Time(time.Millisecond)
+			d := time.Duration(x%13+1) * time.Millisecond
+			s, e := g.Reserve(ready, d)
+			if s < ready || e.Sub(s) != d {
+				return false
+			}
+			for _, b := range booked {
+				if s < b.e && b.s < e {
+					return false // overlap
+				}
+			}
+			booked = append(booked, iv{s, e})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
