@@ -2,6 +2,10 @@
 // table and figure of "Comparative Evaluation of Big-Data Systems on
 // Scientific Image Analytics Workloads" (VLDB 2017).
 //
+// Experiments are scheduled on the shared worker-pool runner (the same
+// scheduler behind the imagebenchd daemon), so `imagebench all` runs
+// them concurrently and prints results in deterministic order.
+//
 // Usage:
 //
 //	imagebench -list               # show all experiment IDs
@@ -9,17 +13,20 @@
 //	imagebench -profile quick all  # run everything under the quick profile
 //	imagebench -check fig12d       # also validate the paper's shape
 //	imagebench -json fig11         # machine-readable output
+//	imagebench -parallel 2 all     # cap the worker pool
+//	imagebench -cache-dir /tmp/ib all  # reuse results across invocations
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"time"
 
 	"imagebench/internal/core"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
 )
 
 func main() {
@@ -27,6 +34,8 @@ func main() {
 	profile := flag.String("profile", "full", `workload profile: "full" (paper sweeps) or "quick"`)
 	check := flag.Bool("check", true, "validate each table against the paper's qualitative shape")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of rendered tables")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
 	flag.Parse()
 
 	if *list {
@@ -37,13 +46,8 @@ func main() {
 		return
 	}
 
-	var p core.Profile
-	switch *profile {
-	case "full":
-		p = core.Full()
-	case "quick":
-		p = core.Quick()
-	default:
+	p, err := core.ProfileByName(*profile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "imagebench: unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
@@ -67,6 +71,30 @@ func main() {
 		}
 	}
 
+	var cache *results.Cache
+	if *cacheDir != "" {
+		cache, err = results.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Submit everything up front so the pool runs experiments
+	// concurrently, then collect in submission order: the output is
+	// byte-identical in table content to the old serial path.
+	sched := runner.New(runner.Options{Workers: *parallel, Cache: cache})
+	defer sched.Close()
+	jobs := make([]*runner.Job, len(exps))
+	for i, e := range exps {
+		j, err := sched.Submit(e.ID, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imagebench: submit %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		jobs[i] = j
+	}
+
 	// jsonResult is the machine-readable record emitted per experiment
 	// under -json.
 	type jsonResult struct {
@@ -80,16 +108,15 @@ func main() {
 		Notes   []string     `json:"notes,omitempty"`
 		Shape   string       `json:"shape,omitempty"` // "ok" or the check failure
 	}
-	var results []jsonResult
+	var jsonResults []jsonResult
 
 	failed := 0
-	for _, e := range exps {
+	for i, e := range exps {
 		if !*asJSON {
 			fmt.Printf("=== %s: %s (profile %s)\n", e.ID, e.Title, p.Name)
 			fmt.Printf("    paper: %s\n", e.Paper)
 		}
-		start := time.Now()
-		tab, err := e.Run(p)
+		tab, err := runner.Wait(context.Background(), jobs[i])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "imagebench: %s failed: %v\n", e.ID, err)
 			failed++
@@ -105,19 +132,10 @@ func main() {
 			}
 		}
 		if *asJSON {
-			cells := make([][]*float64, len(tab.Cells))
-			for i, row := range tab.Cells {
-				cells[i] = make([]*float64, len(row))
-				for j, v := range row {
-					if !math.IsNaN(v) {
-						v := v
-						cells[i][j] = &v
-					}
-				}
-			}
-			results = append(results, jsonResult{
+			jsonResults = append(jsonResults, jsonResult{
 				ID: e.ID, Title: e.Title, Profile: p.Name, Unit: tab.Unit,
-				Columns: tab.ColNames, Rows: tab.RowNames, Cells: cells,
+				Columns: tab.ColNames, Rows: tab.RowNames,
+				Cells: tab.NullableCells(),
 				Notes: tab.Notes, Shape: shape,
 			})
 			continue
@@ -129,12 +147,17 @@ func main() {
 		case shape != "":
 			fmt.Printf("    SHAPE CHECK FAILED: %v\n", shape)
 		}
-		fmt.Printf("    (ran in %.1fs real time)\n\n", time.Since(start).Seconds())
+		info := jobs[i].Snapshot()
+		if info.CacheHit {
+			fmt.Printf("    (served from result cache, key %s)\n\n", info.ResultKey)
+		} else {
+			fmt.Printf("    (ran in %.1fs real time)\n\n", info.ElapsedSec)
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(jsonResults); err != nil {
 			fmt.Fprintln(os.Stderr, "imagebench:", err)
 			os.Exit(1)
 		}

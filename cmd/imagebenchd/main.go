@@ -1,0 +1,79 @@
+// Command imagebenchd is the experiment service daemon: a long-lived
+// HTTP server that schedules paper-reproduction experiments on a
+// bounded worker pool, deduplicates identical requests, and serves
+// results from a content-addressed cache.
+//
+// Usage:
+//
+//	imagebenchd -addr :8080 -workers 8 -cache-dir /var/cache/imagebench
+//
+// API:
+//
+//	GET  /healthz              liveness probe
+//	GET  /metrics              expvar-style counters (JSON)
+//	GET  /v1/experiments       list registered experiments
+//	POST /v1/jobs              {"experiments":["fig11"],"profile":"quick","wait":true}
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         one job's status
+//	GET  /v1/results           list cached result keys
+//	GET  /v1/results/{key}     cached table (JSON, or text via Accept: text/plain)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 1024, "max queued jobs before submits are rejected")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = in-memory only)")
+	flag.Parse()
+
+	cache, err := results.Open(*cacheDir)
+	if err != nil {
+		log.Fatalf("imagebenchd: %v", err)
+	}
+	sched := runner.New(runner.Options{Workers: *workers, QueueDepth: *queueDepth, Cache: cache})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(sched, cache),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		log.Print("imagebenchd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("imagebenchd: listening on %s (workers=%d, cache=%s)",
+		*addr, sched.Stats().Workers, cacheLabel(*cacheDir))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("imagebenchd: %v", err)
+	}
+	sched.Close()
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+)
+
+// server wires the scheduler and result cache into the HTTP API. It is
+// constructed by newServer so tests can drive it through httptest.
+type server struct {
+	sched *runner.Scheduler
+	cache *results.Cache
+	start time.Time
+}
+
+// newServer returns the daemon's HTTP handler over the given scheduler
+// and cache.
+func newServer(sched *runner.Scheduler, cache *results.Cache) http.Handler {
+	s := &server{sched: sched, cache: cache, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results", s.handleResultKeys)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	return mux
+}
+
+// writeJSON emits v with indentation; these are operator-facing
+// endpoints, so readability beats byte count.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metrics is the expvar-style counter payload served at /metrics.
+type metrics struct {
+	UptimeSeconds           float64 `json:"uptime_seconds"`
+	Workers                 int     `json:"workers"`
+	JobsSubmitted           int64   `json:"jobs_submitted"`
+	JobsExecuted            int64   `json:"jobs_executed"`
+	JobsFailed              int64   `json:"jobs_failed"`
+	JobsDeduped             int64   `json:"jobs_deduped"`
+	JobsInFlight            int     `json:"jobs_in_flight"`
+	JobsRunning             int64   `json:"jobs_running"`
+	CacheHits               int64   `json:"cache_hits"`
+	CacheMisses             int64   `json:"cache_misses"`
+	CacheEntries            int     `json:"cache_entries"`
+	VirtualSecondsSimulated float64 `json:"virtual_seconds_simulated"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	cst := s.cache.Stats()
+	writeJSON(w, http.StatusOK, metrics{
+		UptimeSeconds:           time.Since(s.start).Seconds(),
+		Workers:                 st.Workers,
+		JobsSubmitted:           st.Submitted,
+		JobsExecuted:            st.Executed,
+		JobsFailed:              st.Failed,
+		JobsDeduped:             st.Deduped,
+		JobsInFlight:            st.InFlight,
+		JobsRunning:             st.Running,
+		CacheHits:               cst.Hits,
+		CacheMisses:             cst.Misses,
+		CacheEntries:            cst.Entries,
+		VirtualSecondsSimulated: st.VirtualSeconds,
+	})
+}
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Paper string `json:"paper"`
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	all := core.All()
+	out := make([]experimentInfo, 0, len(all))
+	for _, e := range all {
+		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// submitRequest is the POST /v1/jobs body. Experiments lists IDs, or
+// the single element "all" for the whole registry; profile is "quick"
+// or "full" (default "quick"). With wait=true the response is delayed
+// until every job terminates, which makes one-shot curl runs trivial.
+type submitRequest struct {
+	Experiments []string `json:"experiments"`
+	Profile     string   `json:"profile"`
+	Wait        bool     `json:"wait"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Experiments) == 0 {
+		writeError(w, http.StatusBadRequest, "experiments list is empty (use [\"all\"] for everything)")
+		return
+	}
+	if req.Profile == "" {
+		req.Profile = "quick"
+	}
+	profile, err := core.ProfileByName(req.Profile)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ids := req.Experiments
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range core.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	jobs := make([]*runner.Job, 0, len(ids))
+	for _, id := range ids {
+		j, err := s.sched.Submit(id, profile)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, runner.ErrQueueFull) {
+				status = http.StatusServiceUnavailable
+			} else if errors.Is(err, runner.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, "submit %s: %v", id, err)
+			return
+		}
+		jobs = append(jobs, j)
+	}
+
+	status := http.StatusAccepted
+	if req.Wait {
+		for _, j := range jobs {
+			select {
+			case <-j.Done():
+			case <-r.Context().Done():
+				writeError(w, http.StatusRequestTimeout, "client went away while waiting")
+				return
+			}
+		}
+		status = http.StatusOK
+	}
+	infos := make([]runner.Info, 0, len(jobs))
+	for _, j := range jobs {
+		infos = append(infos, j.Snapshot())
+	}
+	writeJSON(w, status, map[string]any{"jobs": infos})
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	infos := make([]runner.Info, 0, len(jobs))
+	for _, j := range jobs {
+		infos = append(infos, j.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *server) handleResultKeys(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"keys": s.cache.Keys()})
+}
+
+// handleResult serves one cached table: JSON by default, the CLI's
+// fixed-width rendering when the client asks for text/plain.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	entry, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for key %q", key)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# %s  (profile %s, key %s)\n%s",
+			entry.Experiment, entry.Profile.Name, entry.Key, entry.Table.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, entry)
+}

@@ -1,0 +1,323 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+)
+
+// The API tests register synthetic experiments so they can count
+// simulation executions exactly and stay fast; the real registry is
+// still exercised through GET /v1/experiments.
+
+var (
+	httpRuns  atomic.Int64
+	concRuns  atomic.Int64
+	registerO sync.Once
+)
+
+func registerFakes() {
+	registerO.Do(func() {
+		fake := func(counter *atomic.Int64) func(core.Profile) (*core.Table, error) {
+			return func(core.Profile) (*core.Table, error) {
+				counter.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				t := core.NewTable("fake", "virtual s", []string{"r"}, []string{"c"})
+				t.Set("r", "c", 7)
+				return t, nil
+			}
+		}
+		core.Register(&core.Experiment{
+			ID: "zz-test-http", Title: "fake http", Paper: "n/a",
+			Run: fake(&httpRuns), Check: func(*core.Table) error { return nil },
+		})
+		core.Register(&core.Experiment{
+			ID: "zz-test-conc", Title: "fake concurrent", Paper: "n/a",
+			Run: fake(&concRuns), Check: func(*core.Table) error { return nil },
+		})
+	})
+}
+
+// newTestServer stands up the full daemon handler over a fresh
+// scheduler and memory cache.
+func newTestServer(t *testing.T) (*httptest.Server, *runner.Scheduler, *results.Cache) {
+	t.Helper()
+	registerFakes()
+	cache, err := results.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := runner.New(runner.Options{Workers: 4, Cache: cache})
+	ts := httptest.NewServer(newServer(sched, cache))
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Close()
+	})
+	return ts, sched, cache
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJobs(t *testing.T, url string, body string) (*http.Response, map[string][]runner.Info) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string][]runner.Info
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("POST /v1/jobs: decode %q: %v", raw, err)
+		}
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var body map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var exps []struct{ ID, Title, Paper string }
+	resp := getJSON(t, ts.URL+"/v1/experiments", &exps)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(exps) < 24 {
+		t.Errorf("listed %d experiments, want at least the paper's 24", len(exps))
+	}
+	found := false
+	for _, e := range exps {
+		if e.ID == "fig11" && e.Title != "" && e.Paper != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fig11 missing or incomplete in experiment listing")
+	}
+}
+
+func TestJobLifecycleAndResults(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	resp, out := postJobs(t, ts.URL, `{"experiments":["zz-test-http"],"profile":"quick","wait":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("waited submit status = %d", resp.StatusCode)
+	}
+	jobs := out["jobs"]
+	if len(jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(jobs))
+	}
+	job := jobs[0]
+	if job.Status != runner.StatusDone || job.Experiment != "zz-test-http" || job.ResultKey == "" {
+		t.Fatalf("job = %+v, want done with result key", job)
+	}
+
+	// GET /v1/jobs/{id}
+	var got runner.Info
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job fetch status = %d", resp.StatusCode)
+	}
+	if got.ID != job.ID || got.Status != runner.StatusDone {
+		t.Errorf("job fetch = %+v", got)
+	}
+
+	// GET /v1/jobs (listing)
+	var listing map[string][]runner.Info
+	getJSON(t, ts.URL+"/v1/jobs", &listing)
+	if len(listing["jobs"]) != 1 {
+		t.Errorf("job listing has %d jobs, want 1", len(listing["jobs"]))
+	}
+
+	// GET /v1/results (key listing)
+	var keys map[string][]string
+	getJSON(t, ts.URL+"/v1/results", &keys)
+	if len(keys["keys"]) != 1 || keys["keys"][0] != job.ResultKey {
+		t.Errorf("result keys = %v, want [%s]", keys["keys"], job.ResultKey)
+	}
+
+	// GET /v1/results/{key} as JSON
+	var entry results.Entry
+	if resp := getJSON(t, ts.URL+"/v1/results/"+job.ResultKey, &entry); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch status = %d", resp.StatusCode)
+	}
+	if entry.Experiment != "zz-test-http" || entry.Table.Get("r", "c") != 7 {
+		t.Errorf("cached entry = %+v", entry)
+	}
+
+	// GET /v1/results/{key} rendered as text
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/results/"+job.ResultKey, nil)
+	req.Header.Set("Accept", "text/plain")
+	tresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	text, _ := io.ReadAll(tresp.Body)
+	if ct := tresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %s", ct)
+	}
+	if !strings.Contains(string(text), "fake") || !strings.Contains(string(text), "7.00") {
+		t.Errorf("rendered table missing content:\n%s", text)
+	}
+}
+
+// TestRepeatedRequestServedFromCache is the acceptance criterion: an
+// identical second request is answered from the result cache — the hit
+// counter increments and no second simulation runs.
+func TestRepeatedRequestServedFromCache(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	httpRuns.Store(0)
+
+	body := `{"experiments":["zz-test-http"],"profile":"quick","wait":true}`
+	if resp, _ := postJobs(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit status = %d", resp.StatusCode)
+	}
+	resp, out := postJobs(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second submit status = %d", resp.StatusCode)
+	}
+	if jobs := out["jobs"]; len(jobs) != 1 || !jobs[0].CacheHit || jobs[0].Status != runner.StatusDone {
+		t.Fatalf("second submit jobs = %+v, want instant cache hit", out["jobs"])
+	}
+	if got := httpRuns.Load(); got != 1 {
+		t.Errorf("simulation ran %d times, want 1", got)
+	}
+	var m map[string]float64
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["jobs_executed"] != 1 {
+		t.Errorf("jobs_executed = %v, want 1", m["jobs_executed"])
+	}
+	if m["cache_hits"] < 1 {
+		t.Errorf("cache_hits = %v, want >= 1", m["cache_hits"])
+	}
+	if m["virtual_seconds_simulated"] != 7 {
+		t.Errorf("virtual_seconds_simulated = %v, want 7", m["virtual_seconds_simulated"])
+	}
+}
+
+// TestConcurrentIdenticalSubmitsExecuteOnce fires N identical POSTs
+// concurrently and proves the simulation executed exactly once across
+// single-flight dedup and the result cache.
+func TestConcurrentIdenticalSubmitsExecuteOnce(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	concRuns.Store(0)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := postJobs(t, ts.URL, `{"experiments":["zz-test-conc"],"wait":true}`)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			jobs := out["jobs"]
+			if len(jobs) != 1 || jobs[0].Status != runner.StatusDone {
+				errs <- fmt.Errorf("jobs = %+v", jobs)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := concRuns.Load(); got != 1 {
+		t.Errorf("simulation executed %d times under %d concurrent identical requests, want exactly 1", got, n)
+	}
+	var m map[string]float64
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["jobs_executed"] != 1 {
+		t.Errorf("jobs_executed = %v, want 1", m["jobs_executed"])
+	}
+	if m["jobs_deduped"]+m["cache_hits"] != n-1 {
+		t.Errorf("deduped (%v) + cache hits (%v) = %v, want %d",
+			m["jobs_deduped"], m["cache_hits"], m["jobs_deduped"]+m["cache_hits"], n-1)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"experiments":[]}`, http.StatusBadRequest},
+		{`{"experiments":["nope"]}`, http.StatusBadRequest},
+		{`{"experiments":["fig11"],"profile":"huge"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if resp, _ := postJobs(t, ts.URL, c.body); resp.StatusCode != c.want {
+			t.Errorf("POST %q = %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestNotFounds(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for _, path := range []string{
+		"/v1/jobs/job-12345",
+		"/v1/results/" + strings.Repeat("ab", 32),
+		"/v1/results/not-a-key",
+	} {
+		if resp := getJSON(t, ts.URL+path, nil); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsShape(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var m map[string]any
+	resp := getJSON(t, ts.URL+"/metrics", &m)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	for _, k := range []string{
+		"uptime_seconds", "workers", "jobs_submitted", "jobs_executed",
+		"jobs_failed", "jobs_deduped", "jobs_in_flight", "jobs_running",
+		"cache_hits", "cache_misses", "cache_entries", "virtual_seconds_simulated",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("metrics missing %q", k)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module imagebench
+
+go 1.22

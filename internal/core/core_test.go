@@ -9,12 +9,16 @@ import (
 // TestAllExperimentsQuickProfile runs every registered experiment under
 // the quick profile and validates its shape check — the repository's
 // central regression test: it asserts that the qualitative findings of
-// every paper table and figure still hold.
+// every paper table and figure still hold. Each experiment runs exactly
+// once, in parallel with the others (the simulations are deterministic
+// and share no mutable state), and all of its checks reuse that one
+// run's table.
 func TestAllExperimentsQuickProfile(t *testing.T) {
 	p := Quick()
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
 			tab, err := e.Run(p)
 			if err != nil {
 				t.Fatalf("%s: run: %v", e.ID, err)

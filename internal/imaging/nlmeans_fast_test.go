@@ -1,0 +1,116 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imagebench/internal/volume"
+)
+
+// naivePatchDist2 is the original clamped triple loop, kept as the
+// reference the optimized patchDist2 must match bit-for-bit.
+func naivePatchDist2(v *volume.V3, x, y, z, cx, cy, cz, r int) float64 {
+	var sum float64
+	var n int
+	for pz := -r; pz <= r; pz++ {
+		for py := -r; py <= r; py++ {
+			for px := -r; px <= r; px++ {
+				ax, ay, az := clamp(x+px, v.NX), clamp(y+py, v.NY), clamp(z+pz, v.NZ)
+				bx, by, bz := clamp(cx+px, v.NX), clamp(cy+py, v.NY), clamp(cz+pz, v.NZ)
+				d := v.At(ax, ay, az) - v.At(bx, by, bz)
+				sum += d * d
+				n++
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+// TestPatchDist2FastPathExact proves the interior fast path is
+// bit-identical to the clamped reference: the NLMeans results feed
+// deterministic, content-addressed experiment tables, so even
+// last-ulp drift would be a cache-key regression.
+func TestPatchDist2FastPathExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := volume.New3(9, 8, 7)
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64()
+	}
+	for r := 1; r <= 2; r++ {
+		for trial := 0; trial < 2000; trial++ {
+			x, y, z := rng.Intn(v.NX), rng.Intn(v.NY), rng.Intn(v.NZ)
+			cx, cy, cz := rng.Intn(v.NX), rng.Intn(v.NY), rng.Intn(v.NZ)
+			got := patchDist2(v, x, y, z, cx, cy, cz, r)
+			want := naivePatchDist2(v, x, y, z, cx, cy, cz, r)
+			if got != want {
+				t.Fatalf("patchDist2(%d,%d,%d ~ %d,%d,%d, r=%d) = %v, want %v (exact)",
+					x, y, z, cx, cy, cz, r, got, want)
+			}
+		}
+	}
+}
+
+// TestNLMeans3WindowClampExact pins the whole denoiser: the clamped
+// search window and fast patch distance must reproduce the original
+// implementation exactly, including at volume boundaries.
+func TestNLMeans3WindowClampExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	v := volume.New3(10, 9, 8)
+	for i := range v.Data {
+		v.Data[i] = 100 + 10*rng.NormFloat64()
+	}
+	got := NLMeans3(v, nil, NLMeansOpts{})
+	want := naiveNLMeans3(v, nil, NLMeansOpts{})
+	if !got.SameShape(want) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("voxel %d: %v != %v (must be bit-identical)", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// naiveNLMeans3 is the pre-optimization denoiser loop.
+func naiveNLMeans3(v *volume.V3, mask *volume.V3, opts NLMeansOpts) *volume.V3 {
+	opts = opts.withDefaults()
+	h := opts.H
+	if h <= 0 {
+		h = 0.7 * v.Summarize().Std
+		if h == 0 {
+			h = 1
+		}
+	}
+	h2 := h * h
+	pr, sr := opts.PatchRadius, opts.SearchRadius
+	out := v.Clone()
+	for z := 0; z < v.NZ; z++ {
+		for y := 0; y < v.NY; y++ {
+			for x := 0; x < v.NX; x++ {
+				if mask != nil && mask.At(x, y, z) == 0 {
+					continue
+				}
+				var wsum, vsum float64
+				for dz := -sr; dz <= sr; dz++ {
+					for dy := -sr; dy <= sr; dy++ {
+						for dx := -sr; dx <= sr; dx++ {
+							cx, cy, cz := x+dx, y+dy, z+dz
+							if !v.In(cx, cy, cz) {
+								continue
+							}
+							d2 := naivePatchDist2(v, x, y, z, cx, cy, cz, pr)
+							w := math.Exp(-d2 / h2)
+							wsum += w
+							vsum += w * v.At(cx, cy, cz)
+						}
+					}
+				}
+				if wsum > 0 {
+					out.Set(x, y, z, vsum/wsum)
+				}
+			}
+		}
+	}
+	return out
+}

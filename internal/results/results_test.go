@@ -1,0 +1,133 @@
+package results
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"imagebench/internal/core"
+)
+
+func sampleTable() *core.Table {
+	t := core.NewTable("sample", "virtual s", []string{"a", "b"}, []string{"1", "2"})
+	t.Set("a", "1", 1.5)
+	t.Set("b", "2", 3000)
+	t.Notes = append(t.Notes, "a note")
+	return t
+}
+
+func TestKeyStableAndDiscriminating(t *testing.T) {
+	q := core.Quick()
+	if Key("fig11", q) != Key("fig11", core.Quick()) {
+		t.Error("identical (experiment, profile) must produce identical keys")
+	}
+	if Key("fig11", q) == Key("fig12a", q) {
+		t.Error("different experiments must produce different keys")
+	}
+	if Key("fig11", q) == Key("fig11", core.Full()) {
+		t.Error("different profiles must produce different keys")
+	}
+	mutated := core.Quick()
+	mutated.NeuroT++
+	if Key("fig11", q) == Key("fig11", mutated) {
+		t.Error("any profile parameter change must change the key")
+	}
+	if k := Key("fig11", q); !validKey(k) {
+		t.Errorf("key %q is not 64 hex chars", k)
+	}
+}
+
+func TestMemoryCache(t *testing.T) {
+	c, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("fig11", core.Quick())
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	e := &Entry{Key: key, Experiment: "fig11", Profile: core.Quick(), Table: sampleTable()}
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || got.Table.Get("a", "1") != 1.5 {
+		t.Fatalf("Get after Put: ok=%v table=%+v", ok, got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if !c.Contains(key) || c.Contains(Key("fig12a", core.Quick())) {
+		t.Error("Contains disagrees with cache contents")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("Contains must not touch counters; stats = %+v", st)
+	}
+}
+
+func TestDiskRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("fig10c", core.Quick())
+	if err := c.Put(&Entry{Key: key, Experiment: "fig10c", Profile: core.Quick(), Table: sampleTable()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory serves the entry from disk,
+	// NaN cells intact.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("reopened cache missed a persisted entry")
+	}
+	if !math.IsNaN(got.Table.Get("a", "2")) {
+		t.Error("NA cell did not round-trip as NaN")
+	}
+	if got.Table.Get("b", "2") != 3000 {
+		t.Errorf("cell = %v, want 3000", got.Table.Get("b", "2"))
+	}
+	if got.Experiment != "fig10c" || got.Profile.Name != "quick" {
+		t.Errorf("provenance lost: %+v", got)
+	}
+	if keys := c2.Keys(); len(keys) != 1 || keys[0] != key {
+		t.Errorf("Keys() = %v, want [%s]", keys, key)
+	}
+}
+
+func TestCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("fig11", core.Quick())
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupt file served as a hit")
+	}
+}
+
+func TestInvalidKeysNeverTouchDisk(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "../../etc/passwd", "ZZZZ", "abc"} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("Get(%q) reported a hit", k)
+		}
+	}
+	if err := c.Put(&Entry{Key: "", Table: sampleTable()}); err == nil {
+		t.Error("Put with empty key must fail")
+	}
+}

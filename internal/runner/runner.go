@@ -1,0 +1,443 @@
+// Package runner is the experiment scheduler of the service layer: a
+// bounded worker pool that executes core experiments concurrently, with
+// per-job status, context cancellation, single-flight deduplication of
+// identical requests, and write-through to the content-addressed result
+// cache (internal/results). The CLI and the imagebenchd daemon both run
+// experiments through it, so a 24-experiment sweep uses every core
+// instead of one.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/results"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// ErrQueueFull is returned by Submit when the scheduler's backlog is at
+// capacity; callers should retry later or shed load.
+var ErrQueueFull = errors.New("runner: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("runner: scheduler closed")
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the backlog of queued jobs; 0 means 1024.
+	QueueDepth int
+	// MaxJobs bounds the retained job index: once exceeded, the oldest
+	// *terminated* jobs are evicted (their results stay in the cache).
+	// 0 means 4096. The daemon is long-lived; without a bound the job
+	// index would grow by one entry per submission forever.
+	MaxJobs int
+	// Cache, when non-nil, is consulted before scheduling and written
+	// through after every successful run.
+	Cache *results.Cache
+}
+
+// Job is one scheduled experiment run. Jobs are created by Submit and
+// owned by the scheduler; read them through Snapshot, Done, and Result.
+type Job struct {
+	id      string
+	key     string
+	exp     *core.Experiment
+	profile core.Profile
+	done    chan struct{}
+
+	mu        sync.Mutex
+	status    Status
+	err       error
+	table     *core.Table
+	cacheHit  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Info is a point-in-time view of a job, shaped for JSON.
+type Info struct {
+	ID         string  `json:"id"`
+	Experiment string  `json:"experiment"`
+	Profile    string  `json:"profile"`
+	ResultKey  string  `json:"resultKey"`
+	Status     Status  `json:"status"`
+	Error      string  `json:"error,omitempty"`
+	CacheHit   bool    `json:"cacheHit"`
+	Submitted  string  `json:"submitted"`
+	ElapsedSec float64 `json:"elapsedSec"`
+}
+
+// ID returns the job's scheduler-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's content-addressed result key.
+func (j *Job) Key() string { return j.key }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's table and error. It is only meaningful after
+// Done is closed; before that it reports the job as still pending.
+func (j *Job) Result() (*core.Table, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone:
+		return j.table, nil
+	case StatusFailed:
+		return nil, j.err
+	}
+	return nil, fmt.Errorf("runner: job %s still %s", j.id, j.status)
+}
+
+// Snapshot returns the job's current state.
+func (j *Job) Snapshot() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:         j.id,
+		Experiment: j.exp.ID,
+		Profile:    j.profile.Name,
+		ResultKey:  j.key,
+		Status:     j.status,
+		CacheHit:   j.cacheHit,
+		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
+		info.ElapsedSec = j.finished.Sub(j.started).Seconds()
+	case !j.started.IsZero():
+		info.ElapsedSec = time.Since(j.started).Seconds()
+	}
+	return info
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(tab *core.Table, err error, cacheHit bool) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err
+	} else {
+		j.status = StatusDone
+		j.table = tab
+	}
+	j.cacheHit = cacheHit
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Stats aggregates scheduler activity since construction.
+type Stats struct {
+	Workers        int     `json:"workers"`
+	Submitted      int64   `json:"jobsSubmitted"`
+	Executed       int64   `json:"jobsExecuted"`
+	Failed         int64   `json:"jobsFailed"`
+	Deduped        int64   `json:"jobsDeduped"`
+	CacheHits      int64   `json:"cacheHits"`
+	InFlight       int     `json:"inFlight"`
+	Running        int64   `json:"running"`
+	VirtualSeconds float64 `json:"virtualSecondsSimulated"`
+}
+
+// Scheduler runs experiments on a bounded worker pool.
+type Scheduler struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // by job ID
+	order    []*Job          // retained jobs in submission order
+	inflight map[string]*Job // by result key, queued or running
+	nextSeq  int64
+	vsecs    float64 // virtual seconds simulated (guarded by mu)
+
+	submitted atomic.Int64
+	executed  atomic.Int64
+	failed    atomic.Int64
+	deduped   atomic.Int64
+	cacheHits atomic.Int64
+	running   atomic.Int64
+}
+
+// New starts a scheduler with opts.Workers workers.
+func New(opts Options) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		opts:     opts,
+		ctx:      ctx,
+		cancel:   cancel,
+		queue:    make(chan *Job, opts.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit schedules one experiment run under p and returns its job.
+// Identical requests are deduplicated twice over: if an identical job
+// is queued or running, Submit returns that same job (single-flight);
+// if the result is already cached, Submit returns a job that is done on
+// arrival, served from the cache without touching the worker pool.
+func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
+	e, err := core.Lookup(experimentID)
+	if err != nil {
+		return nil, err
+	}
+	key := results.Key(e.ID, p)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		return j, nil
+	}
+	j := s.newJobLocked(e, p, key)
+
+	// Serve from cache without scheduling. The cache probe happens with
+	// the job registered in-flight so a concurrent identical Submit
+	// joins this job rather than racing the probe.
+	if s.opts.Cache != nil {
+		s.inflight[key] = j
+		s.mu.Unlock()
+		if entry, ok := s.opts.Cache.Get(key); ok {
+			s.cacheHits.Add(1)
+			j.finish(entry.Table, nil, true)
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			return j, nil
+		}
+		s.mu.Lock()
+		if s.closed {
+			// The job stays registered (a concurrent identical Submit
+			// may have joined it and handed out its ID) but fails.
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			s.failed.Add(1)
+			j.finish(nil, ErrClosed, false)
+			return nil, ErrClosed
+		}
+	} else {
+		s.inflight[key] = j
+	}
+
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		return j, nil
+	default:
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		s.failed.Add(1)
+		j.finish(nil, ErrQueueFull, false)
+		return nil, ErrQueueFull
+	}
+}
+
+// newJobLocked registers a fresh queued job; s.mu must be held.
+func (s *Scheduler) newJobLocked(e *core.Experiment, p core.Profile, key string) *Job {
+	s.nextSeq++
+	j := &Job{
+		id:        fmt.Sprintf("job-%d", s.nextSeq),
+		key:       key,
+		exp:       e,
+		profile:   p,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.submitted.Add(1)
+	s.evictLocked()
+	return j
+}
+
+// evictLocked trims terminated jobs, oldest first, once the retained
+// index exceeds MaxJobs; s.mu must be held. Queued and running jobs are
+// never evicted, so the index can exceed the bound transiently while
+// that many jobs are genuinely live.
+func (s *Scheduler) evictLocked() {
+	if len(s.jobs) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if len(s.jobs) > s.opts.MaxJobs && j.terminated() {
+			delete(s.jobs, j.id)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil // release evicted jobs to the GC
+	}
+	s.order = kept
+}
+
+// terminated reports whether the job has reached a terminal state.
+func (j *Job) terminated() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Job returns the job with the given ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns the retained jobs in submission order (the oldest
+// terminated jobs are evicted once the index exceeds Options.MaxJobs).
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	vsecs := s.vsecs
+	s.mu.Unlock()
+	return Stats{
+		Workers:        s.opts.Workers,
+		Submitted:      s.submitted.Load(),
+		Executed:       s.executed.Load(),
+		Failed:         s.failed.Load(),
+		Deduped:        s.deduped.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		InFlight:       inflight,
+		Running:        s.running.Load(),
+		VirtualSeconds: vsecs,
+	}
+}
+
+// Close cancels in-flight work and waits for the workers to exit.
+// Queued jobs fail with the cancellation error; Submit afterwards
+// returns ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job. On success the result is written to the cache
+// before the job leaves the in-flight map, so a concurrent identical
+// Submit always sees either the in-flight job or the cached result —
+// never a gap that would re-run the simulation.
+func (s *Scheduler) run(j *Job) {
+	j.setRunning()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	tab, err := j.exp.RunContext(s.ctx, j.profile)
+	if err != nil {
+		// Leave the in-flight map before signaling completion:
+		// failures are not cached, so a resubmit arriving after Done
+		// must schedule a fresh run, not join this dead job.
+		s.mu.Lock()
+		delete(s.inflight, j.key)
+		s.mu.Unlock()
+		s.failed.Add(1)
+		j.finish(nil, err, false)
+		return
+	}
+
+	s.executed.Add(1)
+	if s.opts.Cache != nil {
+		// A write-through failure (disk full, unwritable dir) only
+		// costs future reuse; the in-memory entry is already stored.
+		_ = s.opts.Cache.Put(&results.Entry{
+			Key: j.key, Experiment: j.exp.ID, Profile: j.profile, Table: tab,
+		})
+	}
+	s.mu.Lock()
+	s.vsecs += tab.VirtualSeconds()
+	delete(s.inflight, j.key)
+	s.mu.Unlock()
+	j.finish(tab, nil, false)
+}
+
+// Wait blocks until the job terminates or ctx is canceled, returning
+// the job's result.
+func Wait(ctx context.Context, j *Job) (*core.Table, error) {
+	select {
+	case <-j.Done():
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
