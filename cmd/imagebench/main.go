@@ -15,6 +15,11 @@
 //	imagebench -json fig11         # machine-readable output
 //	imagebench -parallel 2 all     # cap the worker pool
 //	imagebench -cache-dir /tmp/ib all  # reuse results across invocations
+//
+// Batch sweeps (experiments × profiles × overrides) run through the
+// sweep engine, with a live grid summary and a combined JSON artifact:
+//
+//	imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11
 package main
 
 import (
@@ -30,6 +35,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
+		return
+	}
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	profile := flag.String("profile", "full", `workload profile: "full" (paper sweeps) or "quick"`)
 	check := flag.Bool("check", true, "validate each table against the paper's qualitative shape")

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
+)
+
+// sweepMain implements `imagebench sweep`: expand a parameter grid,
+// run it on the worker pool, print a live grid summary, and optionally
+// write one combined JSON artifact with every cell's table.
+func sweepMain(args []string) {
+	fs := flag.NewFlagSet("imagebench sweep", flag.ExitOnError)
+	profiles := fs.String("profiles", "quick", "comma-separated profile names to sweep over")
+	nodes := fs.String("nodes", "", "comma-separated cluster sizes; each becomes one grid axis point (e.g. 4,8,16)")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
+	out := fs.String("out", "", "write the combined sweep artifact (JSON) to this file")
+	interval := fs.Duration("interval", 500*time.Millisecond, "live grid refresh interval")
+	quiet := fs.Bool("quiet", false, "suppress the live grid; print only the final summary")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: imagebench sweep [flags] <experiment-id-or-glob>...\n\n"+
+			"Runs every experiment × profile × override combination as one batch,\n"+
+			"deduplicated and cached. Example:\n\n"+
+			"  imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	spec := sweep.Spec{Experiments: fs.Args()}
+	for _, name := range strings.Split(*profiles, ",") {
+		spec.Profiles = append(spec.Profiles, strings.TrimSpace(name))
+	}
+	if *nodes != "" {
+		for _, field := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imagebench sweep: bad -nodes value %q\n", field)
+				os.Exit(2)
+			}
+			spec.Overrides = append(spec.Overrides, core.Overrides{ClusterNodes: []int{n}})
+		}
+	}
+
+	var cache *results.Cache
+	var err error
+	if *cacheDir != "" {
+		if cache, err = results.Open(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+			os.Exit(1)
+		}
+	}
+	sched := runner.New(runner.Options{Workers: *parallel, Cache: cache})
+	defer sched.Close()
+	mgr, err := sweep.NewManager(sched, cache, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+		os.Exit(1)
+	}
+	s, _, err := mgr.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sweep %s: %d cells\n", s.ID, len(s.Cells))
+
+	if *quiet {
+		// No grid wanted: block on completion instead of polling.
+		if err := s.Wait(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+			os.Exit(1)
+		}
+	} else {
+		// Live grid: re-render whenever the picture changes until every
+		// cell is terminal. Each refresh prints a fresh grid (no ANSI
+		// tricks), so the output also reads sensibly when piped to a file.
+		last := ""
+		for {
+			info := s.Info(true)
+			if g := renderGrid(s, info); g != last {
+				fmt.Printf("%s%d/%d done, %d running, %d queued, %d failed\n\n",
+					g, info.Done, info.Total, info.Running, info.Queued, info.Failed)
+				last = g
+			}
+			if info.Finished() {
+				break
+			}
+			time.Sleep(*interval)
+		}
+	}
+	final := s.Info(true)
+	if *quiet {
+		fmt.Print(renderGrid(s, final))
+	}
+	fmt.Printf("sweep %s finished: %d ok (%d from cache), %d failed\n",
+		s.ID, final.Done, final.Hits, final.Failed)
+
+	if *out != "" {
+		if err := writeArtifact(*out, s, cache, final); err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if final.Failed > 0 {
+		for _, c := range final.Cells {
+			if c.Status == runner.StatusFailed {
+				fmt.Fprintf(os.Stderr, "imagebench sweep: %s/%s failed: %s\n", c.Experiment, c.Profile, c.Error)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// renderGrid draws the experiment × profile grid with one status mark
+// per cell: "." queued, ">" running, "ok" done, "hit" done-from-cache,
+// "ERR" failed, "-" not part of the grid.
+func renderGrid(s *sweep.Sweep, info sweep.Info) string {
+	marks := make(map[string]string, len(info.Cells))
+	for _, ci := range info.Cells {
+		marks[ci.Experiment+"\x00"+ci.Profile] = cellMark(ci)
+	}
+	rows, cols := s.GridLabels()
+	w := 12
+	for _, r := range rows {
+		if len(r)+2 > w {
+			w = len(r) + 2
+		}
+	}
+	cw := 5
+	for _, c := range cols {
+		if len(c)+2 > cw {
+			cw = len(c) + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", w, "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%*s", cw, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s", w, r)
+		for _, cn := range cols {
+			mark, ok := marks[r+"\x00"+cn]
+			if !ok {
+				mark = "-"
+			}
+			fmt.Fprintf(&b, "%*s", cw, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func cellMark(ci sweep.CellInfo) string {
+	switch ci.Status {
+	case runner.StatusDone:
+		if ci.CacheHit {
+			return "hit"
+		}
+		return "ok"
+	case runner.StatusFailed:
+		return "ERR"
+	case runner.StatusRunning:
+		return ">"
+	default:
+		return "."
+	}
+}
+
+// artifactCell is one cell of the combined JSON artifact.
+type artifactCell struct {
+	Experiment string      `json:"experiment"`
+	Profile    string      `json:"profile"`
+	Key        string      `json:"key"`
+	Status     string      `json:"status"`
+	CacheHit   bool        `json:"cacheHit,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	ElapsedSec float64     `json:"elapsedSec"`
+	Table      *core.Table `json:"table,omitempty"`
+}
+
+// writeArtifact assembles the sweep's combined JSON artifact: spec,
+// aggregate summary, and every cell with its table (NaN cells as null).
+func writeArtifact(path string, s *sweep.Sweep, cache *results.Cache, final sweep.Info) error {
+	cells := make([]artifactCell, 0, len(s.Cells))
+	for i, c := range s.Cells {
+		ci := final.Cells[i]
+		ac := artifactCell{
+			Experiment: c.Experiment, Profile: c.Profile.Name, Key: c.Key,
+			Status: string(ci.Status), CacheHit: ci.CacheHit,
+			Error: ci.Error, ElapsedSec: ci.ElapsedSec,
+		}
+		if tab, ok := s.Result(c, cache); ok {
+			ac.Table = tab
+		}
+		cells = append(cells, ac)
+	}
+	summary := final
+	summary.Cells = nil
+	b, err := json.MarshalIndent(map[string]any{
+		"id":      s.ID,
+		"spec":    s.Spec,
+		"summary": summary,
+		"cells":   cells,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
+)
+
+// daemonConfig is everything needed to stand up the service; main fills
+// it from flags, tests fill it directly so restart behavior is testable
+// over httptest against real dirs.
+type daemonConfig struct {
+	workers    int
+	queueDepth int
+	cacheDir   string // "" = memory-only result cache
+	journal    string // "" = no job journal
+	sweepDir   string // "" = sweeps are not persisted
+}
+
+// daemon bundles the service's long-lived state. Construction performs
+// crash recovery: pending journaled jobs are resubmitted and persisted
+// sweeps re-adopted, with completed cells rehydrating from the cache.
+type daemon struct {
+	cache   *results.Cache
+	journal *runner.FileJournal
+	sched   *runner.Scheduler
+	sweeps  *sweep.Manager
+	handler http.Handler
+
+	recoveredJobs   int
+	recoveredSweeps int
+	warnings        []string
+}
+
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	cache, err := results.Open(cfg.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{cache: cache}
+
+	opts := runner.Options{Workers: cfg.workers, QueueDepth: cfg.queueDepth, Cache: cache}
+	if cfg.journal != "" && cfg.cacheDir == "" {
+		// The journal retires a job on OpDone because its result is
+		// rereadable from the disk cache; with a memory-only cache that
+		// premise is false and completed results vanish on restart.
+		d.warnings = append(d.warnings,
+			"-journal without -cache-dir: completed results will not survive a restart (only pending jobs recover)")
+	}
+	if cfg.journal != "" {
+		// Compact before opening for append: completed history is
+		// dropped (the cache holds those results), so the journal stays
+		// proportional to pending work instead of total traffic. Must
+		// happen before OpenJournal — compaction renames the file.
+		if _, err := runner.CompactJournal(cfg.journal); err != nil {
+			d.warnings = append(d.warnings, fmt.Sprintf("journal compaction: %v", err))
+		}
+		j, err := runner.OpenJournal(cfg.journal)
+		if err != nil {
+			return nil, err
+		}
+		d.journal = j
+		opts.Journal = j
+	}
+	d.sched = runner.New(opts)
+
+	// Recovery is best-effort: a journal resubmission that no longer
+	// resolves (an experiment renamed between versions) or a stale sweep
+	// spec must not keep the daemon from serving fresh traffic.
+	if cfg.journal != "" {
+		n, err := runner.Recover(cfg.journal, d.sched)
+		d.recoveredJobs = n
+		if err != nil {
+			d.warnings = append(d.warnings, fmt.Sprintf("journal recovery: %v", err))
+		}
+	}
+	mgr, err := sweep.NewManager(d.sched, cache, cfg.sweepDir)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.sweeps = mgr
+	n, err := mgr.Recover()
+	d.recoveredSweeps = n
+	if err != nil {
+		d.warnings = append(d.warnings, fmt.Sprintf("sweep recovery: %v", err))
+	}
+
+	d.handler = newServer(d.sched, d.cache, d.sweeps)
+	return d, nil
+}
+
+// Close drains the scheduler, then closes the journal — worker
+// completion records are still being appended until Close returns.
+func (d *daemon) Close() {
+	d.sched.Close()
+	if d.journal != nil {
+		d.journal.Close()
+	}
+}

@@ -1,11 +1,16 @@
 // Command imagebenchd is the experiment service daemon: a long-lived
 // HTTP server that schedules paper-reproduction experiments on a
-// bounded worker pool, deduplicates identical requests, and serves
-// results from a content-addressed cache.
+// bounded worker pool, deduplicates identical requests, serves results
+// from a content-addressed cache, and runs parameter-grid sweeps with a
+// crash-safe job journal — on restart, completed work rehydrates from
+// the cache and unfinished work resubmits.
 //
 // Usage:
 //
-//	imagebenchd -addr :8080 -workers 8 -cache-dir /var/cache/imagebench
+//	imagebenchd -addr :8080 -workers 8 \
+//	    -cache-dir /var/cache/imagebench \
+//	    -journal /var/cache/imagebench.journal \
+//	    -sweep-dir /var/cache/imagebench-sweeps
 //
 // API:
 //
@@ -17,6 +22,10 @@
 //	GET  /v1/jobs/{id}         one job's status
 //	GET  /v1/results           list cached result keys
 //	GET  /v1/results/{key}     cached table (JSON, or text via Accept: text/plain)
+//	POST /v1/sweeps            {"experiments":["fig10*"],"profiles":["quick"],
+//	                            "overrides":[{"clusterNodes":[4]},{"clusterNodes":[8]}],"wait":false}
+//	GET  /v1/sweeps            list sweeps (aggregate progress)
+//	GET  /v1/sweeps/{id}       one sweep, with per-cell state
 package main
 
 import (
@@ -28,9 +37,6 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
-
-	"imagebench/internal/results"
-	"imagebench/internal/runner"
 )
 
 func main() {
@@ -38,17 +44,31 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 1024, "max queued jobs before submits are rejected")
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = in-memory only)")
+	journal := flag.String("journal", "", "append-only job-journal file (empty = no journal)")
+	sweepDir := flag.String("sweep-dir", "", "sweep-spec directory (empty = sweeps not persisted)")
 	flag.Parse()
 
-	cache, err := results.Open(*cacheDir)
+	d, err := newDaemon(daemonConfig{
+		workers:    *workers,
+		queueDepth: *queueDepth,
+		cacheDir:   *cacheDir,
+		journal:    *journal,
+		sweepDir:   *sweepDir,
+	})
 	if err != nil {
 		log.Fatalf("imagebenchd: %v", err)
 	}
-	sched := runner.New(runner.Options{Workers: *workers, QueueDepth: *queueDepth, Cache: cache})
+	for _, warn := range d.warnings {
+		log.Printf("imagebenchd: warning: %s", warn)
+	}
+	if d.recoveredJobs > 0 || d.recoveredSweeps > 0 {
+		log.Printf("imagebenchd: recovered %d pending job(s), re-adopted %d sweep(s)",
+			d.recoveredJobs, d.recoveredSweeps)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(sched, cache),
+		Handler:           d.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -64,11 +84,11 @@ func main() {
 	}()
 
 	log.Printf("imagebenchd: listening on %s (workers=%d, cache=%s)",
-		*addr, sched.Stats().Workers, cacheLabel(*cacheDir))
+		*addr, d.sched.Stats().Workers, cacheLabel(*cacheDir))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("imagebenchd: %v", err)
 	}
-	sched.Close()
+	d.Close()
 }
 
 func cacheLabel(dir string) string {

@@ -11,20 +11,23 @@ import (
 	"imagebench/internal/core"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
 )
 
-// server wires the scheduler and result cache into the HTTP API. It is
-// constructed by newServer so tests can drive it through httptest.
+// server wires the scheduler, result cache, and sweep manager into the
+// HTTP API. It is constructed by newServer so tests can drive it
+// through httptest.
 type server struct {
-	sched *runner.Scheduler
-	cache *results.Cache
-	start time.Time
+	sched  *runner.Scheduler
+	cache  *results.Cache
+	sweeps *sweep.Manager
+	start  time.Time
 }
 
-// newServer returns the daemon's HTTP handler over the given scheduler
-// and cache.
-func newServer(sched *runner.Scheduler, cache *results.Cache) http.Handler {
-	s := &server{sched: sched, cache: cache, start: time.Now()}
+// newServer returns the daemon's HTTP handler over the given scheduler,
+// cache, and sweep manager.
+func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Manager) http.Handler {
+	s := &server{sched: sched, cache: cache, sweeps: sweeps, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -34,6 +37,9 @@ func newServer(sched *runner.Scheduler, cache *results.Cache) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results", s.handleResultKeys)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	return mux
 }
 
@@ -72,6 +78,8 @@ type metrics struct {
 	CacheHits               int64   `json:"cache_hits"`
 	CacheMisses             int64   `json:"cache_misses"`
 	CacheEntries            int     `json:"cache_entries"`
+	Sweeps                  int     `json:"sweeps"`
+	JournalErrors           int64   `json:"journal_errors"`
 	VirtualSecondsSimulated float64 `json:"virtual_seconds_simulated"`
 }
 
@@ -90,6 +98,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheHits:               cst.Hits,
 		CacheMisses:             cst.Misses,
 		CacheEntries:            cst.Entries,
+		Sweeps:                  s.sweeps.Len(),
+		JournalErrors:           st.JournalErrors,
 		VirtualSecondsSimulated: st.VirtualSeconds,
 	})
 }
@@ -202,6 +212,66 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleResultKeys(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"keys": s.cache.Keys()})
+}
+
+// sweepRequest is the POST /v1/sweeps body: a sweep spec plus wait.
+// With wait=true the response is delayed until every cell terminates.
+type sweepRequest struct {
+	sweep.Spec
+	Wait bool `json:"wait"`
+}
+
+func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	sw, existing, err := s.sweeps.Submit(req.Spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, runner.ErrQueueFull), errors.Is(err, runner.ErrClosed):
+			status = http.StatusServiceUnavailable
+		case sw != nil:
+			// The sweep is executing but could not be persisted: an I/O
+			// problem on our side, not a client error.
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if existing {
+		status = http.StatusOK
+	}
+	if req.Wait {
+		if err := sw.Wait(r.Context()); err != nil {
+			writeError(w, http.StatusRequestTimeout, "client went away while waiting")
+			return
+		}
+		status = http.StatusOK
+	}
+	writeJSON(w, status, sw.Info(true))
+}
+
+func (s *server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	list := s.sweeps.List()
+	infos := make([]sweep.Info, 0, len(list))
+	for _, sw := range list {
+		infos = append(infos, sw.Info(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": infos})
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	sw, ok := s.sweeps.Get(sid)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", sid)
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.Info(true))
 }
 
 // handleResult serves one cached table: JSON by default, the CLI's

@@ -16,6 +16,7 @@ import (
 	"imagebench/internal/core"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
 )
 
 // The API tests register synthetic experiments so they can count
@@ -60,7 +61,11 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Scheduler, *results.
 		t.Fatal(err)
 	}
 	sched := runner.New(runner.Options{Workers: 4, Cache: cache})
-	ts := httptest.NewServer(newServer(sched, cache))
+	sweeps, err := sweep.NewManager(sched, cache, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(sched, cache, sweeps))
 	t.Cleanup(func() {
 		ts.Close()
 		sched.Close()
@@ -314,10 +319,122 @@ func TestMetricsShape(t *testing.T) {
 	for _, k := range []string{
 		"uptime_seconds", "workers", "jobs_submitted", "jobs_executed",
 		"jobs_failed", "jobs_deduped", "jobs_in_flight", "jobs_running",
-		"cache_hits", "cache_misses", "cache_entries", "virtual_seconds_simulated",
+		"cache_hits", "cache_misses", "cache_entries", "sweeps",
+		"journal_errors", "virtual_seconds_simulated",
 	} {
 		if _, ok := m[k]; !ok {
 			t.Errorf("metrics missing %q", k)
 		}
+	}
+}
+
+// TestSweepEndpoint drives the acceptance criterion: a ≥6-cell grid
+// submitted through POST /v1/sweeps completes with per-cell results,
+// is idempotent on resubmission, and is inspectable via GET.
+func TestSweepEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	httpRuns.Store(0)
+	concRuns.Store(0)
+
+	body := `{"experiments":["zz-test-http","zz-test-conc"],
+	          "overrides":[{"clusterNodes":[4]},{"clusterNodes":[8]},{"clusterNodes":[16]}],
+	          "wait":true}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info sweep.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep submit status = %d", resp.StatusCode)
+	}
+	if info.Total != 6 || info.Done != 6 || info.Failed != 0 || !info.Finished() {
+		t.Fatalf("sweep info = %+v, want 6/6 done", info)
+	}
+	if len(info.Cells) != 6 {
+		t.Fatalf("sweep returned %d cells, want 6", len(info.Cells))
+	}
+	profiles := map[string]bool{}
+	for _, c := range info.Cells {
+		if c.Status != runner.StatusDone || c.Key == "" {
+			t.Errorf("cell %+v not done with key", c)
+		}
+		profiles[c.Profile] = true
+		// Every cell's result is individually retrievable.
+		var entry results.Entry
+		if r := getJSON(t, ts.URL+"/v1/results/"+c.Key, &entry); r.StatusCode != http.StatusOK {
+			t.Errorf("cell result fetch = %d", r.StatusCode)
+		}
+	}
+	if len(profiles) != 3 {
+		t.Errorf("cells span %d derived profiles, want 3: %v", len(profiles), profiles)
+	}
+	if got := httpRuns.Load() + concRuns.Load(); got != 6 {
+		t.Errorf("executed %d simulations, want 6", got)
+	}
+
+	// GET /v1/sweeps/{id} serves the same aggregate.
+	var fetched sweep.Info
+	if r := getJSON(t, ts.URL+"/v1/sweeps/"+info.ID, &fetched); r.StatusCode != http.StatusOK {
+		t.Fatalf("sweep fetch = %d", r.StatusCode)
+	}
+	if fetched.ID != info.ID || fetched.Done != 6 || len(fetched.Cells) != 6 {
+		t.Errorf("fetched sweep = %+v", fetched)
+	}
+
+	// GET /v1/sweeps lists it without cells.
+	var listing map[string][]sweep.Info
+	getJSON(t, ts.URL+"/v1/sweeps", &listing)
+	if n := len(listing["sweeps"]); n != 1 {
+		t.Errorf("sweep listing has %d entries, want 1", n)
+	} else if cells := listing["sweeps"][0].Cells; len(cells) != 0 {
+		t.Errorf("listing includes %d cells, want none", len(cells))
+	}
+
+	// Identical resubmission: 200, same sweep, nothing re-executed.
+	resp2, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again sweep.Info
+	json.NewDecoder(resp2.Body).Decode(&again)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || again.ID != info.ID {
+		t.Errorf("resubmit = %d id %s, want 200 id %s", resp2.StatusCode, again.ID, info.ID)
+	}
+	if got := httpRuns.Load() + concRuns.Load(); got != 6 {
+		t.Errorf("idempotent resubmit re-executed: %d runs", got)
+	}
+
+	var m map[string]float64
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["sweeps"] != 1 {
+		t.Errorf("metrics sweeps = %v, want 1", m["sweeps"])
+	}
+}
+
+func TestSweepValidationAndNotFound(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for _, body := range []string{
+		`{}`,
+		`{"experiments":["no-such-*"]}`,
+		`{"experiments":["zz-test-http"],"profiles":["huge"]}`,
+		`{"experiments":["zz-test-http"],"overrides":[{"clusterNodes":[0]}]}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST /v1/sweeps %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/sweeps/sw-000000000000", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep = %d, want 404", resp.StatusCode)
 	}
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden/")
+
+// goldenIDs are the experiments pinned byte-for-byte: the fast ones, so
+// the regression net costs seconds, spanning both domains (neuro,
+// astro), both table shapes (runtime sweeps, static counts), and NA
+// cells. The simulator is deterministic, so any diff is a semantic
+// change — bump the result-cache key version when one is intentional.
+var goldenIDs = []string{"fig11", "fig12a", "fig12b", "table1", "sec531scidb"}
+
+// TestGoldenTables locks the quick-profile JSON of selected experiments
+// against testdata/golden/. Regenerate intentionally with:
+//
+//	go test ./internal/core -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := e.Run(Quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(tab, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", id+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s quick-profile output drifted from %s (run with -update if intentional)\n%s",
+					id, path, diffHint(want, got))
+			}
+		})
+	}
+}
+
+// diffHint points at the first differing line — enough to orient
+// without pulling in a diff library.
+func diffHint(want, got []byte) string {
+	wl, gl := bytes.Split(want, []byte("\n")), bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: golden %d lines, got %d lines", len(wl), len(gl))
+}
+
+// TestGoldenFilesAreCommitted guards against an -update that silently
+// never ran: every pinned experiment must have its golden file.
+func TestGoldenFilesAreCommitted(t *testing.T) {
+	for _, id := range goldenIDs {
+		if _, err := os.Stat(filepath.Join("testdata", "golden", id+".json")); err != nil {
+			t.Errorf("missing golden file for %s: %v", id, err)
+		}
+	}
+}

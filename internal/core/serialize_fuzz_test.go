@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzTableJSONRoundTrip fuzzes the Table wire format (serialize.go):
+// any JSON that Unmarshal accepts must re-marshal successfully, survive
+// a second decode, and stabilize — decode(encode(t)) is byte-identical
+// to encode(t) and cell-identical under NaN↔null equivalence. This is
+// the invariant the result cache, the job journal, and the golden files
+// all lean on.
+func FuzzTableJSONRoundTrip(f *testing.F) {
+	// Seed corpus: hand-written wire forms covering NA cells, notes,
+	// empty tables, and degenerate shapes...
+	seeds := []string{
+		`{"title":"t","unit":"virtual s","columns":["1","2"],"rows":["a"],"cells":[[1.5,null]]}`,
+		`{"title":"","unit":"","columns":[],"rows":[],"cells":[]}`,
+		`{"title":"n","unit":"GB","columns":["x"],"rows":["r1","r2"],"cells":[[null],[2e10]],"notes":["a note",""]}`,
+		`{"columns":null,"rows":null,"cells":null}`,
+		`{"title":"mismatch","columns":["a","b"],"rows":["r"],"cells":[[1]]}`,
+		`[1,2,3]`,
+		`{"cells":[[1e999]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	// ...plus a real experiment table, so the corpus always contains
+	// the exact shape production emits.
+	real := NewTable("seed", "virtual s", []string{"r1", "r2"}, []string{"c1", "c2"})
+	real.Set("r1", "c1", 3.25) // r2/c2 stays NaN, exercising the null path
+	real.Notes = append(real.Notes, "seeded")
+	if b, err := json.Marshal(real); err == nil {
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tab Table
+		if err := json.Unmarshal(data, &tab); err != nil {
+			t.Skip() // rejected input: not this fuzzer's concern
+		}
+		enc, err := json.Marshal(&tab)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-marshal: %v\ninput: %s", err, data)
+		}
+		var back Table
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("own encoding rejected: %v\nencoding: %s", err, enc)
+		}
+		enc2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("second re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not stable:\nfirst:  %s\nsecond: %s", enc, enc2)
+		}
+		if !tablesEqualNaN(&tab, &back) {
+			t.Fatalf("cells drifted through the round trip:\ninput: %s\nencoding: %s", data, enc)
+		}
+	})
+}
+
+// tablesEqualNaN compares tables treating NaN cells as equal to each
+// other (reflect.DeepEqual would report NaN != NaN).
+func tablesEqualNaN(a, b *Table) bool {
+	if a.Title != b.Title || a.Unit != b.Unit ||
+		len(a.ColNames) != len(b.ColNames) || len(a.RowNames) != len(b.RowNames) ||
+		len(a.Cells) != len(b.Cells) || len(a.Notes) != len(b.Notes) {
+		return false
+	}
+	for i := range a.ColNames {
+		if a.ColNames[i] != b.ColNames[i] {
+			return false
+		}
+	}
+	for i := range a.RowNames {
+		if a.RowNames[i] != b.RowNames[i] {
+			return false
+		}
+	}
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			return false
+		}
+	}
+	for i := range a.Cells {
+		if len(a.Cells[i]) != len(b.Cells[i]) {
+			return false
+		}
+		for j := range a.Cells[i] {
+			x, y := a.Cells[i][j], b.Cells[i][j]
+			if math.IsNaN(x) != math.IsNaN(y) {
+				return false
+			}
+			if !math.IsNaN(x) && x != y {
+				return false
+			}
+		}
+	}
+	return true
+}

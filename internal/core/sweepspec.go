@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// This file is the profile-override and experiment-pattern plumbing used
+// by the sweep engine (internal/sweep): a small set of overridable
+// profile knobs, applied as copy-on-write derivations of the built-in
+// profiles, and glob expansion over the experiment registry.
+
+// Overrides adjusts the sweep-relevant knobs of a Profile. Nil slices
+// mean "keep the profile's value"; a non-nil slice replaces it. These
+// are exactly the axes the paper varies between runs: cluster sizes,
+// neuroscience subject counts, and astronomy visit counts.
+type Overrides struct {
+	ClusterNodes  []int `json:"clusterNodes,omitempty"`
+	NeuroSubjects []int `json:"neuroSubjects,omitempty"`
+	AstroVisits   []int `json:"astroVisits,omitempty"`
+}
+
+// IsZero reports whether the overrides change nothing.
+func (o Overrides) IsZero() bool {
+	return o.ClusterNodes == nil && o.NeuroSubjects == nil && o.AstroVisits == nil
+}
+
+// Validate rejects empty or non-positive sweep points: they would make
+// experiments loop over nothing or build degenerate clusters.
+func (o Overrides) Validate() error {
+	check := func(what string, vs []int) error {
+		if vs != nil && len(vs) == 0 {
+			return fmt.Errorf("core: override %s is empty (omit it to keep the profile's value)", what)
+		}
+		for _, v := range vs {
+			if v <= 0 {
+				return fmt.Errorf("core: override %s contains non-positive value %d", what, v)
+			}
+		}
+		return nil
+	}
+	if err := check("clusterNodes", o.ClusterNodes); err != nil {
+		return err
+	}
+	if err := check("neuroSubjects", o.NeuroSubjects); err != nil {
+		return err
+	}
+	return check("astroVisits", o.AstroVisits)
+}
+
+// Label renders the overrides as a stable, human-readable suffix
+// ("nodes=4,8 subjects=1"), empty for zero overrides. Derived profile
+// names embed it, so two cells of a sweep grid are distinguishable at a
+// glance.
+func (o Overrides) Label() string {
+	var parts []string
+	add := func(name string, vs []int) {
+		if vs == nil {
+			return
+		}
+		ss := make([]string, len(vs))
+		for i, v := range vs {
+			ss[i] = fmt.Sprintf("%d", v)
+		}
+		parts = append(parts, name+"="+strings.Join(ss, ","))
+	}
+	add("nodes", o.ClusterNodes)
+	add("subjects", o.NeuroSubjects)
+	add("visits", o.AstroVisits)
+	return strings.Join(parts, " ")
+}
+
+// Apply returns a copy of p with the overrides applied. The derived
+// profile's Name gains the override label ("quick+nodes=4"), so result
+// keys, journals, and sweep grids all distinguish it from the base
+// profile; the slices are copied, never shared.
+func (p Profile) Apply(o Overrides) Profile {
+	if o.IsZero() {
+		return p
+	}
+	out := p
+	if o.ClusterNodes != nil {
+		out.ClusterNodes = append([]int(nil), o.ClusterNodes...)
+	}
+	if o.NeuroSubjects != nil {
+		out.NeuroSubjects = append([]int(nil), o.NeuroSubjects...)
+	}
+	if o.AstroVisits != nil {
+		out.AstroVisits = append([]int(nil), o.AstroVisits...)
+	}
+	out.Name = p.Name + "+" + strings.ReplaceAll(o.Label(), " ", "+")
+	return out
+}
+
+// ExpandIDs resolves experiment patterns — exact IDs, path.Match globs
+// ("fig10*"), or the special pattern "all" — against the registry,
+// returning the matching IDs sorted and deduplicated. A pattern that
+// matches nothing is an error: a sweep cell silently dropped by a typo
+// would otherwise look like a passing sweep.
+func ExpandIDs(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: no experiment patterns given")
+	}
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		if pat == "all" {
+			for _, e := range All() {
+				set[e.ID] = true
+			}
+			continue
+		}
+		matched := false
+		for _, e := range All() {
+			ok, err := path.Match(pat, e.ID)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad experiment pattern %q: %w", pat, err)
+			}
+			if ok {
+				set[e.ID] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("core: experiment pattern %q matches nothing (use -list)", pat)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}

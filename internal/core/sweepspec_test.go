@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverridesApply(t *testing.T) {
+	base := Quick()
+	derived := base.Apply(Overrides{ClusterNodes: []int{4, 8}})
+	if derived.Name != "quick+nodes=4,8" {
+		t.Errorf("derived name = %q", derived.Name)
+	}
+	if got := derived.ClusterNodes; len(got) != 2 || got[0] != 4 || got[1] != 8 {
+		t.Errorf("derived nodes = %v", got)
+	}
+	// The base profile and the other knobs are untouched.
+	if base.Name != "quick" || len(base.ClusterNodes) != 3 {
+		t.Errorf("base mutated: %+v", base)
+	}
+	if len(derived.NeuroSubjects) != len(base.NeuroSubjects) {
+		t.Errorf("unrelated knob changed: %v", derived.NeuroSubjects)
+	}
+	// Distinct overrides must fingerprint distinctly, identical ones
+	// identically — the sweep grid and result cache both key on this.
+	same := base.Apply(Overrides{ClusterNodes: []int{4, 8}})
+	if derived.Fingerprint() != same.Fingerprint() {
+		t.Error("identical overrides produced different fingerprints")
+	}
+	other := base.Apply(Overrides{ClusterNodes: []int{16}})
+	if derived.Fingerprint() == other.Fingerprint() {
+		t.Error("different overrides produced identical fingerprints")
+	}
+	// Mutating the override slice afterwards must not leak into the
+	// derived profile.
+	o := Overrides{NeuroSubjects: []int{1, 2}}
+	d2 := base.Apply(o)
+	o.NeuroSubjects[0] = 99
+	if d2.NeuroSubjects[0] == 99 {
+		t.Error("Apply shared the override slice instead of copying")
+	}
+}
+
+func TestOverridesZeroApply(t *testing.T) {
+	base := Quick()
+	if got := base.Apply(Overrides{}); got.Name != "quick" || got.Fingerprint() != base.Fingerprint() {
+		t.Errorf("zero overrides changed the profile: %+v", got)
+	}
+}
+
+func TestOverridesValidate(t *testing.T) {
+	if err := (Overrides{ClusterNodes: []int{4}}).Validate(); err != nil {
+		t.Errorf("valid overrides rejected: %v", err)
+	}
+	if err := (Overrides{ClusterNodes: []int{}}).Validate(); err == nil {
+		t.Error("empty clusterNodes accepted")
+	}
+	if err := (Overrides{AstroVisits: []int{2, 0}}).Validate(); err == nil {
+		t.Error("non-positive visit count accepted")
+	}
+}
+
+func TestOverridesLabel(t *testing.T) {
+	o := Overrides{ClusterNodes: []int{4, 8}, AstroVisits: []int{2}}
+	if got := o.Label(); got != "nodes=4,8 visits=2" {
+		t.Errorf("label = %q", got)
+	}
+	if got := (Overrides{}).Label(); got != "" {
+		t.Errorf("zero label = %q", got)
+	}
+}
+
+func TestExpandIDs(t *testing.T) {
+	all, err := ExpandIDs([]string{"all"})
+	if err != nil || len(all) < 24 {
+		t.Fatalf("all = %d ids, err %v", len(all), err)
+	}
+	figs, err := ExpandIDs([]string{"fig10*"})
+	if err != nil || len(figs) != 8 {
+		t.Fatalf("fig10* = %v, err %v", figs, err)
+	}
+	for _, id := range figs {
+		if !strings.HasPrefix(id, "fig10") {
+			t.Errorf("fig10* matched %q", id)
+		}
+	}
+	// Overlapping patterns deduplicate; exact IDs pass through.
+	both, err := ExpandIDs([]string{"fig11", "fig1*", "fig11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, id := range both {
+		seen[id]++
+	}
+	if seen["fig11"] != 1 {
+		t.Errorf("fig11 appears %d times: %v", seen["fig11"], both)
+	}
+	if _, err := ExpandIDs([]string{"nope-*"}); err == nil {
+		t.Error("pattern matching nothing accepted")
+	}
+	if _, err := ExpandIDs(nil); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := ExpandIDs([]string{"fig[10"}); err == nil {
+		t.Error("malformed glob accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Package fsatomic is the one place the repo writes files atomically:
+// the data lands in a temp file in the target's directory and is
+// renamed into place, so readers (and a crash at any instant) see
+// either the old content or the new, never a torn write. The result
+// cache and the sweep-spec store both persist through it, which keeps
+// their durability guarantees identical.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temp file is
+// created in path's directory so the final rename never crosses a
+// filesystem boundary.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Flush data before the rename is journaled, or a power loss could
+	// leave the destination as an empty file — exactly the torn state
+	// the rename is supposed to rule out.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"imagebench/internal/core"
+	"imagebench/internal/fsatomic"
 )
 
 // Key returns the content address for one (experiment, profile) run:
@@ -94,12 +95,7 @@ func Open(dir string) (*Cache, error) {
 // The boolean reports whether the key was found; hit/miss counters are
 // updated either way.
 func (c *Cache) Get(key string) (*Entry, bool) {
-	c.mu.RLock()
-	e, ok := c.mem[key]
-	c.mu.RUnlock()
-	if !ok && c.dir != "" {
-		e, ok = c.load(key)
-	}
+	e, ok := c.Peek(key)
 	if ok {
 		c.hits.Add(1)
 		return e, true
@@ -114,6 +110,19 @@ func (c *Cache) Contains(key string) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.mem[key] != nil || c.disk[key]
+}
+
+// Peek is Get without the traffic counters: recovery and sweep-status
+// paths rehydrate completed results through it after a restart, so
+// hit/miss rates keep reflecting client traffic only.
+func (c *Cache) Peek(key string) (*Entry, bool) {
+	c.mu.RLock()
+	e, ok := c.mem[key]
+	c.mu.RUnlock()
+	if !ok && c.dir != "" {
+		e, ok = c.load(key)
+	}
+	return e, ok
 }
 
 // Put stores the entry in memory and, if the cache is disk-backed,
@@ -132,20 +141,7 @@ func (c *Cache) Put(e *Entry) error {
 	if err != nil {
 		return fmt.Errorf("results: encode %s: %w", e.Key, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, ".put-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), c.path(e.Key)); err != nil {
+	if err := fsatomic.WriteFile(c.path(e.Key), b); err != nil {
 		return err
 	}
 	c.mu.Lock()

@@ -131,3 +131,38 @@ func TestInvalidKeysNeverTouchDisk(t *testing.T) {
 		t.Error("Put with empty key must fail")
 	}
 }
+
+// TestPeekDoesNotSkewCounters pins the recovery contract: Peek serves
+// entries from memory and disk exactly like Get but leaves the traffic
+// counters untouched, so restart rehydration does not inflate hit rates.
+func TestPeekDoesNotSkewCounters(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("fig11", core.Quick())
+	if _, ok := c.Peek(key); ok {
+		t.Fatal("peek hit on empty cache")
+	}
+	if err := c.Put(&Entry{Key: key, Experiment: "fig11", Profile: core.Quick(), Table: sampleTable()}); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := c.Peek(key); !ok || e.Experiment != "fig11" {
+		t.Fatalf("peek after put = %v, %v", e, ok)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("peek moved counters: %+v", st)
+	}
+	// Peek also reads through from disk on a fresh cache over the same dir.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := c2.Peek(key); !ok || e.Table.Get("a", "1") != 1.5 {
+		t.Fatalf("disk peek = %v, %v", e, ok)
+	}
+	if st := c2.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("disk peek moved counters: %+v", st)
+	}
+}

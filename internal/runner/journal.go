@@ -1,0 +1,333 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/fsatomic"
+)
+
+// The job journal makes the scheduler's work queue crash-safe: every
+// submission and completion is appended, one JSON object per line, to a
+// plain text file. After a crash or restart, replaying the journal
+// yields the set of jobs that were accepted but never finished — those
+// are resubmitted — while finished jobs need no replay at all, because
+// the result cache (internal/results) already holds their tables on
+// disk and a resubmission becomes an instant cache hit.
+//
+// Crash-safety model: each record is written as a single write(2) of a
+// complete line to an O_APPEND descriptor, so concurrent writers never
+// interleave mid-line and a crash can only tear the final line. The
+// reader tolerates exactly that: an unparseable trailing line is
+// ignored, anything torn earlier is reported as corruption.
+
+// Op is the journal record type.
+type Op string
+
+const (
+	// OpSubmit records a job accepted by the scheduler (including jobs
+	// answered straight from the result cache).
+	OpSubmit Op = "submit"
+	// OpDone records a successful completion; the result is in the
+	// cache by the time this is written.
+	OpDone Op = "done"
+	// OpFail records a terminal failure. Failed jobs are treated as
+	// pending by replay: a failure may be transient (cancellation at
+	// shutdown, resource pressure), and re-running a deterministic
+	// simulation is always safe.
+	OpFail Op = "fail"
+)
+
+// Record is one journal line.
+type Record struct {
+	Time       string        `json:"time"`
+	Op         Op            `json:"op"`
+	JobID      string        `json:"job"`
+	Key        string        `json:"key"`
+	Experiment string        `json:"experiment,omitempty"`
+	Profile    *core.Profile `json:"profile,omitempty"` // submit records only
+	CacheHit   bool          `json:"cacheHit,omitempty"`
+	Error      string        `json:"error,omitempty"`
+}
+
+// Journal persists job lifecycle records. Implementations must be safe
+// for concurrent use; the scheduler writes from every worker.
+type Journal interface {
+	Record(r Record) error
+	Close() error
+}
+
+// FileJournal is the append-only JSONL Journal used by imagebenchd.
+type FileJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. If the previous process crashed mid-write, the file ends
+// in a torn partial line; that fragment is truncated away first — the
+// record never durably existed, and appending after it would merge two
+// records into one malformed mid-file line, turning a tolerated torn
+// tail into corruption that poisons every later recovery.
+func OpenJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open journal %s: %w", path, err)
+	}
+	if err := truncateTornTail(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: repair journal %s: %w", path, err)
+	}
+	return &FileJournal{f: f, path: path}, nil
+}
+
+// truncateTornTail drops everything after the file's last newline.
+func truncateTornTail(f *os.File) error {
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		return err
+	}
+	if end == 0 {
+		return nil
+	}
+	// Scan backwards in chunks for the last newline.
+	const chunk = 4096
+	pos := end
+	for pos > 0 {
+		n := int64(chunk)
+		if pos < n {
+			n = pos
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, pos-n); err != nil {
+			return err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(pos - n + i + 1)
+			}
+		}
+		pos -= n
+	}
+	return f.Truncate(0) // no newline at all: the whole file is one torn line
+}
+
+// Path returns the journal's file path.
+func (j *FileJournal) Path() string { return j.path }
+
+// Record appends one line. The line is assembled in memory and written
+// with a single Write call so a crash cannot interleave two records. A
+// failed or short write (disk full) is rolled back by truncating to the
+// pre-write offset — otherwise the stranded fragment would sit mid-file
+// and merge with the next successful append into one malformed line
+// that poisons every later recovery.
+func (j *FileJournal) Record(r Record) error {
+	if r.Time == "" {
+		r.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("runner: encode journal record: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runner: journal %s is closed", j.path)
+	}
+	end, serr := j.f.Seek(0, 2) // j.mu serializes writers, so this is the write offset
+	if _, err := j.f.Write(b); err != nil {
+		if serr == nil {
+			j.f.Truncate(end)
+		}
+		return err
+	}
+	return nil
+}
+
+// Close closes the underlying file; further Records fail.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReadJournal parses every record in the journal at path. A missing
+// file is an empty journal. A final line that does not parse is the
+// torn tail of a crash and is skipped; a malformed line anywhere else
+// is corruption and is reported.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: read journal %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo, badLine := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Op == "" {
+			// Tolerated only as the file's final line (the torn tail of
+			// a crash); a second bad line, or anything after a bad line,
+			// is corruption.
+			if badLine != 0 {
+				return nil, fmt.Errorf("runner: journal %s: malformed records at lines %d and %d", path, badLine, lineNo)
+			}
+			badLine = lineNo
+			continue
+		}
+		if badLine != 0 {
+			return nil, fmt.Errorf("runner: journal %s: malformed record at line %d", path, badLine)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runner: read journal %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// PendingJob is a journaled submission that never reached OpDone.
+type PendingJob struct {
+	Key        string
+	Experiment string
+	Profile    core.Profile
+}
+
+// Pending replays records and returns the jobs to resubmit, in first-
+// submission order, deduplicated by result key. A key is pending if its
+// last record is a submit or a failure; OpDone retires it (the result
+// cache has the table). A later submit of an already-done key does not
+// reopen it unless that submit itself lacks a done.
+func Pending(recs []Record) []PendingJob {
+	type state struct {
+		job  PendingJob
+		done bool
+		seq  int
+	}
+	byKey := make(map[string]*state)
+	seq := 0
+	for _, r := range recs {
+		switch r.Op {
+		case OpSubmit:
+			if st, ok := byKey[r.Key]; ok {
+				st.done = false
+				continue
+			}
+			if r.Profile == nil || r.Experiment == "" {
+				continue // unreplayable submit (old format); skip
+			}
+			seq++
+			byKey[r.Key] = &state{
+				job: PendingJob{Key: r.Key, Experiment: r.Experiment, Profile: *r.Profile},
+				seq: seq,
+			}
+		case OpDone:
+			if st, ok := byKey[r.Key]; ok {
+				st.done = true
+			}
+		case OpFail:
+			// Stays pending: failures are retried on recovery.
+		}
+	}
+	out := make([]PendingJob, 0, len(byKey))
+	for _, st := range byKey {
+		if !st.done {
+			out = append(out, st.job)
+		}
+	}
+	// Deterministic order: first submission first.
+	sort.Slice(out, func(i, j int) bool {
+		return byKey[out[i].Key].seq < byKey[out[j].Key].seq
+	})
+	return out
+}
+
+// CompactJournal rewrites the journal at path so it contains only the
+// first submit record of each still-pending key, atomically (temp +
+// rename). Completed jobs need no history — their results live in the
+// cache — so without compaction a long-lived daemon's journal grows
+// with every job forever and each restart replays all of it. Call this
+// before OpenJournal: compacting while a FileJournal holds the file
+// open would strand its appends on the renamed-away inode. A missing
+// journal is a no-op; a corrupt one is left untouched and reported.
+func CompactJournal(path string) (kept int, err error) {
+	recs, err := ReadJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	if recs == nil {
+		return 0, nil
+	}
+	pendingKeys := make(map[string]bool)
+	for _, p := range Pending(recs) {
+		pendingKeys[p.Key] = true
+	}
+	var buf []byte
+	for _, r := range recs {
+		if r.Op != OpSubmit || !pendingKeys[r.Key] {
+			continue
+		}
+		delete(pendingKeys, r.Key) // keep only the first submit per key
+		b, err := json.Marshal(r)
+		if err != nil {
+			return 0, fmt.Errorf("runner: compact %s: %w", path, err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+		kept++
+	}
+	if err := fsatomic.WriteFile(path, buf); err != nil {
+		return 0, fmt.Errorf("runner: compact %s: %w", path, err)
+	}
+	return kept, nil
+}
+
+// Recover replays the journal at path and resubmits every pending job
+// onto s, returning how many were resubmitted. Jobs whose results are
+// already cached come back as instant cache hits, so calling Recover is
+// idempotent and never re-runs completed work. Submission errors on
+// individual jobs (an experiment deregistered between versions, a full
+// queue) are skipped and reported in the error after all resubmissions
+// are attempted.
+func Recover(path string, s *Scheduler) (int, error) {
+	recs, err := ReadJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	var firstErr error
+	n := 0
+	for _, p := range Pending(recs) {
+		if _, err := s.Submit(p.Experiment, p.Profile); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("runner: recover %s (key %.12s): %w", p.Experiment, p.Key, err)
+			}
+			continue
+		}
+		n++
+	}
+	return n, firstErr
+}

@@ -51,6 +51,12 @@ type Options struct {
 	// Cache, when non-nil, is consulted before scheduling and written
 	// through after every successful run.
 	Cache *results.Cache
+	// Journal, when non-nil, receives a record for every accepted
+	// submission and every terminal state, making the queue crash-safe:
+	// replaying the journal after a restart (see Recover) resubmits
+	// exactly the jobs that never finished. Journal write failures do
+	// not fail jobs; they are counted in Stats.JournalErrors.
+	Journal Journal
 }
 
 // Job is one scheduled experiment run. Jobs are created by Submit and
@@ -165,6 +171,7 @@ type Stats struct {
 	CacheHits      int64   `json:"cacheHits"`
 	InFlight       int     `json:"inFlight"`
 	Running        int64   `json:"running"`
+	JournalErrors  int64   `json:"journalErrors"`
 	VirtualSeconds float64 `json:"virtualSecondsSimulated"`
 }
 
@@ -184,12 +191,34 @@ type Scheduler struct {
 	nextSeq  int64
 	vsecs    float64 // virtual seconds simulated (guarded by mu)
 
-	submitted atomic.Int64
-	executed  atomic.Int64
-	failed    atomic.Int64
-	deduped   atomic.Int64
-	cacheHits atomic.Int64
-	running   atomic.Int64
+	submitted   atomic.Int64
+	executed    atomic.Int64
+	failed      atomic.Int64
+	deduped     atomic.Int64
+	cacheHits   atomic.Int64
+	running     atomic.Int64
+	journalErrs atomic.Int64
+}
+
+// journal appends a record to the configured journal, best-effort: a
+// write failure (disk full, closed file) never fails the job, it only
+// increments the JournalErrors counter.
+func (s *Scheduler) journal(r Record) {
+	if s.opts.Journal == nil {
+		return
+	}
+	if err := s.opts.Journal.Record(r); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+// journalSubmit records an accepted submission.
+func (s *Scheduler) journalSubmit(j *Job) {
+	if s.opts.Journal == nil {
+		return
+	}
+	p := j.profile
+	s.journal(Record{Op: OpSubmit, JobID: j.id, Key: j.key, Experiment: j.exp.ID, Profile: &p})
 }
 
 // New starts a scheduler with opts.Workers workers.
@@ -251,6 +280,11 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 		s.mu.Unlock()
 		if entry, ok := s.opts.Cache.Get(key); ok {
 			s.cacheHits.Add(1)
+			// Journal before finish: once Done is observable, the
+			// job's records must already be on disk, or an action taken
+			// by an awakened waiter could journal ahead of them.
+			s.journalSubmit(j)
+			s.journal(Record{Op: OpDone, JobID: j.id, Key: j.key, CacheHit: true})
 			j.finish(entry.Table, nil, true)
 			s.mu.Lock()
 			delete(s.inflight, key)
@@ -271,6 +305,11 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 		s.inflight[key] = j
 	}
 
+	// The submit record is written before the job becomes runnable (and
+	// before s.mu is released), so it is ordered before the worker's
+	// done/fail record and a crash after this point can never lose an
+	// accepted job. The cost is one file append under the lock.
+	s.journalSubmit(j)
 	select {
 	case s.queue <- j:
 		s.mu.Unlock()
@@ -279,6 +318,10 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 		delete(s.inflight, key)
 		s.mu.Unlock()
 		s.failed.Add(1)
+		// Retires nothing: a fail record leaves the key pending, so the
+		// shed job is retried on the next recovery, which is the right
+		// default for a full queue.
+		s.journal(Record{Op: OpFail, JobID: j.id, Key: j.key, Error: ErrQueueFull.Error()})
 		j.finish(nil, ErrQueueFull, false)
 		return nil, ErrQueueFull
 	}
@@ -366,6 +409,7 @@ func (s *Scheduler) Stats() Stats {
 		CacheHits:      s.cacheHits.Load(),
 		InFlight:       inflight,
 		Running:        s.running.Load(),
+		JournalErrors:  s.journalErrs.Load(),
 		VirtualSeconds: vsecs,
 	}
 }
@@ -412,15 +456,19 @@ func (s *Scheduler) run(j *Job) {
 		delete(s.inflight, j.key)
 		s.mu.Unlock()
 		s.failed.Add(1)
+		// Journal before finish (see the cache-hit path in Submit).
+		s.journal(Record{Op: OpFail, JobID: j.id, Key: j.key, Error: err.Error()})
 		j.finish(nil, err, false)
 		return
 	}
 
 	s.executed.Add(1)
+	var putErr error
 	if s.opts.Cache != nil {
-		// A write-through failure (disk full, unwritable dir) only
-		// costs future reuse; the in-memory entry is already stored.
-		_ = s.opts.Cache.Put(&results.Entry{
+		// A write-through failure (disk full, unwritable dir) does not
+		// fail the job — the in-memory entry still serves this process —
+		// but it does change what gets journaled below.
+		putErr = s.opts.Cache.Put(&results.Entry{
 			Key: j.key, Experiment: j.exp.ID, Profile: j.profile, Table: tab,
 		})
 	}
@@ -428,6 +476,18 @@ func (s *Scheduler) run(j *Job) {
 	s.vsecs += tab.VirtualSeconds()
 	delete(s.inflight, j.key)
 	s.mu.Unlock()
+	// The terminal record lands after the cache write-through (a
+	// journaled OpDone implies the result is rereadable from the cache)
+	// but before finish closes Done, so an awakened waiter can never
+	// journal ahead of it. When the write-through failed, the result
+	// will NOT survive a restart, so the job is journaled as a failure
+	// instead: replay keeps it pending and re-runs it.
+	if putErr != nil {
+		s.journal(Record{Op: OpFail, JobID: j.id, Key: j.key,
+			Error: fmt.Sprintf("completed, but cache write-through failed: %v", putErr)})
+	} else {
+		s.journal(Record{Op: OpDone, JobID: j.id, Key: j.key})
+	}
 	j.finish(tab, nil, false)
 }
 

@@ -1,0 +1,262 @@
+// Package sweep is the parameter-grid batch engine of the experiment
+// service: it expands a declarative spec — experiment IDs or globs ×
+// profiles × overrides (cluster sizes, subject counts, visit counts) —
+// into a deduplicated set of grid cells, submits every cell through the
+// shared worker-pool scheduler (internal/runner), and aggregates
+// per-cell status and results. This is the paper's own methodology as a
+// service: every system × workload × cluster-size combination, re-run
+// under many configurations, with already-computed cells answered from
+// the content-addressed result cache instead of re-simulated.
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+)
+
+// Spec declares a sweep grid. Experiments are exact IDs, path globs
+// ("fig10*"), or "all". Profiles are built-in profile names (default
+// ["quick"]). Each override set is one grid axis point applied to each
+// profile; an empty list means one axis point with no overrides.
+type Spec struct {
+	Experiments []string         `json:"experiments"`
+	Profiles    []string         `json:"profiles,omitempty"`
+	Overrides   []core.Overrides `json:"overrides,omitempty"`
+}
+
+// Cell is one grid point: an experiment under a fully-derived profile.
+// Exactly one of job/cached backs a cell's status: job when the cell
+// was submitted in this process, cached when a recovered sweep found
+// the cell's result already in the cache (so no job was minted and
+// nothing re-executed).
+type Cell struct {
+	Experiment string
+	Profile    core.Profile
+	Key        string
+
+	axis   int // position of (profile, override) in the spec's axis order
+	job    *runner.Job
+	cached bool
+}
+
+// CellInfo is a cell's point-in-time state, shaped for JSON.
+type CellInfo struct {
+	Experiment string        `json:"experiment"`
+	Profile    string        `json:"profile"`
+	Key        string        `json:"key"`
+	Status     runner.Status `json:"status"`
+	CacheHit   bool          `json:"cacheHit,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	ElapsedSec float64       `json:"elapsedSec"`
+}
+
+// Info aggregates a sweep's progress.
+type Info struct {
+	ID      string     `json:"id"`
+	Created string     `json:"created"`
+	Total   int        `json:"total"`
+	Queued  int        `json:"queued"`
+	Running int        `json:"running"`
+	Done    int        `json:"done"`
+	Failed  int        `json:"failed"`
+	Hits    int        `json:"cacheHits"`
+	Cells   []CellInfo `json:"cells,omitempty"`
+}
+
+// Finished reports whether every cell is terminal.
+func (i Info) Finished() bool { return i.Done+i.Failed == i.Total }
+
+// Sweep is one submitted grid. Cells are immutable after construction;
+// their status lives in the underlying jobs.
+type Sweep struct {
+	ID      string
+	Spec    Spec
+	Cells   []*Cell
+	created time.Time
+}
+
+// Expand resolves the spec into its deduplicated, deterministically
+// ordered cell set (no jobs attached). Two textually different specs
+// that denote the same grid expand to the same cells, and therefore the
+// same sweep ID.
+func Expand(spec Spec) ([]*Cell, error) {
+	ids, err := core.ExpandIDs(spec.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	profiles := spec.Profiles
+	if len(profiles) == 0 {
+		profiles = []string{"quick"}
+	}
+	overrides := spec.Overrides
+	if len(overrides) == 0 {
+		overrides = []core.Overrides{{}}
+	}
+	for _, o := range overrides {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var cells []*Cell
+	seen := make(map[string]bool)
+	axis := 0
+	for _, name := range profiles {
+		base, err := core.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range overrides {
+			p := base.Apply(o)
+			for _, id := range ids {
+				key := results.Key(id, p)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cells = append(cells, &Cell{Experiment: id, Profile: p, Key: key, axis: axis})
+			}
+			axis++
+		}
+	}
+	// Rows sort by experiment; columns keep the spec's axis order, so
+	// "-nodes 4,8,16" renders 4, 8, 16 — not the lexicographic 16, 4, 8.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Experiment != cells[j].Experiment {
+			return cells[i].Experiment < cells[j].Experiment
+		}
+		return cells[i].axis < cells[j].axis
+	})
+	return cells, nil
+}
+
+// id derives the sweep's content address from its sorted cell keys:
+// the same grid always gets the same ID — across processes, restarts,
+// and axis orderings — which is what lets a restarted daemon re-adopt
+// its persisted sweeps and makes POST /v1/sweeps idempotent.
+func id(cells []*Cell) string {
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.Key
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	h.Write([]byte("imagebench/sweep/v1"))
+	for _, k := range keys {
+		h.Write([]byte{0})
+		h.Write([]byte(k))
+	}
+	return "sw-" + hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// Info returns the sweep's aggregate progress; withCells includes the
+// per-cell states.
+func (s *Sweep) Info(withCells bool) Info {
+	info := Info{
+		ID:      s.ID,
+		Created: s.created.UTC().Format(time.RFC3339Nano),
+		Total:   len(s.Cells),
+	}
+	for _, c := range s.Cells {
+		ci := CellInfo{Experiment: c.Experiment, Profile: c.Profile.Name, Key: c.Key}
+		switch {
+		case c.job != nil:
+			js := c.job.Snapshot()
+			ci.Status, ci.CacheHit, ci.Error, ci.ElapsedSec = js.Status, js.CacheHit, js.Error, js.ElapsedSec
+		case c.cached:
+			// Completed before this process started; rehydrated from the
+			// result cache during recovery, nothing re-executed.
+			ci.Status, ci.CacheHit = runner.StatusDone, true
+		default:
+			ci.Status = runner.StatusQueued
+		}
+		switch ci.Status {
+		case runner.StatusDone:
+			info.Done++
+			if ci.CacheHit {
+				info.Hits++
+			}
+		case runner.StatusFailed:
+			info.Failed++
+		case runner.StatusRunning:
+			info.Running++
+		default:
+			info.Queued++
+		}
+		if withCells {
+			info.Cells = append(info.Cells, ci)
+		}
+	}
+	return info
+}
+
+// Wait blocks until every cell is terminal or ctx is canceled. Cell
+// failures are not an error here — they are visible in Info — so a
+// sweep with failed cells still "finishes".
+func (s *Sweep) Wait(ctx context.Context) error {
+	for _, c := range s.Cells {
+		if c.job == nil {
+			continue
+		}
+		select {
+		case <-c.job.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Result returns one cell's table: from its job if it ran here, from
+// the cache if it was rehydrated. The boolean is false while the cell
+// is still pending or if it failed.
+func (s *Sweep) Result(c *Cell, cache *results.Cache) (*core.Table, bool) {
+	if c.job != nil {
+		if tab, err := c.job.Result(); err == nil {
+			return tab, true
+		}
+		return nil, false
+	}
+	if c.cached && cache != nil {
+		if e, ok := cache.Peek(c.Key); ok {
+			return e.Table, true
+		}
+	}
+	return nil, false
+}
+
+// GridLabels returns the sweep's axes for rendering: sorted experiment
+// IDs (rows) and derived profile names in first-appearance order
+// (columns).
+func (s *Sweep) GridLabels() (rows, cols []string) {
+	seenRow := map[string]bool{}
+	seenCol := map[string]bool{}
+	for _, c := range s.Cells {
+		if !seenRow[c.Experiment] {
+			seenRow[c.Experiment] = true
+			rows = append(rows, c.Experiment)
+		}
+		if !seenCol[c.Profile.Name] {
+			seenCol[c.Profile.Name] = true
+			cols = append(cols, c.Profile.Name)
+		}
+	}
+	sort.Strings(rows)
+	return rows, cols
+}
+
+// CellAt returns the cell for (experiment, profile name), if any.
+func (s *Sweep) CellAt(experiment, profileName string) (*Cell, bool) {
+	for _, c := range s.Cells {
+		if c.Experiment == experiment && c.Profile.Name == profileName {
+			return c, true
+		}
+	}
+	return nil, false
+}
