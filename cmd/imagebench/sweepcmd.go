@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"imagebench/internal/cluster"
 	"imagebench/internal/core"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
@@ -23,6 +24,9 @@ func sweepMain(args []string) {
 	fs := flag.NewFlagSet("imagebench sweep", flag.ExitOnError)
 	profiles := fs.String("profiles", "quick", "comma-separated profile names to sweep over")
 	nodes := fs.String("nodes", "", "comma-separated cluster sizes; each becomes one grid axis point (e.g. 4,8,16)")
+	killAt := fs.String("kill-at", "", "comma-separated fault points \"node@time\" for the ft* experiments; each becomes one grid axis point\n"+
+		"sweeping baseline vs that kill (time is a % of each system's fault-free makespan, or a duration;\n"+
+		"join simultaneous kills with '+', e.g. \"1@30%,1@30%+2@55%,2@10s\")")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
 	out := fs.String("out", "", "write the combined sweep artifact (JSON) to this file")
@@ -31,8 +35,9 @@ func sweepMain(args []string) {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: imagebench sweep [flags] <experiment-id-or-glob>...\n\n"+
 			"Runs every experiment × profile × override combination as one batch,\n"+
-			"deduplicated and cached. Example:\n\n"+
-			"  imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11\n\n")
+			"deduplicated and cached. Examples:\n\n"+
+			"  imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11\n"+
+			"  imagebench sweep -kill-at \"1@30%%,1@30%%+2@55%%\" -out faults.json 'ft*'\n\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -53,6 +58,18 @@ func sweepMain(args []string) {
 				os.Exit(2)
 			}
 			spec.Overrides = append(spec.Overrides, core.Overrides{ClusterNodes: []int{n}})
+		}
+	}
+	if *killAt != "" {
+		for _, field := range strings.Split(*killAt, ",") {
+			scenario, err := killScenario(strings.TrimSpace(field))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imagebench sweep: bad -kill-at value %q: %v\n", field, err)
+				os.Exit(2)
+			}
+			// Each kill point is one axis point comparing the fault-free
+			// baseline against that scenario.
+			spec.Overrides = append(spec.Overrides, core.Overrides{Failures: []string{"baseline", scenario}})
 		}
 	}
 
@@ -124,6 +141,21 @@ func sweepMain(args []string) {
 		}
 		os.Exit(1)
 	}
+}
+
+// killScenario turns a -kill-at point ("1@30%" or "1@30%+2@55%") into a
+// canonical fault-scenario string ("kill:1@30%+kill:2@55%") and
+// validates it through the cluster parser.
+func killScenario(field string) (string, error) {
+	parts := strings.Split(field, "+")
+	for i, p := range parts {
+		parts[i] = "kill:" + strings.TrimSpace(p)
+	}
+	scenario := strings.Join(parts, "+")
+	if _, err := cluster.ParseScenario(scenario); err != nil {
+		return "", err
+	}
+	return scenario, nil
 }
 
 // renderGrid draws the experiment × profile grid with one status mark

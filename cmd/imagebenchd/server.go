@@ -61,6 +61,33 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// maxRequestBytes caps JSON request bodies. The daemon's requests are
+// small specs (experiment IDs, profiles, override lists); 1 MiB is
+// orders of magnitude above any legitimate payload.
+const maxRequestBytes = 1 << 20
+
+// decodeRequest decodes a JSON body with the two defenses every
+// network-facing decoder needs: a hard size cap (a huge body would
+// otherwise be buffered without bound) and rejection of unknown fields
+// (a typoed "experimens" key fails loudly instead of submitting an empty
+// job). It writes the error response itself and reports whether decoding
+// succeeded.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBytes)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return false
+	}
+	return true
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -132,8 +159,7 @@ type submitRequest struct {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+	if !decodeRequest(w, r, &req) {
 		return
 	}
 	if len(req.Experiments) == 0 {
@@ -223,8 +249,7 @@ type sweepRequest struct {
 
 func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+	if !decodeRequest(w, r, &req) {
 		return
 	}
 	sw, existing, err := s.sweeps.Submit(req.Spec)

@@ -296,6 +296,52 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+func TestRequestBodyLimits(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	// A body over the cap is rejected with 413 before any decoding.
+	huge := `{"experiments":["` + strings.Repeat("x", maxRequestBytes) + `"]}`
+	for _, path := range []string{"/v1/jobs", "/v1/sweeps"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with oversized body: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// A body within the cap still works.
+	resp, _ := postJobs(t, ts.URL, `{"experiments":["zz-test-http"],"wait":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /v1/jobs under the cap: status %d", resp.StatusCode)
+	}
+}
+
+func TestRejectsUnknownFields(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	// A typoed key must fail loudly, not silently submit an empty job.
+	for path, body := range map[string]string{
+		"/v1/jobs":   `{"experimens":["zz-test-http"]}`,
+		"/v1/sweeps": `{"experiments":["zz-test-http"],"profles":["quick"]}`,
+	} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		var apiErr map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatalf("POST %s: decode error body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with unknown field: status %d, want 400", path, resp.StatusCode)
+		}
+		if !strings.Contains(apiErr["error"], "unknown field") {
+			t.Errorf("POST %s: error %q does not name the unknown field", path, apiErr["error"])
+		}
+	}
+}
+
 func TestNotFounds(t *testing.T) {
 	ts, _, _ := newTestServer(t)
 	for _, path := range []string{

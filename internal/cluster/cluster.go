@@ -86,6 +86,12 @@ type node struct {
 	nic     vtime.GapTimeline
 	disk    vtime.GapTimeline
 	mem     MemTracker
+
+	// Fault-injection state (see faults.go).
+	killed     bool
+	deadAt     vtime.Time
+	slowAt     vtime.Time
+	slowFactor float64 // > 1 after slowAt (straggler)
 }
 
 // bestWorker returns the slot that can start a task of the given duration
@@ -100,6 +106,40 @@ func (n *node) bestWorker(ready vtime.Time, d vtime.Duration) (int, vtime.Time) 
 	return best, bestStart
 }
 
+// plan resolves where and how long a task of nominal duration d becoming
+// ready at ready would run on this node: the chosen slot, its start, and
+// the node-effective duration. A straggler node stretches tasks that
+// *start* at or after its slowdown (a task already running when the
+// degradation begins is approximated as unaffected); the stretched
+// duration is re-probed, which can only move the start later — still at
+// or after the slowdown, so the fixed point is immediate.
+func (n *node) plan(ready vtime.Time, d vtime.Duration) (w int, start vtime.Time, eff vtime.Duration) {
+	w, start = n.bestWorker(ready, d)
+	if n.slowFactor > 1 && !start.Before(n.slowAt) {
+		eff = vtime.Duration(float64(d) * n.slowFactor)
+		w, start = n.bestWorker(ready, eff)
+		return w, start, eff
+	}
+	return w, start, d
+}
+
+// probe returns the start a task of nominal duration d becoming ready at
+// ready would get on this node, and whether a scheduler would assign it
+// there: false only when the node is already dead at that start. A task
+// that starts before the kill and would die mid-run is still assigned —
+// the scheduler cannot see the future; the failure surfaces when the
+// task runs (Submit) and the engine's recovery deals with it. The
+// duration must include any per-task overhead: probing with a different
+// duration than the one later reserved can select a slot — or a node —
+// the booking then disagrees with.
+func (n *node) probe(ready vtime.Time, d vtime.Duration) (vtime.Time, bool) {
+	_, start, _ := n.plan(ready, d)
+	if n.killed && !start.Before(n.deadAt) {
+		return start, false
+	}
+	return start, true
+}
+
 // Cluster is the simulated cluster. It is not safe for concurrent use; the
 // engines in this repository are deterministic single-goroutine simulations.
 type Cluster struct {
@@ -108,6 +148,12 @@ type Cluster struct {
 	makespan vtime.Time
 	tasks    int
 	xferred  int64 // total bytes moved over the network
+
+	// Fault-injection state (see faults.go): whether any fault is
+	// scheduled, and the booking floor recovery paths raise so restarts
+	// cannot use idle time from before the failure.
+	faulty bool
+	floor  vtime.Time
 
 	// Tracing state (see trace.go).
 	tracing bool
@@ -164,12 +210,21 @@ func (c *Cluster) observe(t vtime.Time) {
 // fn is not run and the error propagates.
 func (c *Cluster) Submit(nodeID int, deps []*Handle, cost vtime.Duration, fn func() error) *Handle {
 	n := c.node(nodeID)
-	ready := After(deps...)
+	ready := vtime.Max(After(deps...), c.floor)
 	if err := FirstErr(deps...); err != nil {
 		return &Handle{Node: nodeID, End: ready, Err: err}
 	}
-	w, _ := n.bestWorker(ready, cost+c.cfg.TaskOverhead)
-	start, end := n.workers[w].Reserve(ready, cost+c.cfg.TaskOverhead)
+	if cost < 0 {
+		cost = 0
+	}
+	w, probedStart, d := n.plan(ready, cost+c.cfg.TaskOverhead)
+	if n.killed && (!ready.Before(n.deadAt) || probedStart.Add(d).After(n.deadAt)) {
+		// The node is already down, or dies before the task completes:
+		// the work is lost, and the failure cannot be detected before
+		// the kill itself.
+		return &Handle{Node: nodeID, End: vtime.Max(ready, n.deadAt), Err: &NodeDownError{Node: nodeID, At: n.deadAt}}
+	}
+	start, end := n.workers[w].Reserve(ready, d)
 	c.tasks++
 	c.observe(end)
 	c.record(Event{Kind: EventCompute, Node: nodeID, Lane: w, Start: start, End: end})
@@ -186,20 +241,32 @@ func (c *Cluster) Submit(nodeID int, deps []*Handle, cost vtime.Duration, fn fun
 // where its inputs live unless another machine is idle enough that stealing
 // pays off. A nil or empty prefer list means no locality preference.
 func (c *Cluster) SubmitAny(prefer []int, locality vtime.Duration, deps []*Handle, cost vtime.Duration, fn func() error) *Handle {
-	ready := After(deps...)
+	ready := vtime.Max(After(deps...), c.floor)
+	if cost < 0 {
+		cost = 0
+	}
+	// Probe with the same duration Submit will reserve — the clamped
+	// cost plus the per-task overhead. Probing with the bare cost can
+	// select a node whose gap fits the cost but not the booking,
+	// booking a different slot (and a worse start) than the one the
+	// probe chose.
+	d := cost + c.cfg.TaskOverhead
 	best, bestStart := -1, vtime.Time(math.MaxInt64)
 	for i, n := range c.nodes {
-		_, start := n.bestWorker(ready, cost)
-		if start < bestStart {
+		if start, ok := n.probe(ready, d); ok && start < bestStart {
 			best, bestStart = i, start
 		}
+	}
+	if best < 0 {
+		// Inject guarantees at least one node is never killed, and
+		// probe only rejects killed nodes.
+		panic("cluster: no schedulable node despite the at-least-one-alive invariant")
 	}
 	for _, p := range prefer {
 		if p < 0 || p >= len(c.nodes) {
 			continue
 		}
-		_, start := c.nodes[p].bestWorker(ready, cost)
-		if start.Sub(bestStart) <= locality {
+		if start, ok := c.nodes[p].probe(ready, d); ok && start.Sub(bestStart) <= locality {
 			best = p
 			break
 		}
@@ -213,19 +280,30 @@ func (c *Cluster) SubmitAny(prefer []int, locality vtime.Duration, deps []*Handl
 // before submitting the task. The duration matters: slots are probed for
 // a gap that actually fits the task.
 func (c *Cluster) PickNode(prefer []int, locality vtime.Duration, ready vtime.Time, cost vtime.Duration) int {
-	best, bestStart := 0, vtime.Time(math.MaxInt64)
+	ready = vtime.Max(ready, c.floor)
+	if cost < 0 {
+		cost = 0
+	}
+	// As in SubmitAny, probe with the overhead-inclusive duration the
+	// later Submit will reserve, so the chosen node is the one actually
+	// booked.
+	d := cost + c.cfg.TaskOverhead
+	best, bestStart := -1, vtime.Time(math.MaxInt64)
 	for i, n := range c.nodes {
-		_, start := n.bestWorker(ready, cost)
-		if start < bestStart {
+		if start, ok := n.probe(ready, d); ok && start < bestStart {
 			best, bestStart = i, start
 		}
+	}
+	if best < 0 {
+		// Inject guarantees at least one node is never killed, and
+		// probe only rejects killed nodes.
+		panic("cluster: no schedulable node despite the at-least-one-alive invariant")
 	}
 	for _, p := range prefer {
 		if p < 0 || p >= len(c.nodes) {
 			continue
 		}
-		_, start := c.nodes[p].bestWorker(ready, cost)
-		if start.Sub(bestStart) <= locality {
+		if start, ok := c.nodes[p].probe(ready, d); ok && start.Sub(bestStart) <= locality {
 			return p
 		}
 	}
@@ -236,7 +314,7 @@ func (c *Cluster) PickNode(prefer []int, locality vtime.Duration, ready vtime.Ti
 // deps. It returns a handle completing when the data is resident on dst.
 // Transfers between a node and itself are free.
 func (c *Cluster) Transfer(src, dst int, nbytes int64, deps ...*Handle) *Handle {
-	ready := After(deps...)
+	ready := vtime.Max(After(deps...), c.floor)
 	if err := FirstErr(deps...); err != nil {
 		return &Handle{Node: dst, End: ready, Err: err}
 	}
@@ -256,6 +334,14 @@ func (c *Cluster) Transfer(src, dst int, nbytes int64, deps ...*Handle) *Handle 
 		}
 		start = next
 	}
+	// A transfer needs both endpoints alive for its whole interval: a
+	// killed source loses the data, a killed destination loses the copy.
+	for _, ep := range [2]int{src, dst} {
+		n := c.node(ep)
+		if n.killed && (!ready.Before(n.deadAt) || start.Add(d).After(n.deadAt)) {
+			return &Handle{Node: ep, End: vtime.Max(ready, n.deadAt), Err: &NodeDownError{Node: ep, At: n.deadAt}}
+		}
+	}
 	_, end := s.nic.Reserve(start, d)
 	t.nic.Reserve(start, d)
 	c.xferred += nbytes
@@ -269,7 +355,7 @@ func (c *Cluster) Transfer(src, dst int, nbytes int64, deps ...*Handle) *Handle 
 // distribution tree (the strategy BitTorrent-style broadcasts approximate):
 // ceil(log2(nodes)) rounds, each taking one transfer time.
 func (c *Cluster) Broadcast(src int, nbytes int64, deps ...*Handle) *Handle {
-	ready := After(deps...)
+	ready := vtime.Max(After(deps...), c.floor)
 	if err := FirstErr(deps...); err != nil {
 		return &Handle{Node: src, End: ready, Err: err}
 	}
@@ -279,7 +365,13 @@ func (c *Cluster) Broadcast(src int, nbytes int64, deps ...*Handle) *Handle {
 	rounds := int(math.Ceil(math.Log2(float64(len(c.nodes)))))
 	d := bytesDur(nbytes, c.cfg.NetBandwidth) * vtime.Duration(rounds)
 	end := ready.Add(d)
+	if s := c.node(src); s.killed && (!ready.Before(s.deadAt) || end.After(s.deadAt)) {
+		return &Handle{Node: src, End: vtime.Max(ready, s.deadAt), Err: &NodeDownError{Node: src, At: s.deadAt}}
+	}
 	for i, n := range c.nodes {
+		if n.killed && !ready.Before(n.deadAt) {
+			continue // dead receivers are simply absent from the tree
+		}
 		n.nic.Reserve(ready, d)
 		c.record(Event{Kind: EventBcast, Node: i, Start: ready, End: end, Bytes: nbytes})
 	}
@@ -299,12 +391,16 @@ func (c *Cluster) DiskRead(nodeID int, nbytes int64, deps ...*Handle) *Handle {
 }
 
 func (c *Cluster) diskOp(nodeID int, nbytes int64, deps []*Handle) *Handle {
-	ready := After(deps...)
+	ready := vtime.Max(After(deps...), c.floor)
 	if err := FirstErr(deps...); err != nil {
 		return &Handle{Node: nodeID, End: ready, Err: err}
 	}
 	n := c.node(nodeID)
-	start, end := n.disk.Reserve(ready, bytesDur(nbytes, c.cfg.DiskBandwidth))
+	d := bytesDur(nbytes, c.cfg.DiskBandwidth)
+	if n.killed && (!ready.Before(n.deadAt) || n.disk.StartAt(ready, d).Add(d).After(n.deadAt)) {
+		return &Handle{Node: nodeID, End: vtime.Max(ready, n.deadAt), Err: &NodeDownError{Node: nodeID, At: n.deadAt}}
+	}
+	start, end := n.disk.Reserve(ready, d)
 	c.observe(end)
 	c.record(Event{Kind: EventDisk, Node: nodeID, Start: start, End: end, Bytes: nbytes})
 	return &Handle{Node: nodeID, End: end}

@@ -123,6 +123,20 @@ type Profile struct {
 	// Geometry scale for the synthetic data (see synth package).
 	NeuroNX, NeuroNY, NeuroNZ, NeuroT, NeuroB0 int
 	AstroSensors, AstroW, AstroH, AstroSources int
+	// FaultScenarios are the fault-injection scenarios the ft*
+	// experiments compare, in cluster.ParseScenario syntax ("baseline",
+	// "kill:1@30%", "slow:1@25%*4", ...). Empty falls back to
+	// DefaultFaultScenarios.
+	FaultScenarios []string
+}
+
+// DefaultFaultScenarios returns the canonical recovery-overhead grid:
+// fault-free baseline, one kill, two kills, and a straggler. Fault times
+// are fractions of each system's own baseline makespan, so every
+// scenario lands mid-run on every system; the straggler degrades early
+// (5%) so it catches each system's long-running tasks before they start.
+func DefaultFaultScenarios() []string {
+	return []string{"baseline", "kill:1@30%", "kill:1@30%+kill:2@55%", "slow:1@5%*4"}
 }
 
 // Quick is the test/CI profile.
@@ -134,6 +148,7 @@ func Quick() Profile {
 		ClusterNodes:  []int{4, 8, 16},
 		NeuroNX:       8, NeuroNY: 8, NeuroNZ: 10, NeuroT: 48, NeuroB0: 3,
 		AstroSensors: 4, AstroW: 32, AstroH: 32, AstroSources: 10,
+		FaultScenarios: DefaultFaultScenarios(),
 	}
 }
 
@@ -146,7 +161,17 @@ func Full() Profile {
 		ClusterNodes:  []int{16, 32, 48, 64},
 		NeuroNX:       12, NeuroNY: 12, NeuroNZ: 14, NeuroT: 48, NeuroB0: 3,
 		AstroSensors: 6, AstroW: 48, AstroH: 48, AstroSources: 24,
+		FaultScenarios: DefaultFaultScenarios(),
 	}
+}
+
+// faultScenarios returns the profile's scenario set, defaulting for
+// hand-rolled profiles that leave it empty.
+func (p Profile) faultScenarios() []string {
+	if len(p.FaultScenarios) == 0 {
+		return DefaultFaultScenarios()
+	}
+	return p.FaultScenarios
 }
 
 // Experiment reproduces one paper artifact.

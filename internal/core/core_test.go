@@ -39,8 +39,8 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-spark-pytax",
 		"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 		"fig10g", "fig10h", "fig11", "fig12a", "fig12b", "fig12c",
-		"fig12d", "fig13", "fig14", "fig15", "sec531scidb", "sec531tf",
-		"sec533", "table1",
+		"fig12d", "fig13", "fig14", "fig15", "ftastro", "ftneuro",
+		"sec531scidb", "sec531tf", "sec533", "table1",
 	}
 	got := All()
 	if len(got) != len(want) {

@@ -15,9 +15,11 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // goldenIDs are the experiments pinned byte-for-byte: the fast ones, so
 // the regression net costs seconds, spanning both domains (neuro,
 // astro), both table shapes (runtime sweeps, static counts), and NA
-// cells. The simulator is deterministic, so any diff is a semantic
+// cells — plus both fault-injection tables, which pin the recovery
+// semantics of all five systems (same ID + profile → byte-identical
+// JSON). The simulator is deterministic, so any diff is a semantic
 // change — bump the result-cache key version when one is intentional.
-var goldenIDs = []string{"fig11", "fig12a", "fig12b", "table1", "sec531scidb"}
+var goldenIDs = []string{"fig11", "fig12a", "fig12b", "table1", "sec531scidb", "ftneuro", "ftastro"}
 
 // TestGoldenTables locks the quick-profile JSON of selected experiments
 // against testdata/golden/. Regenerate intentionally with:

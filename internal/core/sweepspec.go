@@ -5,6 +5,8 @@ import (
 	"path"
 	"sort"
 	"strings"
+
+	"imagebench/internal/cluster"
 )
 
 // This file is the profile-override and experiment-pattern plumbing used
@@ -20,11 +22,16 @@ type Overrides struct {
 	ClusterNodes  []int `json:"clusterNodes,omitempty"`
 	NeuroSubjects []int `json:"neuroSubjects,omitempty"`
 	AstroVisits   []int `json:"astroVisits,omitempty"`
+	// Failures replaces the profile's fault-scenario set for the ft*
+	// experiments (cluster.ParseScenario syntax). One sweep axis point
+	// per scenario set lets a single batch grid over fault scenarios —
+	// the `imagebench sweep -kill-at ...` axis.
+	Failures []string `json:"failures,omitempty"`
 }
 
 // IsZero reports whether the overrides change nothing.
 func (o Overrides) IsZero() bool {
-	return o.ClusterNodes == nil && o.NeuroSubjects == nil && o.AstroVisits == nil
+	return o.ClusterNodes == nil && o.NeuroSubjects == nil && o.AstroVisits == nil && o.Failures == nil
 }
 
 // Validate rejects empty or non-positive sweep points: they would make
@@ -47,7 +54,18 @@ func (o Overrides) Validate() error {
 	if err := check("neuroSubjects", o.NeuroSubjects); err != nil {
 		return err
 	}
-	return check("astroVisits", o.AstroVisits)
+	if err := check("astroVisits", o.AstroVisits); err != nil {
+		return err
+	}
+	if o.Failures != nil && len(o.Failures) == 0 {
+		return fmt.Errorf("core: override failures is empty (omit it to keep the profile's scenarios)")
+	}
+	for _, sc := range o.Failures {
+		if _, err := cluster.ParseScenario(sc); err != nil {
+			return fmt.Errorf("core: override failures: %w", err)
+		}
+	}
+	return nil
 }
 
 // Label renders the overrides as a stable, human-readable suffix
@@ -69,6 +87,9 @@ func (o Overrides) Label() string {
 	add("nodes", o.ClusterNodes)
 	add("subjects", o.NeuroSubjects)
 	add("visits", o.AstroVisits)
+	if o.Failures != nil {
+		parts = append(parts, "failures="+strings.Join(o.Failures, ";"))
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -89,6 +110,9 @@ func (p Profile) Apply(o Overrides) Profile {
 	}
 	if o.AstroVisits != nil {
 		out.AstroVisits = append([]int(nil), o.AstroVisits...)
+	}
+	if o.Failures != nil {
+		out.FaultScenarios = append([]string(nil), o.Failures...)
 	}
 	out.Name = p.Name + "+" + strings.ReplaceAll(o.Label(), " ", "+")
 	return out

@@ -58,6 +58,38 @@ func TestOverridesValidate(t *testing.T) {
 	if err := (Overrides{AstroVisits: []int{2, 0}}).Validate(); err == nil {
 		t.Error("non-positive visit count accepted")
 	}
+	if err := (Overrides{Failures: []string{"baseline", "kill:1@30%"}}).Validate(); err != nil {
+		t.Errorf("valid failures override rejected: %v", err)
+	}
+	if err := (Overrides{Failures: []string{}}).Validate(); err == nil {
+		t.Error("empty failures list accepted")
+	}
+	if err := (Overrides{Failures: []string{"kill:1@soon"}}).Validate(); err == nil {
+		t.Error("malformed fault scenario accepted")
+	}
+}
+
+func TestOverridesFailuresApply(t *testing.T) {
+	base := Quick()
+	o := Overrides{Failures: []string{"baseline", "kill:1@40%"}}
+	derived := base.Apply(o)
+	if derived.Name != "quick+failures=baseline;kill:1@40%" {
+		t.Errorf("derived name = %q", derived.Name)
+	}
+	if len(derived.FaultScenarios) != 2 || derived.FaultScenarios[1] != "kill:1@40%" {
+		t.Errorf("derived scenarios = %v", derived.FaultScenarios)
+	}
+	if len(base.FaultScenarios) != 4 {
+		t.Errorf("base profile scenarios mutated: %v", base.FaultScenarios)
+	}
+	if derived.Fingerprint() == base.Fingerprint() {
+		t.Error("failures override did not change the fingerprint")
+	}
+	// Mutating the override slice afterwards must not leak in.
+	o.Failures[1] = "kill:9@90%"
+	if derived.FaultScenarios[1] != "kill:1@40%" {
+		t.Error("Apply shared the failures slice instead of copying")
+	}
 }
 
 func TestOverridesLabel(t *testing.T) {

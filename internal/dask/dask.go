@@ -93,6 +93,10 @@ type Delayed struct {
 	// (workers cache received data), so repeated consumers on one
 	// machine pay the transfer once.
 	replicas map[int]*cluster.Handle
+	// notBefore anchors a resubmitted task after the worker death that
+	// lost its previous result: recomputation is only possible once the
+	// scheduler has detected the failure.
+	notBefore vtime.Time
 }
 
 // Delayed wraps f as a graph node computing from deps, with task duration
@@ -167,14 +171,71 @@ func (s *Session) Compute(roots ...*Delayed) (*cluster.Handle, error) {
 	return s.cl.Barrier(handles...), nil
 }
 
-// eval runs one node (and its dependencies) through the dynamic scheduler.
+// eval runs one node (and its dependencies) through the dynamic
+// scheduler, resubmitting work lost to worker deaths: when a task (or a
+// transfer feeding it) fails on a killed machine, results that machine
+// hosted are invalidated so their tasks re-run on survivors — Dask's
+// scheduler holds the whole graph during execution and resubmits lost
+// keys, without lineage or data persistence.
 func (s *Session) eval(d *Delayed) error {
 	if d.done {
 		return nil
 	}
-	if chain := s.fusibleChain(d); chain != nil {
-		return s.evalChain(chain)
+	for attempt := 0; ; attempt++ {
+		var err error
+		if chain := s.fusibleChain(d); chain != nil {
+			err = s.evalChain(chain)
+		} else {
+			err = s.evalOnce(d)
+		}
+		if err == nil {
+			return nil
+		}
+		nd, ok := cluster.DownAt(err)
+		if !ok || nd.Node == 0 || attempt >= s.cl.Nodes() {
+			return err // not a worker death, the scheduler host died, or out of retries
+		}
+		s.invalidateLost(d, nd.At, map[*Delayed]bool{})
+		if nd.At > d.notBefore {
+			d.notBefore = nd.At
+		}
 	}
+}
+
+// invalidateLost walks d's dependency graph and marks every computed
+// result hosted on a node dead by time at as uncomputed, so the next
+// eval resubmits its task on a surviving worker. Cached replicas on dead
+// nodes are dropped from live results.
+func (s *Session) invalidateLost(d *Delayed, at vtime.Time, seen map[*Delayed]bool) {
+	if seen[d] {
+		return
+	}
+	seen[d] = true
+	for _, dep := range d.deps {
+		s.invalidateLost(dep, at, seen)
+	}
+	if !d.done {
+		return
+	}
+	if kt, killed := s.cl.KillTime(d.node); killed && !at.Before(kt) {
+		d.done = false
+		d.handle = nil
+		d.replicas = nil
+		if at > d.notBefore {
+			d.notBefore = at
+		}
+		return
+	}
+	for n := range d.replicas {
+		if kt, killed := s.cl.KillTime(n); killed && !at.Before(kt) {
+			delete(d.replicas, n)
+		}
+	}
+}
+
+// evalOnce is one scheduling attempt for d: evaluate dependencies, pay
+// the dispatch, pick a machine, move inputs, run.
+func (s *Session) evalOnce(d *Delayed) error {
 	var depHandles []*cluster.Handle
 	var prefer []int
 	args := make([]any, len(d.deps))
@@ -191,6 +252,11 @@ func (s *Session) eval(d *Delayed) error {
 	// Every task also waits for the session to be up; include it before
 	// probing node availability so the probe and the booking agree.
 	depHandles = append(depHandles, s.startup)
+	if d.notBefore > 0 {
+		// Resubmission of work lost to a dead worker: not schedulable
+		// before the failure was detectable.
+		depHandles = append(depHandles, &cluster.Handle{End: d.notBefore})
+	}
 	// Centralized scheduler dispatch: a serial cost per task that grows
 	// with cluster size (work-stealing coordination).
 	ready := cluster.After(depHandles...)
@@ -215,6 +281,10 @@ func (s *Session) eval(d *Delayed) error {
 	if d.pinNode < 0 {
 		locality := s.StealLocality + s.transferDur(inBytes)
 		node = s.cl.PickNode(prefer, locality, cluster.After(depHandles...), dur)
+	} else if !s.cl.CanHost(node, cluster.After(depHandles...), dur) {
+		// The pinned worker is gone: the scheduler reassigns the task to
+		// whichever survivor can run it earliest.
+		node = s.cl.PickNode(nil, 0, cluster.After(depHandles...), dur)
 	}
 	for _, dep := range d.deps {
 		if dep.node != node && dep.size > 0 {

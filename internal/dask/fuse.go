@@ -95,6 +95,17 @@ func (s *Session) evalChain(chain []*Delayed) error {
 		prefer = append(prefer, dep.node)
 	}
 	depHandles = append(depHandles, s.startup)
+	// Resubmitted (previously lost) stages anchor the fused task after
+	// the worker death that invalidated them.
+	var notBefore vtime.Time
+	for _, stage := range chain {
+		if stage.notBefore > notBefore {
+			notBefore = stage.notBefore
+		}
+	}
+	if notBefore > 0 {
+		depHandles = append(depHandles, &cluster.Handle{End: notBefore})
+	}
 	// One scheduler dispatch for the whole chain.
 	ready := cluster.After(depHandles...)
 	_, dispatched := s.sched.Reserve(ready, s.model.SchedTime(cost.Dask, s.cl.Nodes()))

@@ -1,0 +1,24 @@
+package myria
+
+import (
+	"imagebench/internal/cluster"
+)
+
+// RunWithRestart executes a whole MyriaL program — the run closure
+// should deploy a fresh Engine and run its queries — restarting it from
+// scratch when a worker node dies mid-query. This is the paper's
+// fault-tolerance finding for Myria: there is no mid-query recovery, so
+// the coordinator aborts the failed query and the program is resubmitted,
+// paying startup, ingest, and all completed work again on the surviving
+// nodes. The scheduling floor is advanced to the failure time first, so
+// the restart cannot use idle cluster capacity from before the kill, and
+// the fresh Engine (which reads cluster.AliveNodes) places workers only
+// on survivors.
+//
+// maxRestarts bounds the retries; cl.Kills() is the natural choice (each
+// genuine restart consumes one scheduled kill). Errors that are not node
+// failures are returned unchanged.
+func RunWithRestart(cl *cluster.Cluster, maxRestarts int, run func() error) error {
+	_, err := cl.RerunAfterKills(maxRestarts, run)
+	return err
+}

@@ -87,6 +87,11 @@ type Engine struct {
 	startup *cluster.Handle
 	catalog map[string]*Relation
 	queries int
+	// nodes are the machines hosting worker processes: the cluster
+	// nodes alive when the engine was deployed. A restart after a node
+	// kill (see RunWithRestart) deploys a fresh engine that places
+	// workers only on the survivors.
+	nodes []int
 }
 
 // New deploys Myria on cl. A nil model uses cost.Default().
@@ -97,7 +102,8 @@ func New(cl *cluster.Cluster, store *objstore.Store, model *cost.Model, cfg Conf
 	if cfg.WorkersPerNode <= 0 {
 		cfg.WorkersPerNode = DefaultConfig().WorkersPerNode
 	}
-	e := &Engine{cl: cl, model: model, store: store, cfg: cfg, catalog: make(map[string]*Relation)}
+	e := &Engine{cl: cl, model: model, store: store, cfg: cfg, catalog: make(map[string]*Relation),
+		nodes: cl.AliveNodes()}
 	e.startup = cl.Submit(0, nil, model.Startup[cost.Myria], nil)
 	return e
 }
@@ -109,10 +115,10 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 func (e *Engine) Config() Config { return e.cfg }
 
 // Workers returns the total number of Myria worker processes.
-func (e *Engine) Workers() int { return e.cl.Nodes() * e.cfg.WorkersPerNode }
+func (e *Engine) Workers() int { return len(e.nodes) * e.cfg.WorkersPerNode }
 
 // nodeOf maps a logical worker to its machine.
-func (e *Engine) nodeOf(worker int) int { return worker / e.cfg.WorkersPerNode }
+func (e *Engine) nodeOf(worker int) int { return e.nodes[worker/e.cfg.WorkersPerNode] }
 
 // workerSpeed returns one Myria worker process's effective speed in
 // core-equivalents, as a function of how many workers share an 8-core
@@ -244,9 +250,17 @@ func (e *Engine) Ingest(name, prefix string, decode func(objstore.Object) []Tupl
 	total := rel.Bytes()
 	if e.Workers() > 1 {
 		moved := total * int64(e.Workers()-1) / int64(e.Workers())
-		per := moved / int64(e.cl.Nodes())
-		for n := 0; n < e.cl.Nodes(); n++ {
-			rel.ready = append(rel.ready, e.cl.Transfer(n, (n+1)%e.cl.Nodes(), per, e.startup))
+		per := moved / int64(len(e.nodes))
+		for i, n := range e.nodes {
+			rel.ready = append(rel.ready, e.cl.Transfer(n, e.nodes[(i+1)%len(e.nodes)], per, e.startup))
+		}
+	}
+	// A node dying during ingest aborts the load: the coordinator sees
+	// the worker failure and reports it (the caller restarts from
+	// scratch, as Myria offers no mid-query recovery).
+	for _, h := range rel.ready {
+		if h.Err != nil {
+			return nil, fmt.Errorf("myria: ingest %q: %w", name, h.Err)
 		}
 	}
 	e.catalog[name] = rel

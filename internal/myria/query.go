@@ -58,6 +58,17 @@ func (e *Engine) NewQuery(after ...*cluster.Handle) *Query {
 // pipelined mode).
 func (q *Query) Err() error { return q.err }
 
+// note records an operator-task failure — a worker node dying mid-query
+// — so the query aborts with it: Myria has no mid-query recovery; the
+// coordinator reports the failed query and a restart (RunWithRestart)
+// re-executes it from scratch on the surviving workers.
+func (q *Query) note(h *cluster.Handle) *cluster.Handle {
+	if h.Err != nil && q.err == nil {
+		q.err = fmt.Errorf("myria: query aborted: %w", h.Err)
+	}
+	return h
+}
+
 // Finish releases pipelined-mode memory and returns a handle for the
 // completion of the whole query.
 func (q *Query) Finish() (*cluster.Handle, error) {
@@ -97,8 +108,8 @@ func (q *Query) reserve(rel *Relation) {
 		for w := range rel.parts {
 			b := rel.partBytes(w)
 			node := e.nodeOf(w)
-			wr := e.cl.DiskWrite(node, b, rel.ready[w])
-			rel.ready[w] = e.cl.DiskRead(node, b, wr)
+			wr := q.note(e.cl.DiskWrite(node, b, rel.ready[w]))
+			rel.ready[w] = q.note(e.cl.DiskRead(node, b, wr))
 		}
 	}
 }
@@ -155,7 +166,7 @@ func (q *Query) scanWhere(rel *Relation, pred func(Tuple) bool, name string) *Re
 		// Native predicate evaluation at scan speed over the returned rows.
 		d := e.work(e.model.Jitter(fmt.Sprintf("%s/w%d", name, w), e.model.AlgTime(cost.Filter, keptBytes)))
 		out.parts[w] = kept
-		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{h}, d, nil)
+		out.ready[w] = q.note(e.cl.Submit(node, []*cluster.Handle{h}, d, nil))
 	}
 	q.reserve(out)
 	q.track(out)
@@ -187,7 +198,7 @@ func (q *Query) Apply(rel *Relation, udf PyUDF) *Relation {
 		}
 		out.parts[w] = results
 		key := fmt.Sprintf("%s/w%d", udf.Name, w)
-		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{rel.ready[w], q.start}, e.work(e.model.Jitter(key, dur)), nil)
+		out.ready[w] = q.note(e.cl.Submit(node, []*cluster.Handle{rel.ready[w], q.start}, e.work(e.model.Jitter(key, dur)), nil))
 	}
 	q.reserve(out)
 	q.track(out)
@@ -204,7 +215,7 @@ func (q *Query) BroadcastJoin(name string, left, right *Relation, combine func(l
 	}
 	e := q.eng
 	// Broadcast the right side.
-	bh := e.cl.Broadcast(0, right.Bytes(), append(append([]*cluster.Handle{q.start}, right.ready...), e.startup)...)
+	bh := q.note(e.cl.Broadcast(0, right.Bytes(), append(append([]*cluster.Handle{q.start}, right.ready...), e.startup)...))
 	byPrefix := make(map[string][]Tuple)
 	for _, p := range right.parts {
 		for _, t := range p {
@@ -238,7 +249,7 @@ func (q *Query) BroadcastJoin(name string, left, right *Relation, combine func(l
 		}
 		d := e.work(e.model.Jitter(fmt.Sprintf("%s/w%d", name, w), e.model.AlgTime(cost.Filter, in)))
 		out.parts[w] = results
-		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{left.ready[w], bh}, d, nil)
+		out.ready[w] = q.note(e.cl.Submit(node, []*cluster.Handle{left.ready[w], bh}, d, nil))
 	}
 	q.reserve(out)
 	q.track(out)
@@ -286,7 +297,7 @@ func (q *Query) Shuffle(rel *Relation, groupKey func(Tuple) string) *Relation {
 		return routes[i].dst < routes[j].dst
 	})
 	for _, r := range routes {
-		xfers = append(xfers, e.cl.Transfer(r.src, r.dst, traffic[r], send))
+		xfers = append(xfers, q.note(e.cl.Transfer(r.src, r.dst, traffic[r], send)))
 	}
 	arrive := e.cl.Barrier(xfers...)
 	if len(xfers) == 0 {
@@ -341,7 +352,7 @@ func (q *Query) GroupByApply(rel *Relation, groupKey func(Tuple) string, uda PyU
 		}
 		out.parts[w] = results
 		key := fmt.Sprintf("%s/w%d", uda.Name, w)
-		out.ready[w] = e.cl.Submit(node, []*cluster.Handle{sh.ready[w]}, e.work(e.model.Jitter(key, dur)), nil)
+		out.ready[w] = q.note(e.cl.Submit(node, []*cluster.Handle{sh.ready[w]}, e.work(e.model.Jitter(key, dur)), nil))
 	}
 	q.reserve(out)
 	q.track(out)
@@ -357,7 +368,7 @@ func (q *Query) Collect(rel *Relation) ([]Tuple, *cluster.Handle) {
 	var out []Tuple
 	var deps []*cluster.Handle
 	for w := range rel.parts {
-		deps = append(deps, e.cl.Transfer(e.nodeOf(w), 0, rel.partBytes(w), rel.ready[w]))
+		deps = append(deps, q.note(e.cl.Transfer(e.nodeOf(w), 0, rel.partBytes(w), rel.ready[w])))
 		out = append(out, rel.parts[w]...)
 	}
 	return out, e.cl.Barrier(deps...)

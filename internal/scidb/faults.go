@@ -1,0 +1,22 @@
+package scidb
+
+import (
+	"imagebench/internal/cluster"
+)
+
+// RerunOnFailure models SciDB's behaviour under node failure: there is
+// no mid-query recovery — an instance dying mid-query fails the query
+// with an error and leaves nothing to resume, so the operator must
+// resubmit it by hand. The helper plays that operator: after each
+// node-death failure it advances the scheduling floor to the failure
+// time (the rerun cannot start before the crash is observed) and calls
+// run again; the run closure should deploy a fresh Engine, which places
+// instances only on the surviving nodes.
+//
+// It returns how many failed attempts were paid for before the final
+// result — the "failure + rerun cost" the fault-tolerance experiments
+// report — plus the terminal error, if any. Errors that are not node
+// deaths are returned unchanged.
+func RerunOnFailure(cl *cluster.Cluster, maxReruns int, run func() error) (failedAttempts int, err error) {
+	return cl.RerunAfterKills(maxReruns, run)
+}

@@ -76,6 +76,10 @@ type Engine struct {
 	cfg     Config
 	startup *cluster.Handle
 	arrays  map[string]*Array
+	// nodes are the machines hosting instances: the cluster nodes alive
+	// at deployment. A manual rerun after a node death (RerunOnFailure)
+	// deploys a fresh engine on the survivors.
+	nodes []int
 }
 
 // New deploys SciDB on cl. A nil model uses cost.Default().
@@ -93,7 +97,8 @@ func New(cl *cluster.Cluster, store *objstore.Store, model *cost.Model, cfg Conf
 	if cfg.ChunkOverhead <= 0 {
 		cfg.ChunkOverhead = def.ChunkOverhead
 	}
-	e := &Engine{cl: cl, model: model, store: store, cfg: cfg, arrays: make(map[string]*Array)}
+	e := &Engine{cl: cl, model: model, store: store, cfg: cfg, arrays: make(map[string]*Array),
+		nodes: cl.AliveNodes()}
 	e.startup = cl.Submit(0, nil, model.Startup[cost.SciDB], nil)
 	return e
 }
@@ -105,9 +110,9 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 func (e *Engine) Config() Config { return e.cfg }
 
 // Instances returns the total number of SciDB instances.
-func (e *Engine) Instances() int { return e.cl.Nodes() * e.cfg.InstancesPerNode }
+func (e *Engine) Instances() int { return len(e.nodes) * e.cfg.InstancesPerNode }
 
-func (e *Engine) nodeOf(inst int) int { return inst / e.cfg.InstancesPerNode }
+func (e *Engine) nodeOf(inst int) int { return e.nodes[inst/e.cfg.InstancesPerNode] }
 
 // Array is a stored chunked array.
 type Array struct {

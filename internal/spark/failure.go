@@ -38,6 +38,64 @@ func (s *Session) KillExecutor(node int) error {
 // DeadExecutors returns how many executors have been killed.
 func (s *Session) DeadExecutors() int { return len(s.dead) }
 
+// adoptNodeFailure reacts to a task (or transfer) lost to a cluster-level
+// node kill: the hosting executor is marked dead — bumping the failure
+// epoch so lineage repair recomputes exactly the partitions it hosted —
+// and the failure time is recorded as the earliest moment recovery work
+// may be scheduled. It reports false for errors that are not node
+// failures, or when the failed node hosts the driver (unrecoverable).
+func (s *Session) adoptNodeFailure(err error) bool {
+	nd, ok := cluster.DownAt(err)
+	if !ok || nd.Node == 0 {
+		return false
+	}
+	if s.dead == nil || !s.dead[nd.Node] {
+		if s.KillExecutor(nd.Node) != nil {
+			return false
+		}
+	}
+	if nd.At > s.failedAt {
+		s.failedAt = nd.At
+	}
+	return true
+}
+
+// afterFailure returns a handle recovery work must wait on: a loss is
+// only detectable once the kill has happened, so recomputation cannot
+// use idle cluster capacity from before it. It is nil while no
+// cluster-level failure has been adopted (manual KillExecutor calls,
+// as in the fault-tolerance example, keep their between-action timing).
+func (s *Session) afterFailure() *cluster.Handle {
+	if s.failedAt == 0 {
+		return nil
+	}
+	return &cluster.Handle{End: s.failedAt}
+}
+
+// retryLost is Spark's task-level retry: while partition p's handle
+// reports a node failure, the executor is adopted as dead and the task
+// resubmitted on a surviving node via the given closure. Attempts are
+// bounded by the cluster size (each genuine retry kills one more
+// executor, and the driver's node cannot die recoverably).
+func (r *RDD) retryLost(p int, resubmit func(attempt int) error) error {
+	for attempt := 1; attempt <= r.s.cl.Nodes(); attempt++ {
+		h := r.ready[p]
+		if h == nil || h.Err == nil {
+			return nil
+		}
+		if !r.s.adoptNodeFailure(h.Err) {
+			return h.Err
+		}
+		if err := resubmit(attempt); err != nil {
+			return err
+		}
+	}
+	if h := r.ready[p]; h != nil {
+		return h.Err
+	}
+	return nil
+}
+
 // nodeFor maps a partition index onto an alive node.
 func (s *Session) nodeFor(p int) int {
 	n := s.cl.Nodes()
@@ -85,7 +143,7 @@ func (r *RDD) repair() error {
 				for _, rec := range r.parts[p] {
 					bytes += rec.Size
 				}
-				ship := s.cl.Transfer(0, node, bytes, s.startup)
+				ship := s.cl.Transfer(0, node, bytes, s.startup, s.afterFailure())
 				r.nodes[p] = node
 				r.ready[p] = s.cl.Submit(node, []*cluster.Handle{ship}, s.model.GobTime(bytes), nil)
 			}
@@ -93,7 +151,7 @@ func (r *RDD) repair() error {
 			// Re-enumerate is unnecessary (the driver kept the listing);
 			// re-download the lost partitions only.
 			for i, p := range lost {
-				if err := r.fetchPartition(p, s.nodeFor(p+i+1), s.startup); err != nil {
+				if err := r.fetchPartition(p, s.nodeFor(p+i+1), s.startup, s.afterFailure()); err != nil {
 					return err
 				}
 			}
@@ -104,7 +162,7 @@ func (r *RDD) repair() error {
 			return err
 		}
 		for _, p := range lost {
-			r.narrowPartition(chain, base, p)
+			r.narrowPartition(chain, base, p, s.afterFailure())
 		}
 	case opShuffle:
 		// Dead nodes lost their map outputs too: recompute the map side
@@ -113,7 +171,7 @@ func (r *RDD) repair() error {
 		if err := r.parent.compute(); err != nil {
 			return err
 		}
-		blocks, barrier := r.mapSide()
+		blocks, barrier := r.mapSide(s.afterFailure())
 		for i, p := range lost {
 			r.reducePartition(p, s.nodeFor(p+i+1), blocks, barrier, nil)
 		}

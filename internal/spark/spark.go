@@ -59,9 +59,12 @@ type Session struct {
 
 	// Executor-failure state (see failure.go): dead nodes no longer host
 	// partitions, and epoch increments invalidate materialized state so
-	// the next action repairs lost partitions from lineage.
-	dead  map[int]bool
-	epoch int
+	// the next action repairs lost partitions from lineage. failedAt is
+	// the latest cluster-level kill adopted — recovery work is anchored
+	// after it so recomputation cannot use pre-failure idle time.
+	dead     map[int]bool
+	epoch    int
+	failedAt vtime.Time
 }
 
 // NewSession starts a Spark driver on cl, charging the system's startup
@@ -273,24 +276,35 @@ func min(a, b int) int {
 }
 
 // Collect materializes the RDD and gathers all records on the master
-// (node 0), as Spark's collect() does.
+// (node 0), as Spark's collect() does. A node dying between computing a
+// partition and shipping it to the driver is adopted as an executor
+// failure: lineage repair recomputes what it hosted and the gather is
+// retried.
 func (r *RDD) Collect() ([]Pair, *cluster.Handle, error) {
-	if err := r.compute(); err != nil {
-		return nil, nil, err
-	}
-	var out []Pair
-	var deps []*cluster.Handle
-	for i, part := range r.parts {
-		var bytes int64
-		for _, p := range part {
-			bytes += p.Size
+	for attempt := 0; ; attempt++ {
+		if err := r.compute(); err != nil {
+			return nil, nil, err
 		}
-		deps = append(deps, r.s.cl.Transfer(r.nodes[i], 0, bytes, r.ready[i]))
-		out = append(out, part...)
+		var out []Pair
+		var deps []*cluster.Handle
+		for i, part := range r.parts {
+			var bytes int64
+			for _, p := range part {
+				bytes += p.Size
+			}
+			deps = append(deps, r.s.cl.Transfer(r.nodes[i], 0, bytes, r.ready[i]))
+			out = append(out, part...)
+		}
+		h := r.s.cl.Barrier(deps...)
+		if h.Err != nil && attempt < r.s.cl.Nodes() && r.s.adoptNodeFailure(h.Err) {
+			continue // epoch bumped: the next compute() repairs from lineage
+		}
+		if h.Err != nil {
+			return nil, nil, h.Err
+		}
+		r.resetLineage()
+		return out, h, nil
 	}
-	h := r.s.cl.Barrier(deps...)
-	r.resetLineage()
-	return out, h, nil
 }
 
 // Count materializes the RDD and returns the number of records.
@@ -344,7 +358,13 @@ func (r *RDD) computeSource() error {
 	r.nodes = make([]int, r.nParts)
 	r.ready = make([]*cluster.Handle, r.nParts)
 	for p := 0; p < r.nParts; p++ {
-		if err := r.fetchPartition(p, s.nodeFor(p), enum); err != nil {
+		if err := r.fetchPartition(p, s.nodeFor(p), enum, nil); err != nil {
+			return err
+		}
+		p := p
+		if err := r.retryLost(p, func(attempt int) error {
+			return r.fetchPartition(p, s.nodeFor(p+attempt), enum, s.afterFailure())
+		}); err != nil {
 			return err
 		}
 	}
@@ -355,9 +375,14 @@ func (r *RDD) computeSource() error {
 }
 
 // fetchPartition downloads and decodes source partition p onto node.
-// Round-robin keys into partitions, partitions onto nodes.
-func (r *RDD) fetchPartition(p, node int, enum *cluster.Handle) error {
+// Round-robin keys into partitions, partitions onto nodes. A non-nil
+// after anchors the download (recovery re-fetches wait for the failure
+// they repair).
+func (r *RDD) fetchPartition(p, node int, enum, after *cluster.Handle) error {
 	s := r.s
+	if after != nil {
+		enum = s.cl.Barrier(enum, after)
+	}
 	var keys []string
 	for i := p; i < len(r.keys); i += r.nParts {
 		keys = append(keys, r.keys[i])
@@ -423,7 +448,21 @@ func (r *RDD) computeNarrow() error {
 	r.ready = make([]*cluster.Handle, base.nParts)
 	r.nParts = base.nParts
 	for p := range base.parts {
-		r.narrowPartition(chain, base, p)
+		r.narrowPartition(chain, base, p, nil)
+		p := p
+		if err := r.retryLost(p, func(int) error {
+			// The stage input on the dead node is gone with the task:
+			// repairing the base (epoch mismatch) recomputes exactly the
+			// lost partitions from lineage, then the task reruns on the
+			// base partition's new home.
+			if err := base.compute(); err != nil {
+				return err
+			}
+			r.narrowPartition(chain, base, p, r.s.afterFailure())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	// Intermediate RDDs in the chain stay unmaterialized: a branch off an
 	// uncached intermediate recomputes its lineage, exactly as in Spark
@@ -435,12 +474,16 @@ func (r *RDD) computeNarrow() error {
 }
 
 // narrowPartition runs the whole narrow chain over base partition p as
-// one task on the node hosting that partition.
-func (r *RDD) narrowPartition(chain []*RDD, base *RDD, p int) {
+// one task on the node hosting that partition. A non-nil after anchors
+// the task (recovery recomputation waits for the failure it repairs).
+func (r *RDD) narrowPartition(chain []*RDD, base *RDD, p int, after *cluster.Handle) {
 	s := r.s
 	records := base.parts[p]
 	var dur vtime.Duration
 	inputReady := base.ready[p]
+	if after != nil {
+		inputReady = s.cl.Barrier(inputReady, after)
+	}
 	if base.spilled != nil && base.spilled[p] {
 		// The cached partition lives on disk: re-read it.
 		var bytes int64
@@ -490,8 +533,10 @@ type shuffleBlock struct {
 
 // mapSide buckets each parent partition's records by reduce partition
 // and schedules the map-side shuffle writes; it returns the block matrix
-// and the stage barrier every reducer waits on.
-func (r *RDD) mapSide() ([][]shuffleBlock, *cluster.Handle) {
+// and the stage barrier every reducer waits on. A non-nil after anchors
+// the writes (regenerating shuffle files lost with a dead node cannot
+// happen before the node died).
+func (r *RDD) mapSide(after *cluster.Handle) ([][]shuffleBlock, *cluster.Handle) {
 	s := r.s
 	parent := r.parent
 	blocks := make([][]shuffleBlock, len(parent.parts)) // [mapPart][reducePart]
@@ -507,7 +552,7 @@ func (r *RDD) mapSide() ([][]shuffleBlock, *cluster.Handle) {
 		}
 		// Map-side shuffle write: serialize + write shuffle files.
 		dur := s.model.GobTime(bytes)
-		wr := s.cl.DiskWrite(parent.nodes[mp], bytes, parent.ready[mp])
+		wr := s.cl.DiskWrite(parent.nodes[mp], bytes, parent.ready[mp], after)
 		start := s.dispatch(cluster.After(wr))
 		mapDone[mp] = s.cl.Submit(parent.nodes[mp], []*cluster.Handle{{End: start}, wr}, dur, nil)
 	}
@@ -591,13 +636,28 @@ func (r *RDD) computeShuffle() error {
 		return err
 	}
 	s := r.s
-	blocks, barrier := r.mapSide()
+	blocks, barrier := r.mapSide(nil)
 	r.parts = make([][]Pair, r.nParts)
 	r.nodes = make([]int, r.nParts)
 	r.ready = make([]*cluster.Handle, r.nParts)
 	var releases []func()
 	for rp := 0; rp < r.nParts; rp++ {
 		r.reducePartition(rp, s.nodeFor(rp), blocks, barrier, &releases)
+		rp := rp
+		if err := r.retryLost(rp, func(attempt int) error {
+			// The dead node also hosted map outputs: repair the map
+			// stage's parent (lineage recomputes its lost partitions),
+			// regenerate the shuffle files, and rerun this reducer on a
+			// survivor. Later reducers see the regenerated barrier.
+			if err := r.parent.compute(); err != nil {
+				return err
+			}
+			blocks, barrier = r.mapSide(s.afterFailure())
+			r.reducePartition(rp, s.nodeFor(rp+attempt), blocks, barrier, &releases)
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	for _, rel := range releases {
 		rel()

@@ -50,6 +50,14 @@ type Session struct {
 	// MasterConns is the master's parallel S3 connection count.
 	MasterConns int
 	last        *cluster.Handle
+
+	// Checkpoint-and-restart state, active only on fault-injected
+	// clusters: the master checkpoints the step outputs it holds after
+	// every completed step, and a worker death restarts the session from
+	// the last checkpoint — the failed step's work is lost and re-run on
+	// the surviving devices.
+	ckptBytes int64 // size of the last checkpoint on the master's disk
+	restarts  int
 }
 
 // NewSession starts the master and workers. A nil model uses
@@ -121,11 +129,63 @@ type StepOpts struct {
 // with f, shipped back, and converted back — in batches of at most one
 // item per device, with a global barrier after each batch (the paper's
 // Figure 9 execution loop).
+//
+// On a fault-injected cluster the session checkpoints after every
+// completed step; a device dying mid-step triggers checkpoint-and-
+// restart: the session restart cost is paid, the last checkpoint is read
+// back, and the whole step — everything since that checkpoint — re-runs
+// on the surviving devices.
 func (s *Session) RunStep(name string, op cost.Op, items []Tensor, opts StepOpts, f func(Tensor) (Tensor, error)) ([]Tensor, *cluster.Handle, error) {
 	if len(items) == 0 {
 		return nil, s.last, nil
 	}
-	devices := s.cl.Nodes()
+	if opts.Assign != nil && len(opts.Assign) != len(items) {
+		return nil, nil, fmt.Errorf("tfgraph: %d assignments for %d items", len(opts.Assign), len(items))
+	}
+	stepStart := s.last
+	for {
+		out, barrier, err := s.runStepOnce(name, op, items, opts, f, stepStart)
+		if err != nil {
+			nd, down := cluster.DownAt(err)
+			if !down || nd.Node == 0 || s.restarts >= s.cl.Kills() {
+				return nil, nil, err
+			}
+			// Checkpoint-and-restart: everything since the last
+			// checkpoint is lost. The master restarts the process and
+			// restores the checkpoint; the step then re-runs from its
+			// beginning on whichever devices survive.
+			s.restarts++
+			s.cl.AdvanceFloor(nd.At)
+			restore := s.cl.Submit(0, []*cluster.Handle{{End: nd.At}},
+				s.model.Startup[cost.TensorFlow], nil)
+			if s.ckptBytes > 0 {
+				restore = s.cl.DiskRead(0, s.ckptBytes, restore)
+			}
+			stepStart = restore
+			continue
+		}
+		s.last = barrier
+		if s.cl.Faulty() {
+			// Checkpoint the step outputs the master now holds.
+			var outBytes int64
+			for _, t := range out {
+				outBytes += t.Size
+			}
+			s.ckptBytes = outBytes
+			s.last = s.cl.DiskWrite(0, outBytes, barrier)
+		}
+		return out, s.last, nil
+	}
+}
+
+// Restarts reports how many checkpoint-restarts the session has paid.
+func (s *Session) Restarts() int { return s.restarts }
+
+// runStepOnce is one attempt at a step, driving the surviving devices.
+// A worker death surfaces as a *cluster.NodeDownError.
+func (s *Session) runStepOnce(name string, op cost.Op, items []Tensor, opts StepOpts, f func(Tensor) (Tensor, error), stepStart *cluster.Handle) ([]Tensor, *cluster.Handle, error) {
+	devs := s.cl.AliveNodes()
+	devices := len(devs)
 	assign := opts.Assign
 	if assign == nil {
 		assign = make([]int, len(items))
@@ -133,11 +193,8 @@ func (s *Session) RunStep(name string, op cost.Op, items []Tensor, opts StepOpts
 			assign[i] = i % devices
 		}
 	}
-	if len(assign) != len(items) {
-		return nil, nil, fmt.Errorf("tfgraph: %d assignments for %d items", len(assign), len(items))
-	}
 	out := make([]Tensor, len(items))
-	barrier := s.last
+	barrier := stepStart
 	// Process items in batches: each device takes at most one item per
 	// batch; run() waits for all devices before the next batch.
 	for start := 0; start < len(items); {
@@ -170,7 +227,7 @@ func (s *Session) RunStep(name string, op cost.Op, items []Tensor, opts StepOpts
 			2*s.model.TensorTime(batchBytes), nil)
 		var done []*cluster.Handle
 		for _, i := range batch {
-			dev := assign[i] % devices
+			dev := devs[assign[i]%devices]
 			toDev := s.cl.Transfer(0, dev, items[i].Size, conv)
 			res, err := f(items[i])
 			if err != nil {
@@ -189,9 +246,11 @@ func (s *Session) RunStep(name string, op cost.Op, items []Tensor, opts StepOpts
 		}
 		// Global barrier: wait for every worker before the next batch.
 		barrier = s.cl.Barrier(done...)
+		if barrier.Err != nil {
+			return nil, nil, fmt.Errorf("tfgraph: step %q: %w", name, barrier.Err)
+		}
 		start += len(batch)
 	}
-	s.last = barrier
 	return out, barrier, nil
 }
 

@@ -51,10 +51,14 @@ func Max(ts ...Time) Time {
 	return m
 }
 
-// Min returns the earliest of the given times. Min() is the zero time.
+// Min returns the earliest of the given times. Unlike Max — whose zero
+// identity is a safe "no constraint" for latest-of — a minimum has no
+// safe identity in this domain: returning the zero time would be the
+// *earliest* possible value and silently erase every other argument, so
+// Min panics when called with no arguments.
 func Min(ts ...Time) Time {
 	if len(ts) == 0 {
-		return 0
+		panic("vtime: Min() of no times has no identity (zero would be the earliest time, not a neutral value)")
 	}
 	m := ts[0]
 	for _, t := range ts[1:] {
@@ -77,15 +81,14 @@ type GapTimeline struct {
 	busy         Duration
 }
 
-// Reserve books the resource for duration d at the earliest gap starting no
-// earlier than ready, returning the booked interval.
-func (g *GapTimeline) Reserve(ready Time, d Duration) (start, end Time) {
-	if d < 0 {
-		d = 0
-	}
+// findGap locates the earliest gap of length d starting no earlier than
+// ready: it returns the start of that gap and the index at which a new
+// interval starting there would be inserted. It is the single search
+// shared by Reserve and StartAt, so a probe always agrees with the
+// booking that follows it.
+func (g *GapTimeline) findGap(ready Time, d Duration) (start Time, i int) {
 	start = ready
-	i := 0
-	for ; i < len(g.starts); i++ {
+	for i = 0; i < len(g.starts); i++ {
 		if g.starts[i] >= start.Add(d) {
 			break // fits entirely before interval i
 		}
@@ -93,6 +96,16 @@ func (g *GapTimeline) Reserve(ready Time, d Duration) (start, end Time) {
 			start = g.ends[i] // push past interval i
 		}
 	}
+	return start, i
+}
+
+// Reserve books the resource for duration d at the earliest gap starting no
+// earlier than ready, returning the booked interval.
+func (g *GapTimeline) Reserve(ready Time, d Duration) (start, end Time) {
+	if d < 0 {
+		d = 0
+	}
+	start, i := g.findGap(ready, d)
 	end = start.Add(d)
 	if d > 0 {
 		g.starts = append(g.starts, 0)
@@ -130,16 +143,14 @@ func (g *GapTimeline) StartAt(ready Time, d Duration) Time {
 	if d < 0 {
 		d = 0
 	}
-	start := ready
-	for i := 0; i < len(g.starts); i++ {
-		if g.starts[i] >= start.Add(d) {
-			break
-		}
-		if g.ends[i] > start {
-			start = g.ends[i]
-		}
-	}
+	start, _ := g.findGap(ready, d)
 	return start
+}
+
+// Intervals returns a copy of the busy intervals, sorted by start and
+// non-overlapping after coalescing. It exists for tests and debugging.
+func (g *GapTimeline) Intervals() (starts, ends []Time) {
+	return append([]Time(nil), g.starts...), append([]Time(nil), g.ends...)
 }
 
 // Busy returns the total reserved time.

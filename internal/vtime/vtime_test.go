@@ -24,9 +24,17 @@ func TestTimeArithmetic(t *testing.T) {
 	if Max(a, b, z) != a || Min(a, b, z) != z {
 		t.Error("Max/Min wrong")
 	}
-	if Max() != 0 || Min() != 0 {
-		t.Error("empty Max/Min should be zero")
+	if Max() != 0 {
+		t.Error("empty Max should be the zero time (no constraint)")
 	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Min() with no arguments should panic: the zero time is the earliest value, not a safe identity")
+			}
+		}()
+		Min()
+	}()
 	if a.String() != "3.000s" {
 		t.Errorf("String = %q", a.String())
 	}
@@ -88,6 +96,46 @@ func TestGapTimelineStartAtMatchesReserve(t *testing.T) {
 		if got != want {
 			t.Errorf("StartAt(%v,%v)=%v but Reserve books %v", tc.ready, tc.d, want, got)
 		}
+	}
+}
+
+// TestGapTimelineStartAtReserveProperty is the randomized version of the
+// agreement check above: under any sequence of reservations, probing with
+// StartAt and then booking with Reserve must agree — the invariant the
+// cluster scheduler's probe-then-reserve pattern depends on — and the
+// coalesced busy list must stay sorted and strictly non-overlapping.
+func TestGapTimelineStartAtReserveProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		var g GapTimeline
+		for i, x := range seeds {
+			if i > 300 {
+				break
+			}
+			ready := Time(x%4096) * Time(time.Millisecond)
+			d := time.Duration(x>>12%64) * time.Millisecond // zero-length allowed
+			want := g.StartAt(ready, d)
+			got, end := g.Reserve(ready, d)
+			if got != want {
+				t.Logf("StartAt(%v,%v)=%v but Reserve booked %v", ready, d, want, got)
+				return false
+			}
+			if got < ready || end != got.Add(d) {
+				return false
+			}
+			starts, ends := g.Intervals()
+			for j := range starts {
+				if ends[j] <= starts[j] {
+					return false // empty or inverted interval survived
+				}
+				if j > 0 && starts[j] <= ends[j-1] {
+					return false // overlap or missed coalesce
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }
 
