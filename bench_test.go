@@ -13,9 +13,11 @@
 package imagebench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"imagebench/internal/bench"
 	"imagebench/internal/core"
 )
 
@@ -85,3 +87,31 @@ func BenchmarkAblSparkPythonTax(b *testing.B) { benchExperiment(b, "abl-spark-py
 func BenchmarkAblDaskFusion(b *testing.B)     { benchExperiment(b, "abl-dask-fusion") }
 func BenchmarkAblDaskStealing(b *testing.B)   { benchExperiment(b, "abl-dask-stealing") }
 func BenchmarkAblMyriaPushdown(b *testing.B)  { benchExperiment(b, "abl-myria-pushdown") }
+
+// Kernel benchmarks: the real-compute hot paths behind the experiments,
+// sequential vs tiled-parallel (bit-identical outputs; see
+// internal/imaging). Each benchmark reuses the registered bench-harness
+// case of the same name, so these numbers measure exactly the workload
+// the committed BENCH baseline gates. Compare with:
+//
+//	go test -bench='NLMeans3|SeparableConv3' -cpu 1,8 .
+func benchKernelCase(b *testing.B, name string) {
+	b.Helper()
+	cases, err := bench.SelectCases(core.Quick(), []string{name})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := cases[0].Run
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNLMeans3Sequential(b *testing.B)       { benchKernelCase(b, "kernel/nlmeans3/seq") }
+func BenchmarkNLMeans3Parallel(b *testing.B)         { benchKernelCase(b, "kernel/nlmeans3/par") }
+func BenchmarkSeparableConv3Sequential(b *testing.B) { benchKernelCase(b, "kernel/sepconv3/seq") }
+func BenchmarkSeparableConv3Parallel(b *testing.B)   { benchKernelCase(b, "kernel/sepconv3/par") }

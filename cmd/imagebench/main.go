@@ -20,6 +20,13 @@
 // sweep engine, with a live grid summary and a combined JSON artifact:
 //
 //	imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11
+//
+// Measured-performance runs (wall time, allocations, virtual seconds
+// per case) go through the bench harness, which diffs against a
+// committed baseline and exits nonzero on regression:
+//
+//	imagebench bench -reps 3 -out BENCH_4.json all
+//	imagebench bench -baseline BENCH_4.json -tolerance 0.3 kernel/...
 package main
 
 import (
@@ -38,6 +45,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		sweepMain(os.Args[2:])
 		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(benchMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	profile := flag.String("profile", "full", `workload profile: "full" (paper sweeps) or "quick"`)

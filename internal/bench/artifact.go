@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"imagebench/internal/fsatomic"
+)
+
+// SchemaVersion is the artifact schema this package reads and writes.
+// Bump it when the JSON layout changes incompatibly; the reader rejects
+// artifacts from other versions so a stale baseline fails loudly
+// instead of comparing garbage.
+const SchemaVersion = 1
+
+// Artifact is one harness run: metadata identifying the machine and
+// configuration, plus per-case metric distributions. It is the on-disk
+// BENCH_*.json format.
+type Artifact struct {
+	Schema     int                   `json:"schema"`
+	CreatedAt  string                `json:"created_at"`
+	GoVersion  string                `json:"go_version"`
+	GOOS       string                `json:"goos"`
+	GOARCH     string                `json:"goarch"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Profile    string                `json:"profile"`
+	Reps       int                   `json:"reps"`
+	Results    map[string]CaseResult `json:"results"`
+}
+
+// WriteFile atomically writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal artifact: %w", err)
+	}
+	return fsatomic.WriteFile(path, append(data, '\n'))
+}
+
+// Restrict returns a shallow copy of the artifact containing only the
+// named cases. The comparator treats a baseline case missing from the
+// current run as a regression; when a run deliberately executes a
+// subset (e.g. `imagebench bench ... kernel/...`), the caller restricts
+// the baseline to that subset first so only attempted cases are gated.
+func (a *Artifact) Restrict(names []string) *Artifact {
+	out := *a
+	out.Results = make(map[string]CaseResult, len(names))
+	for _, name := range names {
+		if res, ok := a.Results[name]; ok {
+			out.Results[name] = res
+		}
+	}
+	return &out
+}
+
+// ReadFile loads and validates an artifact. It rejects unparseable
+// files and schema versions this package does not understand.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("bench: malformed artifact %s: %w", path, err)
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: artifact %s has schema %d, this binary reads schema %d (regenerate the baseline)",
+			path, a.Schema, SchemaVersion)
+	}
+	if a.Results == nil {
+		return nil, fmt.Errorf("bench: artifact %s has no results", path)
+	}
+	return &a, nil
+}

@@ -1,0 +1,147 @@
+// Package bench is the measured-performance subsystem: a regression
+// harness that runs a set of registered benchmark cases for N
+// repetitions, records wall time, allocations, and virtual-time metrics
+// into a versioned JSON artifact, and a comparator that diffs a run
+// against a committed baseline with configurable tolerances.
+//
+// The paper's contribution is a *measured* comparison of systems; this
+// package gives the reproduction the same discipline about itself.
+// Deterministic metrics (virtual seconds from the simulator) are gated
+// tightly — any drift means the simulation semantics changed — while
+// wall time and allocations are gated by a configurable relative
+// tolerance because they vary across machines.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Metric names the harness records for every case. Cases may add their
+// own (the experiment cases add virtual_seconds and vs_per_cell).
+const (
+	MetricWallNS     = "wall_ns"
+	MetricAllocs     = "allocs"
+	MetricAllocBytes = "alloc_bytes"
+	// MetricVirtualSeconds and MetricVSPerCell are deterministic
+	// simulator outputs: identical on every machine for a given code
+	// version, so the comparator holds them to an exact tolerance.
+	MetricVirtualSeconds = "virtual_seconds"
+	MetricVSPerCell      = "vs_per_cell"
+)
+
+// exactMetrics are the deterministic metrics gated by CompareOpts.Exact
+// rather than the wall/alloc tolerances.
+var exactMetrics = map[string]bool{
+	MetricVirtualSeconds: true,
+	MetricVSPerCell:      true,
+}
+
+// Case is one benchmarked unit: a registered experiment or a kernel
+// microbenchmark. Run executes one repetition and returns any extra
+// metrics beyond the wall/allocation ones the harness records itself.
+type Case struct {
+	Name string
+	Run  func(ctx context.Context) (extra map[string]float64, err error)
+}
+
+// Dist summarizes a metric's distribution over the repetitions.
+type Dist struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// distOf folds samples into a Dist.
+func distOf(samples []float64) Dist {
+	d := Dist{N: len(samples)}
+	if len(samples) == 0 {
+		return d
+	}
+	d.Min, d.Max = samples[0], samples[0]
+	var sum float64
+	for _, s := range samples {
+		if s < d.Min {
+			d.Min = s
+		}
+		if s > d.Max {
+			d.Max = s
+		}
+		sum += s
+	}
+	d.Mean = sum / float64(len(samples))
+	return d
+}
+
+// CaseResult is one case's metric distributions.
+type CaseResult struct {
+	Metrics map[string]Dist `json:"metrics"`
+}
+
+// Options configures a harness run.
+type Options struct {
+	Reps    int    // repetitions per case; <=0 means 1
+	Profile string // recorded in the artifact metadata
+	// Progress, when non-nil, is called once per completed case.
+	Progress func(name string, res CaseResult)
+}
+
+// Run executes every case Reps times, sequentially and in name order
+// (one case at a time, so wall-time samples are not polluted by sibling
+// cases), and returns the artifact. A case that fails aborts the run:
+// a benchmark of broken code is not a measurement.
+func Run(ctx context.Context, cases []Case, opts Options) (*Artifact, error) {
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	sorted := append([]Case(nil), cases...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	art := &Artifact{
+		Schema:     SchemaVersion,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Profile:    opts.Profile,
+		Reps:       reps,
+		Results:    make(map[string]CaseResult, len(sorted)),
+	}
+	for _, c := range sorted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		samples := make(map[string][]float64)
+		for rep := 0; rep < reps; rep++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			extra, err := c.Run(ctx)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return nil, fmt.Errorf("bench: case %s rep %d: %w", c.Name, rep, err)
+			}
+			samples[MetricWallNS] = append(samples[MetricWallNS], float64(wall.Nanoseconds()))
+			samples[MetricAllocs] = append(samples[MetricAllocs], float64(after.Mallocs-before.Mallocs))
+			samples[MetricAllocBytes] = append(samples[MetricAllocBytes], float64(after.TotalAlloc-before.TotalAlloc))
+			for name, v := range extra {
+				samples[name] = append(samples[name], v)
+			}
+		}
+		res := CaseResult{Metrics: make(map[string]Dist, len(samples))}
+		for name, vals := range samples {
+			res.Metrics[name] = distOf(vals)
+		}
+		art.Results[c.Name] = res
+		if opts.Progress != nil {
+			opts.Progress(c.Name, res)
+		}
+	}
+	return art, nil
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"imagebench/internal/core"
+)
+
+// allocSink defeats dead-store elimination in allocation tests.
+var allocSink []byte
+
+func TestRunRecordsMetrics(t *testing.T) {
+	calls := 0
+	cases := []Case{
+		{Name: "b", Run: func(ctx context.Context) (map[string]float64, error) {
+			calls++
+			return map[string]float64{MetricVirtualSeconds: 7}, nil
+		}},
+		{Name: "a", Run: func(ctx context.Context) (map[string]float64, error) {
+			// Allocate something measurable; the package-level sink
+			// keeps the compiler from eliding it.
+			allocSink = make([]byte, 1<<16)
+			return nil, nil
+		}},
+	}
+	var order []string
+	art, err := Run(context.Background(), cases, Options{
+		Reps:     3,
+		Profile:  "quick",
+		Progress: func(name string, res CaseResult) { order = append(order, name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("case b ran %d times, want 3", calls)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("cases must run in name order, got %v", order)
+	}
+	if art.Schema != SchemaVersion || art.Reps != 3 || art.Profile != "quick" {
+		t.Fatalf("artifact metadata wrong: %+v", art)
+	}
+	b := art.Results["b"].Metrics
+	if b[MetricVirtualSeconds].Mean != 7 || b[MetricVirtualSeconds].N != 3 {
+		t.Fatalf("virtual_seconds dist = %+v", b[MetricVirtualSeconds])
+	}
+	for _, m := range []string{MetricWallNS, MetricAllocs, MetricAllocBytes} {
+		if d, ok := art.Results["a"].Metrics[m]; !ok || d.N != 3 {
+			t.Fatalf("metric %s missing or wrong n: %+v", m, d)
+		}
+	}
+	if art.Results["a"].Metrics[MetricAllocBytes].Min < 1<<16 {
+		t.Fatalf("alloc_bytes did not see the 64KiB allocation: %+v",
+			art.Results["a"].Metrics[MetricAllocBytes])
+	}
+}
+
+func TestRunAbortsOnCaseError(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []Case{
+		{Name: "bad", Run: func(ctx context.Context) (map[string]float64, error) { return nil, boom }},
+	}
+	if _, err := Run(context.Background(), cases, Options{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []Case{{Name: "x", Run: func(ctx context.Context) (map[string]float64, error) {
+		t.Fatal("case must not run under a canceled context")
+		return nil, nil
+	}}}
+	if _, err := Run(ctx, cases, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInjectedRegressionFailsGate is the end-to-end regression drill:
+// measure a real kernel case, then diff it against a baseline whose
+// wall time is synthetically 100x faster — i.e. the current code is an
+// injected slowdown — and require the comparator to fail the gate.
+func TestInjectedRegressionFailsGate(t *testing.T) {
+	// The fake baseline claims the case used to run 100x faster with
+	// 100x fewer allocations: even on hardware fast enough that the
+	// wall delta falls under the noise floor, the floor-less alloc gate
+	// still trips.
+	const name = "kernel/nlmeans3/seq"
+	cases, err := SelectCases(core.Quick(), []string{name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Run(context.Background(), cases, Options{Reps: 1, Profile: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := cur.Results[name].Metrics[MetricWallNS]
+	allocs := cur.Results[name].Metrics[MetricAllocs]
+	base := art(map[string]map[string]float64{name: {
+		MetricWallNS: wall.Min / 100,
+		MetricAllocs: allocs.Mean / 100,
+	}})
+	rep := Compare(base, cur, CompareOpts{Tolerance: 0.25})
+	if rep.OK() {
+		t.Fatalf("a 100x slowdown vs baseline must fail the gate:\n%s", rep.Render())
+	}
+	// And the same run against its own numbers passes.
+	if rep := Compare(cur, cur, CompareOpts{Tolerance: 0.25}); !rep.OK() {
+		t.Fatalf("self-comparison must pass:\n%s", rep.Render())
+	}
+}
+
+func TestSelectCases(t *testing.T) {
+	p := core.Quick()
+	all, err := SelectCases(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := len(core.All()) + len(KernelCases())
+	if len(all) != wantLen {
+		t.Fatalf("default set has %d cases, want %d", len(all), wantLen)
+	}
+	kern, err := SelectCases(p, []string{"kernel/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kern) != len(KernelCases()) {
+		t.Fatalf("kernel/... selected %d cases, want %d", len(kern), len(KernelCases()))
+	}
+	one, err := SelectCases(p, []string{"exp/fig11", "exp/fig11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Name != "exp/fig11" {
+		t.Fatalf("exact selection = %v", names(one))
+	}
+	if _, err := SelectCases(p, []string{"exp/nope"}); err == nil {
+		t.Fatal("unknown case must error")
+	}
+	if _, err := SelectCases(p, []string{"zzz/..."}); err == nil {
+		t.Fatal("unmatched prefix must error")
+	}
+}
+
+func names(cs []Case) []string {
+	var out []string
+	for _, c := range cs {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// TestExperimentCaseMetrics runs the cheapest experiment end to end
+// through the case wrapper and checks the deterministic extras.
+func TestExperimentCaseMetrics(t *testing.T) {
+	e, err := core.Lookup("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ExperimentCase(e, core.Quick())
+	if c.Name != "exp/table1" {
+		t.Fatalf("case name %q", c.Name)
+	}
+	extra, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table1 reports lines of code, not virtual seconds: the metric is
+	// present and zero, and vs_per_cell follows it.
+	if vs := extra[MetricVirtualSeconds]; vs != 0 {
+		t.Fatalf("table1 virtual_seconds = %v, want 0 (unit is LoC)", vs)
+	}
+	if _, ok := extra[MetricVSPerCell]; !ok {
+		t.Fatal("vs_per_cell missing despite populated cells")
+	}
+}

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CompareOpts configures the baseline diff.
+type CompareOpts struct {
+	// Tolerance is the allowed relative increase for noisy,
+	// higher-is-worse metrics (wall time, allocations): current may be
+	// up to baseline*(1+Tolerance). Zero means no relative allowance
+	// (wall time still keeps its absolute noise floor); negative means
+	// the default 0.25. CI runs on different hardware than the
+	// committed baseline, so its smoke gate passes a large value and
+	// relies on the exact metrics.
+	Tolerance float64
+	// Exact is the allowed relative difference (either direction) for
+	// deterministic metrics (virtual seconds). <=0 means 1e-9. Drift
+	// here means the simulation's semantics changed: that can be
+	// intentional, but then the baseline must be regenerated in the
+	// same change.
+	Exact float64
+	// WallFloorNS is the absolute wall-time noise floor: a wall_ns
+	// increase only gates when the delta also exceeds this many
+	// nanoseconds, because on short cases scheduler jitter and CPU
+	// steal routinely exceed any sane relative tolerance (a 20ms case
+	// drifts ±30% run to run on a busy host). <=0 means the default
+	// 25ms; semantic drift on short cases is still caught exactly by
+	// the virtual-seconds metrics.
+	WallFloorNS float64
+}
+
+func (o CompareOpts) withDefaults() CompareOpts {
+	if o.Tolerance < 0 {
+		o.Tolerance = 0.25
+	}
+	if o.Exact <= 0 {
+		o.Exact = 1e-9
+	}
+	if o.WallFloorNS <= 0 {
+		o.WallFloorNS = 25e6
+	}
+	return o
+}
+
+// Finding is one comparator observation.
+type Finding struct {
+	Case   string
+	Metric string  // empty for case-level findings (missing case, new case)
+	Base   float64 // baseline value (NaN when not applicable)
+	Cur    float64 // current value (NaN when not applicable)
+	// Regression marks findings that fail the gate; the rest are
+	// informational (improvements, new cases).
+	Regression bool
+	Detail     string
+}
+
+// Report is the outcome of a comparison.
+type Report struct {
+	Findings []Finding
+}
+
+// OK reports whether the comparison found no regressions.
+func (r *Report) OK() bool {
+	for _, f := range r.Findings {
+		if f.Regression {
+			return false
+		}
+	}
+	return true
+}
+
+// Regressions returns only the failing findings.
+func (r *Report) Regressions() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Regression {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Render formats the report for terminal output: regressions first,
+// then informational findings.
+func (r *Report) Render() string {
+	var b strings.Builder
+	for _, pass := range []bool{true, false} {
+		for _, f := range r.Findings {
+			if f.Regression != pass {
+				continue
+			}
+			tag := "note"
+			if f.Regression {
+				tag = "REGRESSION"
+			}
+			if f.Metric == "" {
+				fmt.Fprintf(&b, "%-10s %s: %s\n", tag, f.Case, f.Detail)
+			} else {
+				fmt.Fprintf(&b, "%-10s %s/%s: %s\n", tag, f.Case, f.Metric, f.Detail)
+			}
+		}
+	}
+	if r.OK() {
+		b.WriteString("bench: no regressions\n")
+	}
+	return b.String()
+}
+
+// gatedMetrics are the noisy metrics the comparator gates with
+// Tolerance. Other non-exact metrics a case emits are recorded in the
+// artifact but not compared, so cases can export purely informational
+// numbers.
+var gatedMetrics = map[string]bool{
+	MetricWallNS:     true,
+	MetricAllocs:     true,
+	MetricAllocBytes: true,
+}
+
+// Compare diffs current against baseline. Cases present in the
+// baseline but absent from the current run are regressions (the
+// benchmark surface shrank — usually a renamed case without a baseline
+// refresh), as are baseline metrics a case no longer reports. Cases
+// only in the current run are informational: they get gated once they
+// are committed into the next baseline.
+func Compare(baseline, current *Artifact, opts CompareOpts) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{}
+	if baseline.Profile != "" && current.Profile != "" && baseline.Profile != current.Profile {
+		// Different profiles measure different workloads: every exact
+		// metric would "drift" and send the user hunting for a
+		// nonexistent simulator regression. Fail with the real cause
+		// instead of comparing anything.
+		rep.Findings = append(rep.Findings, Finding{
+			Case: "(artifact)", Regression: true, Base: math.NaN(), Cur: math.NaN(),
+			Detail: fmt.Sprintf("profile mismatch: baseline recorded under %q, this run under %q — rerun with -profile %s or regenerate the baseline",
+				baseline.Profile, current.Profile, baseline.Profile),
+		})
+		return rep
+	}
+	for _, name := range sortedCases(baseline) {
+		base := baseline.Results[name]
+		cur, ok := current.Results[name]
+		if !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Case: name, Regression: true,
+				Base: math.NaN(), Cur: math.NaN(),
+				Detail: "case in baseline but missing from this run",
+			})
+			continue
+		}
+		for _, metric := range sortedMetrics(base.Metrics) {
+			bd := base.Metrics[metric]
+			cd, ok := cur.Metrics[metric]
+			if !ok {
+				// Only gated and exact metrics are contractual; an
+				// informational extra a case stopped emitting is not a
+				// regression (it was never compared to begin with).
+				if gatedMetrics[metric] || exactMetrics[metric] {
+					rep.Findings = append(rep.Findings, Finding{
+						Case: name, Metric: metric, Regression: true,
+						Base: bd.Mean, Cur: math.NaN(),
+						Detail: "metric in baseline but missing from this run",
+					})
+				}
+				continue
+			}
+			rep.Findings = append(rep.Findings, compareMetric(name, metric, bd, cd, opts)...)
+		}
+	}
+	for _, name := range sortedCases(current) {
+		if _, ok := baseline.Results[name]; !ok {
+			rep.Findings = append(rep.Findings, Finding{
+				Case: name, Base: math.NaN(), Cur: math.NaN(),
+				Detail: "new case (not in baseline; refresh the baseline to gate it)",
+			})
+		}
+	}
+	return rep
+}
+
+// compareMetric gates one metric. Wall time compares via the minimum
+// over repetitions (the least-noisy location statistic for a
+// lower-bounded timing distribution); allocation counts and exact
+// metrics compare via the mean.
+func compareMetric(cse, metric string, base, cur Dist, opts CompareOpts) []Finding {
+	if exactMetrics[metric] {
+		b, c := base.Mean, cur.Mean
+		if relDiff(b, c) > opts.Exact {
+			return []Finding{{
+				Case: cse, Metric: metric, Regression: true, Base: b, Cur: c,
+				Detail: fmt.Sprintf("deterministic metric drifted: baseline %.9g, got %.9g (semantics changed — regenerate the baseline if intentional)", b, c),
+			}}
+		}
+		return nil
+	}
+	if !gatedMetrics[metric] {
+		return nil
+	}
+	b, c := base.Mean, cur.Mean
+	if metric == MetricWallNS {
+		b, c = base.Min, cur.Min
+	}
+	if b <= 0 {
+		// A zero baseline cannot anchor a relative gate; surface a
+		// nonzero current value as a note so the growth is at least
+		// visible, and let the next baseline refresh start gating it.
+		if c > 0 {
+			return []Finding{{
+				Case: cse, Metric: metric, Base: b, Cur: c,
+				Detail: fmt.Sprintf("baseline is zero, current is %.4g: ungated until the baseline is refreshed", c),
+			}}
+		}
+		return nil
+	}
+	ratio := c / b
+	switch {
+	case ratio > 1+opts.Tolerance:
+		if metric == MetricWallNS && c-b <= opts.WallFloorNS {
+			// Sub-floor wall deltas are indistinguishable from
+			// scheduler jitter: never gate on them.
+			return nil
+		}
+		return []Finding{{
+			Case: cse, Metric: metric, Regression: true, Base: b, Cur: c,
+			Detail: fmt.Sprintf("%.4g -> %.4g (%.2fx, tolerance %.2fx)", b, c, ratio, 1+opts.Tolerance),
+		}}
+	case ratio < 1/(1+opts.Tolerance):
+		return []Finding{{
+			Case: cse, Metric: metric, Base: b, Cur: c,
+			Detail: fmt.Sprintf("improved %.4g -> %.4g (%.2fx)", b, c, ratio),
+		}}
+	}
+	return nil
+}
+
+// relDiff is the symmetric relative difference |a-b|/max(|a|,|b|),
+// zero when both are zero.
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func sortedCases(a *Artifact) []string {
+	out := make([]string, 0, len(a.Results))
+	for name := range a.Results {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedMetrics(m map[string]Dist) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// art builds a minimal artifact from case → metric → mean (min/max set
+// equal to mean, n=1).
+func art(cases map[string]map[string]float64) *Artifact {
+	a := &Artifact{Schema: SchemaVersion, Reps: 1, Results: make(map[string]CaseResult)}
+	for name, metrics := range cases {
+		cr := CaseResult{Metrics: make(map[string]Dist)}
+		for m, v := range metrics {
+			cr.Metrics[m] = Dist{N: 1, Min: v, Mean: v, Max: v}
+		}
+		a.Results[name] = cr
+	}
+	return a
+}
+
+func TestCompareToleranceMath(t *testing.T) {
+	// Baseline wall of 1s keeps every relative exceedance far above the
+	// absolute wall noise floor, so these cases exercise pure ratio math.
+	base := art(map[string]map[string]float64{
+		"exp/a": {MetricWallNS: 1e9, MetricAllocs: 100},
+	})
+	for _, tc := range []struct {
+		name    string
+		wall    float64
+		tol     float64
+		wantReg bool
+	}{
+		{"within tolerance", 1.24e9, 0.25, false},
+		{"exactly at bound", 1.25e9, 0.25, false},
+		{"just over bound", 1.251e9, 0.25, true},
+		{"zero tolerance is strict", 1.1e9, 0, true},
+		{"negative means default", 1.251e9, -1, true},
+		{"negative default forgives", 1.24e9, -1, false},
+		{"big tolerance forgives", 3e9, 5, false},
+		{"improvement never fails", 0.2e9, 0.25, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := art(map[string]map[string]float64{
+				"exp/a": {MetricWallNS: tc.wall, MetricAllocs: 100},
+			})
+			rep := Compare(base, cur, CompareOpts{Tolerance: tc.tol})
+			if got := !rep.OK(); got != tc.wantReg {
+				t.Fatalf("wall %v tol %v: regression=%v, want %v\n%s",
+					tc.wall, tc.tol, got, tc.wantReg, rep.Render())
+			}
+		})
+	}
+}
+
+func TestCompareWallNoiseFloor(t *testing.T) {
+	// A microsecond-scale case can blow any relative tolerance on pure
+	// scheduler jitter; the absolute floor keeps it from gating.
+	base := art(map[string]map[string]float64{"exp/tiny": {MetricWallNS: 3.2e5}})
+	cur := art(map[string]map[string]float64{"exp/tiny": {MetricWallNS: 4.1e5}}) // 1.28x, delta 90µs
+	if rep := Compare(base, cur, CompareOpts{Tolerance: 0.25}); !rep.OK() {
+		t.Fatalf("sub-floor wall delta must not gate:\n%s", rep.Render())
+	}
+	// But a genuine above-floor slowdown still does, and the floor is
+	// configurable.
+	cur = art(map[string]map[string]float64{"exp/tiny": {MetricWallNS: 3.2e5 + 30e6}})
+	if rep := Compare(base, cur, CompareOpts{Tolerance: 0.25}); rep.OK() {
+		t.Fatal("above-floor slowdown must gate")
+	}
+	cur = art(map[string]map[string]float64{"exp/tiny": {MetricWallNS: 4.1e5}})
+	if rep := Compare(base, cur, CompareOpts{Tolerance: 0.25, WallFloorNS: 1e3}); rep.OK() {
+		t.Fatal("tightened floor must gate the 90µs delta")
+	}
+	// The floor is wall-only: allocation counts are deterministic, so
+	// small relative growth gates regardless of absolute size.
+	base = art(map[string]map[string]float64{"exp/tiny": {MetricAllocs: 10}})
+	cur = art(map[string]map[string]float64{"exp/tiny": {MetricAllocs: 14}})
+	if rep := Compare(base, cur, CompareOpts{Tolerance: 0.25}); rep.OK() {
+		t.Fatal("alloc growth has no noise floor and must gate")
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := art(map[string]map[string]float64{"exp/a": {MetricAllocs: 100}})
+	cur := art(map[string]map[string]float64{"exp/a": {MetricAllocs: 200}})
+	rep := Compare(base, cur, CompareOpts{Tolerance: 0.25})
+	if rep.OK() {
+		t.Fatal("2x alloc growth must regress")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != MetricAllocs {
+		t.Fatalf("unexpected findings: %+v", regs)
+	}
+}
+
+func TestCompareExactMetricGatesBothDirections(t *testing.T) {
+	base := art(map[string]map[string]float64{"exp/a": {MetricVirtualSeconds: 500}})
+	// A faster wall time would pass; a *different* virtual time must
+	// not, in either direction: the simulation semantics changed.
+	for _, vs := range []float64{499, 501} {
+		cur := art(map[string]map[string]float64{"exp/a": {MetricVirtualSeconds: vs}})
+		rep := Compare(base, cur, CompareOpts{Tolerance: 10})
+		if rep.OK() {
+			t.Fatalf("virtual_seconds drift %v -> %v must regress even under huge tolerance", 500.0, vs)
+		}
+	}
+	// Identical values pass, as does sub-epsilon float noise.
+	cur := art(map[string]map[string]float64{"exp/a": {MetricVirtualSeconds: 500 + 1e-10}})
+	if rep := Compare(base, cur, CompareOpts{}); !rep.OK() {
+		t.Fatalf("sub-epsilon drift must pass:\n%s", rep.Render())
+	}
+}
+
+func TestCompareMissingCaseAndMetric(t *testing.T) {
+	base := art(map[string]map[string]float64{
+		"exp/a": {MetricWallNS: 1000, MetricVirtualSeconds: 5},
+		"exp/b": {MetricWallNS: 1000},
+	})
+	// exp/b vanished; exp/a lost its virtual_seconds metric.
+	cur := art(map[string]map[string]float64{
+		"exp/a": {MetricWallNS: 1000},
+	})
+	rep := Compare(base, cur, CompareOpts{})
+	regs := rep.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (missing case, missing metric), got %+v", regs)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "missing from this run") {
+		t.Errorf("render should explain the missing entries:\n%s", out)
+	}
+}
+
+func TestCompareNewCaseIsInformational(t *testing.T) {
+	base := art(map[string]map[string]float64{"exp/a": {MetricWallNS: 1000}})
+	cur := art(map[string]map[string]float64{
+		"exp/a": {MetricWallNS: 1000},
+		"exp/c": {MetricWallNS: 999999},
+	})
+	rep := Compare(base, cur, CompareOpts{})
+	if !rep.OK() {
+		t.Fatalf("a new case must not fail the gate:\n%s", rep.Render())
+	}
+	if !strings.Contains(rep.Render(), "new case") {
+		t.Errorf("render should mention the new case:\n%s", rep.Render())
+	}
+}
+
+func TestCompareUngatedExtraMetric(t *testing.T) {
+	// Metrics outside the gated/exact sets are informational: recorded
+	// but never compared — not when they grow, and not when they vanish.
+	base := art(map[string]map[string]float64{"exp/a": {"custom_score": 1}})
+	cur := art(map[string]map[string]float64{"exp/a": {"custom_score": 100}})
+	if rep := Compare(base, cur, CompareOpts{}); !rep.OK() {
+		t.Fatalf("ungated metric must not regress:\n%s", rep.Render())
+	}
+	cur = art(map[string]map[string]float64{"exp/a": {MetricWallNS: 1}})
+	base.Results["exp/a"].Metrics[MetricWallNS] = Dist{N: 1, Min: 1, Mean: 1, Max: 1}
+	if rep := Compare(base, cur, CompareOpts{}); !rep.OK() {
+		t.Fatalf("a vanished ungated metric must not regress:\n%s", rep.Render())
+	}
+}
+
+func TestArtifactRoundTripAndValidation(t *testing.T) {
+	dir := t.TempDir()
+	a := art(map[string]map[string]float64{"exp/a": {MetricWallNS: 42}})
+	a.Profile, a.GoVersion = "quick", "go-test"
+	path := filepath.Join(dir, "BENCH.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results["exp/a"].Metrics[MetricWallNS].Mean != 42 || got.Profile != "quick" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	// Malformed JSON.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("malformed artifact: err = %v", err)
+	}
+
+	// Old/unknown schema version.
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, []byte(`{"schema": 0, "results": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(old); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("old-schema artifact: err = %v", err)
+	}
+
+	// Schema from the future.
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"schema": 99, "results": {"x":{"metrics":{}}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(future); err == nil {
+		t.Fatal("future-schema artifact must be rejected")
+	}
+
+	// No results at all.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(empty); err == nil {
+		t.Fatal("artifact without results must be rejected")
+	}
+}
+
+func TestCompareProfileMismatch(t *testing.T) {
+	base := art(map[string]map[string]float64{"exp/a": {MetricVirtualSeconds: 5}})
+	base.Profile = "quick"
+	cur := art(map[string]map[string]float64{"exp/a": {MetricVirtualSeconds: 50}})
+	cur.Profile = "full"
+	rep := Compare(base, cur, CompareOpts{})
+	regs := rep.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "profile mismatch") {
+		t.Fatalf("want a single profile-mismatch finding, got:\n%s", rep.Render())
+	}
+	// Same profile (or artifacts without one, e.g. hand-built) compare
+	// normally.
+	cur.Profile = "quick"
+	if rep := Compare(base, cur, CompareOpts{}); len(rep.Regressions()) != 1 {
+		t.Fatalf("same-profile comparison must gate the vs drift:\n%s", rep.Render())
+	}
+}
+
+func TestCompareZeroBaselineIsNoted(t *testing.T) {
+	base := art(map[string]map[string]float64{"exp/a": {MetricAllocs: 0}})
+	cur := art(map[string]map[string]float64{"exp/a": {MetricAllocs: 5000}})
+	rep := Compare(base, cur, CompareOpts{})
+	if !rep.OK() {
+		t.Fatalf("zero baseline cannot anchor a relative gate:\n%s", rep.Render())
+	}
+	if !strings.Contains(rep.Render(), "ungated until the baseline is refreshed") {
+		t.Fatalf("nonzero growth over a zero baseline must at least be noted:\n%s", rep.Render())
+	}
+}
+
+func TestArtifactRestrict(t *testing.T) {
+	a := art(map[string]map[string]float64{
+		"exp/a": {MetricWallNS: 1},
+		"exp/b": {MetricWallNS: 2},
+	})
+	r := a.Restrict([]string{"exp/b", "exp/zzz"})
+	if len(r.Results) != 1 {
+		t.Fatalf("restricted to %d cases, want 1", len(r.Results))
+	}
+	if _, ok := r.Results["exp/b"]; !ok {
+		t.Fatal("exp/b dropped by Restrict")
+	}
+	if len(a.Results) != 2 {
+		t.Fatal("Restrict mutated the original")
+	}
+}
+
+func TestDistOf(t *testing.T) {
+	d := distOf([]float64{3, 1, 2})
+	if d.N != 3 || d.Min != 1 || d.Max != 3 || d.Mean != 2 {
+		t.Fatalf("distOf = %+v", d)
+	}
+	if z := distOf(nil); z.N != 0 {
+		t.Fatalf("empty distOf = %+v", z)
+	}
+}

@@ -12,21 +12,27 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden/")
 
-// goldenIDs are the experiments pinned byte-for-byte: the fast ones, so
-// the regression net costs seconds, spanning both domains (neuro,
-// astro), both table shapes (runtime sweeps, static counts), and NA
-// cells — plus both fault-injection tables, which pin the recovery
-// semantics of all five systems (same ID + profile → byte-identical
-// JSON). The simulator is deterministic, so any diff is a semantic
-// change — bump the result-cache key version when one is intentional.
-var goldenIDs = []string{"fig11", "fig12a", "fig12b", "table1", "sec531scidb", "ftneuro", "ftastro"}
+// goldenIDs pins every registered experiment byte-for-byte: the
+// simulator is deterministic, so for each ID + profile the JSON is
+// reproducible and any diff is a semantic change — bump the
+// result-cache key version when one is intentional. Enumerating the
+// registry (rather than a hand-picked list) means a newly registered
+// experiment fails TestGoldenFilesAreCommitted until its golden file is
+// generated with -update.
+func goldenIDs() []string {
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
 
-// TestGoldenTables locks the quick-profile JSON of selected experiments
-// against testdata/golden/. Regenerate intentionally with:
+// TestGoldenTables locks the quick-profile JSON of every registered
+// experiment against testdata/golden/. Regenerate intentionally with:
 //
 //	go test ./internal/core -run TestGoldenTables -update
 func TestGoldenTables(t *testing.T) {
-	for _, id := range goldenIDs {
+	for _, id := range goldenIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
@@ -78,9 +84,11 @@ func diffHint(want, got []byte) string {
 }
 
 // TestGoldenFilesAreCommitted guards against an -update that silently
-// never ran: every pinned experiment must have its golden file.
+// never ran: every registered experiment must have its golden file, so
+// registering a new experiment without golden-pinning it is a test
+// failure, not a silent coverage gap.
 func TestGoldenFilesAreCommitted(t *testing.T) {
-	for _, id := range goldenIDs {
+	for _, id := range goldenIDs() {
 		if _, err := os.Stat(filepath.Join("testdata", "golden", id+".json")); err != nil {
 			t.Errorf("missing golden file for %s: %v", id, err)
 		}

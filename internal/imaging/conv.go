@@ -1,6 +1,7 @@
 package imaging
 
 import (
+	"context"
 	"math"
 
 	"imagebench/internal/volume"
@@ -45,12 +46,12 @@ const (
 	axisZ
 )
 
-// convAxis convolves v with the 1-D kernel along one axis, clamping at
-// the borders (replicate padding).
-func convAxis(v *volume.V3, kernel []float64, ax axis) *volume.V3 {
-	out := volume.New3(v.NX, v.NY, v.NZ)
+// convAxisInto convolves v with the 1-D kernel along one axis, clamping
+// at the borders (replicate padding), writing the z-planes [z0,z1) of
+// dst. dst must be the same shape as v and must not alias it.
+func convAxisInto(dst, v *volume.V3, kernel []float64, ax axis, z0, z1 int) {
 	r := len(kernel) / 2
-	for z := 0; z < v.NZ; z++ {
+	for z := z0; z < z1; z++ {
 		for y := 0; y < v.NY; y++ {
 			for x := 0; x < v.NX; x++ {
 				var acc float64
@@ -66,19 +67,57 @@ func convAxis(v *volume.V3, kernel []float64, ax axis) *volume.V3 {
 					}
 					acc += kernel[k+r] * v.At(xx, yy, zz)
 				}
-				out.Set(x, y, z, acc)
+				dst.Set(x, y, z, acc)
 			}
 		}
 	}
-	return out
 }
 
 // SeparableConv3 convolves v with the outer product kernel kx⊗ky⊗kz,
 // evaluated as three 1-D passes.
 func SeparableConv3(v *volume.V3, kx, ky, kz []float64) *volume.V3 {
-	out := convAxis(v, kx, axisX)
-	out = convAxis(out, ky, axisY)
-	return convAxis(out, kz, axisZ)
+	out, err := SeparableConv3Ctx(context.Background(), v, kx, ky, kz, 0)
+	if err != nil {
+		// Background context cannot be canceled and the kernel has no
+		// other failure mode.
+		panic("imaging: SeparableConv3: " + err.Error())
+	}
+	return out
+}
+
+// SeparableConv3Ctx is SeparableConv3 with an explicit worker count
+// (0 = GOMAXPROCS, 1 = sequential; the output is bit-identical for any
+// value) and cooperative cancellation. Each 1-D pass is tiled across
+// the pool and barriers before the next, because the Y and Z passes
+// read planes the previous pass wrote. The two intermediate volumes
+// come from a scratch pool, so a call allocates only the output volume
+// in steady state. On cancellation the partial result is discarded and
+// (nil, ctx.Err()) is returned.
+func SeparableConv3Ctx(ctx context.Context, v *volume.V3, kx, ky, kz []float64, workers int) (*volume.V3, error) {
+	a := getScratch(v.NX, v.NY, v.NZ)
+	defer putScratch(a)
+	b := getScratch(v.NX, v.NY, v.NZ)
+	defer putScratch(b)
+	out := volume.New3(v.NX, v.NY, v.NZ)
+	passes := []struct {
+		dst, src *volume.V3
+		kernel   []float64
+		ax       axis
+	}{
+		{a, v, kx, axisX},
+		{b, a, ky, axisY},
+		{out, b, kz, axisZ},
+	}
+	for _, p := range passes {
+		p := p
+		err := runTiles(ctx, v.NZ, workers, func(z0, z1 int) {
+			convAxisInto(p.dst, p.src, p.kernel, p.ax, z0, z1)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Conv3 convolves v with a dense 3-D kernel (odd-sized in each

@@ -9,6 +9,7 @@
 package imaging
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -132,6 +133,9 @@ type NLMeansOpts struct {
 	PatchRadius  int     // radius of the comparison patch (default 1)
 	SearchRadius int     // radius of the search window (default 2)
 	H            float64 // filtering strength; <=0 means auto from noise std
+	// Workers bounds the tile worker pool: 0 means GOMAXPROCS, 1 forces
+	// the sequential path. The output is bit-identical for every value.
+	Workers int
 }
 
 func (o NLMeansOpts) withDefaults() NLMeansOpts {
@@ -148,7 +152,25 @@ func (o NLMeansOpts) withDefaults() NLMeansOpts {
 // algorithm (Coupé et al. 2008, the paper's Step 2N). When mask is non-nil,
 // only voxels with mask≠0 are denoised (the paper uses the segmentation
 // mask to skip background); other voxels pass through unchanged.
+//
+// The work is tiled across opts.Workers goroutines (0 = GOMAXPROCS);
+// every voxel depends only on the read-only input and each tile writes
+// a disjoint output slab, so the result is bit-identical for any worker
+// count.
 func NLMeans3(v *volume.V3, mask *volume.V3, opts NLMeansOpts) *volume.V3 {
+	out, err := NLMeans3Ctx(context.Background(), v, mask, opts)
+	if err != nil {
+		// Background context cannot be canceled and the kernel has no
+		// other failure mode.
+		panic("imaging: NLMeans3: " + err.Error())
+	}
+	return out
+}
+
+// NLMeans3Ctx is NLMeans3 with cooperative cancellation: workers stop
+// at the next tile boundary once ctx is canceled, the partially written
+// volume is discarded, and (nil, ctx.Err()) is returned.
+func NLMeans3Ctx(ctx context.Context, v *volume.V3, mask *volume.V3, opts NLMeansOpts) (*volume.V3, error) {
 	opts = opts.withDefaults()
 	h := opts.H
 	if h <= 0 {
@@ -157,10 +179,25 @@ func NLMeans3(v *volume.V3, mask *volume.V3, opts NLMeansOpts) *volume.V3 {
 			h = 1
 		}
 	}
+	out := v.Clone()
+	err := runTiles(ctx, v.NZ, opts.Workers, func(z0, z1 int) {
+		nlmeansSlab(v, mask, out, opts, h, z0, z1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// nlmeansSlab denoises the z-planes [z0,z1) of v into out. It is the
+// body of the original sequential loop, unchanged except for the slab
+// bounds: per-voxel candidate sets, iteration order, and accumulation
+// order are identical, so any tile decomposition reproduces the
+// sequential result bit-for-bit.
+func nlmeansSlab(v, mask, out *volume.V3, opts NLMeansOpts, h float64, z0, z1 int) {
 	h2 := h * h
 	pr, sr := opts.PatchRadius, opts.SearchRadius
-	out := v.Clone()
-	for z := 0; z < v.NZ; z++ {
+	for z := z0; z < z1; z++ {
 		for y := 0; y < v.NY; y++ {
 			for x := 0; x < v.NX; x++ {
 				if mask != nil && mask.At(x, y, z) == 0 {
@@ -190,7 +227,6 @@ func NLMeans3(v *volume.V3, mask *volume.V3, opts NLMeansOpts) *volume.V3 {
 			}
 		}
 	}
-	return out
 }
 
 // patchDist2 returns the mean squared difference between patches centered

@@ -1,6 +1,7 @@
 package imaging
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -68,6 +69,95 @@ func TestNLMeans3WindowClampExact(t *testing.T) {
 	for i := range got.Data {
 		if got.Data[i] != want.Data[i] {
 			t.Fatalf("voxel %d: %v != %v (must be bit-identical)", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestNLMeans3WorkersExact proves the tiled parallel path is
+// byte-identical to the sequential reference across randomized volume
+// sizes, mask patterns, and worker counts — including workers=1 and
+// workers far beyond the tile count.
+func TestNLMeans3WorkersExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		nx, ny, nz := 3+rng.Intn(10), 3+rng.Intn(9), 1+rng.Intn(11)
+		v := volume.New3(nx, ny, nz)
+		for i := range v.Data {
+			v.Data[i] = 50 + 20*rng.NormFloat64()
+		}
+		// Mask pattern: nil (unmasked), random sparse, or all-zero.
+		var mask *volume.V3
+		switch trial % 3 {
+		case 1:
+			mask = volume.New3(nx, ny, nz)
+			for i := range mask.Data {
+				if rng.Intn(3) == 0 {
+					mask.Data[i] = 1
+				}
+			}
+		case 2:
+			mask = volume.New3(nx, ny, nz) // all background
+		}
+		opts := NLMeansOpts{PatchRadius: 1 + rng.Intn(2), SearchRadius: 1 + rng.Intn(2)}
+		want := naiveNLMeans3(v, mask, opts)
+		for _, workers := range []int{0, 1, 2, 3, 7, nz, nz + 13, 64} {
+			opts.Workers = workers
+			got := NLMeans3(v, mask, opts)
+			if !got.SameShape(want) {
+				t.Fatalf("trial %d workers=%d: shape mismatch", trial, workers)
+			}
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("trial %d (%dx%dx%d) workers=%d: voxel %d = %v, want %v (must be bit-identical)",
+						trial, nx, ny, nz, workers, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// naiveSeparableConv3 is the pre-optimization separable convolution:
+// one freshly allocated volume per 1-D pass, sequential. The parallel
+// scratch-reusing path must reproduce it bit-for-bit.
+func naiveSeparableConv3(v *volume.V3, kx, ky, kz []float64) *volume.V3 {
+	conv := func(u *volume.V3, kernel []float64, ax axis) *volume.V3 {
+		out := volume.New3(u.NX, u.NY, u.NZ)
+		convAxisInto(out, u, kernel, ax, 0, u.NZ)
+		return out
+	}
+	out := conv(v, kx, axisX)
+	out = conv(out, ky, axisY)
+	return conv(out, kz, axisZ)
+}
+
+// TestSeparableConv3WorkersExact pins the parallel convolution against
+// the sequential reference across randomized sizes, kernels, and worker
+// counts, including the workers>tiles edge case.
+func TestSeparableConv3WorkersExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	randKernel := func() []float64 {
+		k := GaussianKernel(0.4 + rng.Float64()*1.2)
+		return k
+	}
+	for trial := 0; trial < 12; trial++ {
+		nx, ny, nz := 2+rng.Intn(12), 2+rng.Intn(11), 1+rng.Intn(10)
+		v := volume.New3(nx, ny, nz)
+		for i := range v.Data {
+			v.Data[i] = rng.NormFloat64()
+		}
+		kx, ky, kz := randKernel(), randKernel(), randKernel()
+		want := naiveSeparableConv3(v, kx, ky, kz)
+		for _, workers := range []int{0, 1, 2, 5, nz + 17, 64} {
+			got, err := SeparableConv3Ctx(context.Background(), v, kx, ky, kz, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("trial %d (%dx%dx%d) workers=%d: voxel %d = %v, want %v (must be bit-identical)",
+						trial, nx, ny, nz, workers, i, got.Data[i], want.Data[i])
+				}
+			}
 		}
 	}
 }

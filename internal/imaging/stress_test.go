@@ -1,0 +1,110 @@
+package imaging
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"imagebench/internal/volume"
+)
+
+// TestParallelKernelStress hammers the tile worker pool with many
+// concurrent kernel invocations — most racing a context cancellation —
+// and asserts two invariants (run under -race in CI):
+//
+//   - a canceled call returns (nil, ctx.Err()) — no partially written
+//     volume ever leaks out to the caller;
+//   - a successful call returns exactly the sequential result, no
+//     matter how many sibling invocations were running or canceled.
+func TestParallelKernelStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	v := volume.New3(12, 11, 10)
+	for i := range v.Data {
+		v.Data[i] = 100 + 10*rng.NormFloat64()
+	}
+	mask := volume.New3(v.NX, v.NY, v.NZ)
+	for i := range mask.Data {
+		if i%3 != 0 {
+			mask.Data[i] = 1
+		}
+	}
+	opts := NLMeansOpts{PatchRadius: 1, SearchRadius: 2}
+	wantNLM := naiveNLMeans3(v, mask, opts)
+	k := GaussianKernel(0.8)
+	wantConv := naiveSeparableConv3(v, k, k, k)
+
+	const goroutines = 24
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workers := 1 + g%5
+			ctx := context.Background()
+			cancelled := g%2 == 0
+			if cancelled {
+				// Cancel at a random point: sometimes before the call,
+				// sometimes mid-flight.
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				if g%4 == 0 {
+					cancel()
+				} else {
+					go func() {
+						time.Sleep(time.Duration(g%7) * 100 * time.Microsecond)
+						cancel()
+					}()
+				}
+				defer cancel()
+			}
+			var got *volume.V3
+			var err error
+			if g%3 == 0 {
+				got, err = SeparableConv3Ctx(ctx, v, k, k, k, workers)
+			} else {
+				o := opts
+				o.Workers = workers
+				got, err = NLMeans3Ctx(ctx, v, mask, o)
+			}
+			switch {
+			case err != nil:
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("goroutine %d: unexpected error %v", g, err)
+				}
+				if got != nil {
+					t.Errorf("goroutine %d: canceled call leaked a partial volume", g)
+				}
+			default:
+				want := wantNLM
+				if g%3 == 0 {
+					want = wantConv
+				}
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Errorf("goroutine %d: voxel %d = %v, want %v (must be bit-identical)",
+							g, i, got.Data[i], want.Data[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The shared input must be untouched by any invocation, canceled or
+	// not: kernels only ever read it.
+	check := volume.New3(v.NX, v.NY, v.NZ)
+	rng2 := rand.New(rand.NewSource(31))
+	for i := range check.Data {
+		check.Data[i] = 100 + 10*rng2.NormFloat64()
+	}
+	for i := range v.Data {
+		if v.Data[i] != check.Data[i] {
+			t.Fatalf("input voxel %d mutated by a kernel invocation", i)
+		}
+	}
+}

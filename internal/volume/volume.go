@@ -214,6 +214,26 @@ func Blocks(nz, n int) []Block {
 	return out
 }
 
+// TileZ splits nz z-planes into fixed-height tiles of at most rows
+// planes each — the unit of work the imaging kernels hand to their
+// worker pools. Unlike Blocks (which targets a worker count), TileZ
+// targets a tile size, so the tile boundaries are independent of how
+// many workers consume them.
+func TileZ(nz, rows int) []Block {
+	if rows <= 0 {
+		rows = 1
+	}
+	out := make([]Block, 0, (nz+rows-1)/rows)
+	for z0 := 0; z0 < nz; z0 += rows {
+		z1 := z0 + rows
+		if z1 > nz {
+			z1 = nz
+		}
+		out = append(out, Block{Z0: z0, Z1: z1})
+	}
+	return out
+}
+
 // ExtractBlock copies the z-slab [b.Z0,b.Z1) of v into a new volume.
 func ExtractBlock(v *V3, b Block) *V3 {
 	nz := b.Z1 - b.Z0

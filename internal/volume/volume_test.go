@@ -96,6 +96,37 @@ func TestBlocksPartitionProperty(t *testing.T) {
 	}
 }
 
+func TestTileZPartitionProperty(t *testing.T) {
+	// Property: TileZ(nz, rows) tiles [0,nz) exactly, in order, no
+	// overlap, and every tile but the last has exactly rows planes.
+	f := func(nzRaw, rowsRaw uint8) bool {
+		nz := int(nzRaw%40) + 1
+		rows := int(rowsRaw % 8) // includes 0, which must behave as 1
+		ts := TileZ(nz, rows)
+		wantRows := rows
+		if wantRows <= 0 {
+			wantRows = 1
+		}
+		next := 0
+		for i, b := range ts {
+			if b.Z0 != next || b.Z1 <= b.Z0 {
+				return false
+			}
+			if i < len(ts)-1 && b.Z1-b.Z0 != wantRows {
+				return false
+			}
+			if b.Z1-b.Z0 > wantRows {
+				return false
+			}
+			next = b.Z1
+		}
+		return next == nz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestExtractInsertBlockRoundTrip(t *testing.T) {
 	v := New3(3, 3, 6)
 	for i := range v.Data {
