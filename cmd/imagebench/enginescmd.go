@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"imagebench/internal/engine"
+)
+
+// enginesMain implements `imagebench engines`: list the registered
+// system drivers with their capability sets and recovery kinds — the
+// CLI view of the daemon's GET /v1/engines.
+func enginesMain(args []string) int {
+	fs := flag.NewFlagSet("imagebench engines", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the engine list as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: imagebench engines [-json]\n\n"+
+			"Lists the registered engines, the comparisons each participates in\n"+
+			"(its capability set), and its fault-recovery mechanism. Engine names\n"+
+			"are what `imagebench -systems` and `imagebench sweep -systems` accept.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
+	rows := engine.Describe()
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench engines:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("%-12s %-20s %s\n", "ENGINE", "RECOVERY", "CAPABILITIES")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-20s %s\n", r.Name, r.Recovery, strings.Join(r.Capabilities, ", "))
+	}
+	return 0
+}

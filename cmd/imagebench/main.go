@@ -9,12 +9,14 @@
 // Usage:
 //
 //	imagebench -list               # show all experiment IDs
+//	imagebench engines             # show the registered engines + capabilities
 //	imagebench fig10c fig11        # run specific experiments
 //	imagebench -profile quick all  # run everything under the quick profile
 //	imagebench -check fig12d       # also validate the paper's shape
 //	imagebench -json fig11         # machine-readable output
 //	imagebench -parallel 2 all     # cap the worker pool
 //	imagebench -cache-dir /tmp/ib all  # reuse results across invocations
+//	imagebench -systems Spark,Myria fig10c  # restrict rows to named engines
 //
 // Batch sweeps (experiments × profiles × overrides) run through the
 // sweep engine, with a live grid summary and a combined JSON artifact:
@@ -32,14 +34,35 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"imagebench/internal/core"
+	"imagebench/internal/engine"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 )
+
+// parseSystems splits and validates a -systems flag value against the
+// engine registry, so a typoed engine name fails before any simulation
+// starts.
+func parseSystems(flagValue string) ([]string, error) {
+	if flagValue == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(flagValue, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := engine.Lookup(name); err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
@@ -49,12 +72,16 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "engines" {
+		os.Exit(enginesMain(os.Args[2:]))
+	}
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	profile := flag.String("profile", "full", `workload profile: "full" (paper sweeps) or "quick"`)
 	check := flag.Bool("check", true, "validate each table against the paper's qualitative shape")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of rendered tables")
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
+	systems := flag.String("systems", "", "comma-separated engine names to restrict experiments to (see `imagebench engines`; empty = all)")
 	flag.Parse()
 
 	if *list {
@@ -69,6 +96,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imagebench: unknown profile %q\n", *profile)
 		os.Exit(2)
+	}
+	filtered, err := parseSystems(*systems)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imagebench:", err)
+		os.Exit(2)
+	}
+	if filtered != nil {
+		p = p.Apply(core.Overrides{Systems: filtered})
+		if *check {
+			// Shape checks compare specific systems against each other and
+			// need the full row set; a filtered table cannot satisfy them.
+			fmt.Fprintln(os.Stderr, "imagebench: -systems filters the comparison rows; shape checks disabled")
+			*check = false
+		}
 	}
 
 	ids := flag.Args()
@@ -136,6 +177,21 @@ func main() {
 			fmt.Printf("    paper: %s\n", e.Paper)
 		}
 		tab, err := runner.Wait(context.Background(), jobs[i])
+		if errors.Is(err, engine.ErrUnsupported) {
+			// Not applicable under the -systems filter (e.g. a Myria
+			// tuning study with -systems Spark): skipped, not failed.
+			// The JSON stream keeps a record so machine consumers can
+			// tell "skipped" from "vanished".
+			if *asJSON {
+				jsonResults = append(jsonResults, jsonResult{
+					ID: e.ID, Title: e.Title, Profile: p.Name,
+					Shape: fmt.Sprintf("skipped: %v", err),
+				})
+			} else {
+				fmt.Printf("    skipped: %v\n\n", err)
+			}
+			continue
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "imagebench: %s failed: %v\n", e.ID, err)
 			failed++

@@ -27,6 +27,9 @@ func sweepMain(args []string) {
 	killAt := fs.String("kill-at", "", "comma-separated fault points \"node@time\" for the ft* experiments; each becomes one grid axis point\n"+
 		"sweeping baseline vs that kill (time is a % of each system's fault-free makespan, or a duration;\n"+
 		"join simultaneous kills with '+', e.g. \"1@30%,1@30%+2@55%,2@10s\")")
+	systemsAxis := fs.String("systems", "", "comma-separated engine names; each becomes one grid axis point restricting\n"+
+		"experiments to that engine (join engines within one point with '+', e.g. \"Spark,Myria,Spark+Myria\");\n"+
+		"cells whose experiment has no allowed engine show as n/a, not errors")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
 	out := fs.String("out", "", "write the combined sweep artifact (JSON) to this file")
@@ -37,7 +40,8 @@ func sweepMain(args []string) {
 			"Runs every experiment × profile × override combination as one batch,\n"+
 			"deduplicated and cached. Examples:\n\n"+
 			"  imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11\n"+
-			"  imagebench sweep -kill-at \"1@30%%,1@30%%+2@55%%\" -out faults.json 'ft*'\n\n")
+			"  imagebench sweep -kill-at \"1@30%%,1@30%%+2@55%%\" -out faults.json 'ft*'\n"+
+			"  imagebench sweep -systems Spark,Myria,Dask -out engines.json fig10c fig12a\n\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -70,6 +74,17 @@ func sweepMain(args []string) {
 			// Each kill point is one axis point comparing the fault-free
 			// baseline against that scenario.
 			spec.Overrides = append(spec.Overrides, core.Overrides{Failures: []string{"baseline", scenario}})
+		}
+	}
+	if *systemsAxis != "" {
+		for _, field := range strings.Split(*systemsAxis, ",") {
+			var names []string
+			for _, name := range strings.Split(strings.TrimSpace(field), "+") {
+				names = append(names, strings.TrimSpace(name))
+			}
+			// Validation happens in Overrides.Validate at submit time; an
+			// unknown engine name fails the whole sweep up front.
+			spec.Overrides = append(spec.Overrides, core.Overrides{Systems: names})
 		}
 	}
 
@@ -109,8 +124,8 @@ func sweepMain(args []string) {
 		for {
 			info := s.Info(true)
 			if g := renderGrid(s, info); g != last {
-				fmt.Printf("%s%d/%d done, %d running, %d queued, %d failed\n\n",
-					g, info.Done, info.Total, info.Running, info.Queued, info.Failed)
+				fmt.Printf("%s%d/%d done, %d running, %d queued, %d failed, %d n/a\n\n",
+					g, info.Done, info.Total, info.Running, info.Queued, info.Failed, info.Unsupported)
 				last = g
 			}
 			if info.Finished() {
@@ -123,8 +138,8 @@ func sweepMain(args []string) {
 	if *quiet {
 		fmt.Print(renderGrid(s, final))
 	}
-	fmt.Printf("sweep %s finished: %d ok (%d from cache), %d failed\n",
-		s.ID, final.Done, final.Hits, final.Failed)
+	fmt.Printf("sweep %s finished: %d ok (%d from cache), %d failed, %d n/a\n",
+		s.ID, final.Done, final.Hits, final.Failed, final.Unsupported)
 
 	if *out != "" {
 		if err := writeArtifact(*out, s, cache, final); err != nil {
@@ -135,7 +150,7 @@ func sweepMain(args []string) {
 	}
 	if final.Failed > 0 {
 		for _, c := range final.Cells {
-			if c.Status == runner.StatusFailed {
+			if c.Status == runner.StatusFailed && !c.Unsupported {
 				fmt.Fprintf(os.Stderr, "imagebench sweep: %s/%s failed: %s\n", c.Experiment, c.Profile, c.Error)
 			}
 		}
@@ -160,7 +175,8 @@ func killScenario(field string) (string, error) {
 
 // renderGrid draws the experiment × profile grid with one status mark
 // per cell: "." queued, ">" running, "ok" done, "hit" done-from-cache,
-// "ERR" failed, "-" not part of the grid.
+// "ERR" failed, "n/a" not applicable under the cell's engine filter,
+// "-" not part of the grid.
 func renderGrid(s *sweep.Sweep, info sweep.Info) string {
 	marks := make(map[string]string, len(info.Cells))
 	for _, ci := range info.Cells {
@@ -207,6 +223,9 @@ func cellMark(ci sweep.CellInfo) string {
 		}
 		return "ok"
 	case runner.StatusFailed:
+		if ci.Unsupported {
+			return "n/a"
+		}
 		return "ERR"
 	case runner.StatusRunning:
 		return ">"

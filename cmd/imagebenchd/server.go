@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"imagebench/internal/core"
+	"imagebench/internal/engine"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 	"imagebench/internal/sweep"
@@ -32,6 +33,7 @@ func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Mana
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -145,6 +147,13 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEngines serves the engine registry: each registered system
+// driver with its capability set (which comparisons it participates
+// in) and its fault-recovery mechanism, in engine.Info wire form.
+func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, engine.Describe())
 }
 
 // submitRequest is the POST /v1/jobs body. Experiments lists IDs, or

@@ -135,6 +135,54 @@ func TestListExperiments(t *testing.T) {
 	}
 }
 
+// TestListEngines pins the GET /v1/engines contract: exactly the five
+// evaluated systems, sorted, each with its capability set and recovery
+// kind — the wire form of the engine registry.
+func TestListEngines(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var engines []struct {
+		Name         string   `json:"name"`
+		Capabilities []string `json:"capabilities"`
+		Recovery     string   `json:"recovery"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/engines", &engines)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(engines) != 5 {
+		t.Fatalf("listed %d engines, want the 5 evaluated systems", len(engines))
+	}
+	wantRecovery := map[string]string{
+		"Dask":       "task-resubmit",
+		"Myria":      "query-restart",
+		"SciDB":      "manual-rerun",
+		"Spark":      "lineage-recompute",
+		"TensorFlow": "checkpoint-restart",
+	}
+	wantNames := []string{"Dask", "Myria", "SciDB", "Spark", "TensorFlow"} // sorted
+	for i, e := range engines {
+		if e.Name != wantNames[i] {
+			t.Errorf("engine[%d] = %s, want %s (sorted)", i, e.Name, wantNames[i])
+			continue
+		}
+		if e.Recovery != wantRecovery[e.Name] {
+			t.Errorf("%s recovery = %q, want %q", e.Name, e.Recovery, wantRecovery[e.Name])
+		}
+		if len(e.Capabilities) == 0 {
+			t.Errorf("%s lists no capabilities", e.Name)
+		}
+		hasFT := false
+		for _, c := range e.Capabilities {
+			if c == "fault-tolerance" {
+				hasFT = true
+			}
+		}
+		if !hasFT {
+			t.Errorf("%s missing fault-tolerance capability: %v", e.Name, e.Capabilities)
+		}
+	}
+}
+
 func TestJobLifecycleAndResults(t *testing.T) {
 	ts, _, _ := newTestServer(t)
 

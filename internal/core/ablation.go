@@ -17,10 +17,13 @@ import (
 // one at a time and measure what each is worth, on synthetic workloads
 // shaped like the pipelines' steps. They are extensions beyond the
 // paper's artifacts (the paper asserts the mechanisms; the ablations
-// quantify them in this reproduction).
+// quantify them in this reproduction). Each ablation belongs to one
+// engine and registers through registerForEngine, so it follows its
+// engine in and out of the registry and respects the profile's Systems
+// filter.
 
 func init() {
-	Register(&Experiment{
+	registerForEngine("Spark", &Experiment{
 		ID:    "abl-spark-pytax",
 		Title: "Ablation: Spark Python-worker serialization tax",
 		Paper: "Section 5.2.2 attributes Spark's ~10× filter gap to serializing Python code and data; this ablation runs the same map with and without the Python boundary.",
@@ -31,7 +34,7 @@ func init() {
 		},
 	})
 
-	Register(&Experiment{
+	registerForEngine("Dask", &Experiment{
 		ID:    "abl-dask-fusion",
 		Title: "Ablation: Dask linear-chain task fusion",
 		Paper: "Dask's per-task scheduler dispatch grows with cluster size (Section 5.1); fusing per-subject chains removes most dispatches. Extension: the paper's Dask version fuses by default.",
@@ -42,7 +45,7 @@ func init() {
 		},
 	})
 
-	Register(&Experiment{
+	registerForEngine("Dask", &Experiment{
 		ID:    "abl-dask-stealing",
 		Title: "Ablation: Dask work stealing",
 		Paper: "Section 5.1: Dask's scheduler 'attempts to move tasks among different machines via aggressive work stealing'. With data born on one node, stealing buys parallelism; sticky scheduling serializes on the data's host.",
@@ -53,7 +56,7 @@ func init() {
 		},
 	})
 
-	Register(&Experiment{
+	registerForEngine("Myria", &Experiment{
 		ID:    "abl-myria-pushdown",
 		Title: "Ablation: Myria selection pushdown",
 		Paper: "Section 5.2.2: 'Myria pushes the selection down to PostgreSQL' — the reason it wins the filter step. The alternative routes every tuple through the Python boundary.",
@@ -72,6 +75,9 @@ func init() {
 // runAblSparkPyTax maps the same records once through a Python lambda
 // and once through a native (JVM) operator.
 func runAblSparkPyTax(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Spark"); err != nil {
+		return nil, err
+	}
 	sizes := []int{16, 32, 64}
 	cols := make([]string, len(sizes))
 	for i, n := range sizes {
@@ -145,6 +151,9 @@ func ablChains(s *dask.Session, nChains, depth, pinNode int, stageCost vtime.Dur
 }
 
 func runAblDaskFusion(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Dask"); err != nil {
+		return nil, err
+	}
 	depths := []int{2, 4, 8}
 	cols := make([]string, len(depths))
 	for i, d := range depths {
@@ -176,6 +185,9 @@ func runAblDaskFusion(p Profile) (*Table, error) {
 }
 
 func runAblDaskStealing(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Dask"); err != nil {
+		return nil, err
+	}
 	counts := []int{8, 16, 32}
 	cols := make([]string, len(counts))
 	for i, n := range counts {
@@ -209,6 +221,9 @@ func runAblDaskStealing(p Profile) (*Table, error) {
 }
 
 func runAblMyriaPushdown(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Myria"); err != nil {
+		return nil, err
+	}
 	selectivities := []int{10, 50, 90}
 	cols := make([]string, len(selectivities))
 	for i, s := range selectivities {

@@ -128,6 +128,11 @@ type Profile struct {
 	// "kill:1@30%", "slow:1@25%*4", ...). Empty falls back to
 	// DefaultFaultScenarios.
 	FaultScenarios []string
+	// Systems restricts experiments to the named engines (the CLI's
+	// -systems flag and the sweep's systems axis); empty means every
+	// registered engine. omitempty keeps the fingerprint of unfiltered
+	// profiles identical to versions that predate the field.
+	Systems []string `json:",omitempty"`
 }
 
 // DefaultFaultScenarios returns the canonical recovery-overhead grid:

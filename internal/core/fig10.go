@@ -3,12 +3,15 @@ package core
 import (
 	"fmt"
 
+	"imagebench/internal/engine"
 	"imagebench/internal/synth"
 )
 
 // Figure 10: the paper's headline end-to-end results — data-size tables,
 // runtime vs. data size, normalized per-unit runtimes, and cluster-size
-// speedups.
+// speedups. The system rows come from the engine registry
+// (engine.Supporting(CapNeuroE2E/CapAstroE2E) in paper order), so the
+// comparison set is data, not code.
 
 func init() {
 	Register(&Experiment{
@@ -116,22 +119,23 @@ func labels(ns []int) []string {
 	return out
 }
 
-var neuroSystems = []string{"Dask", "Myria", "Spark"}
-var astroSystems = []string{"Spark", "Myria"}
-
 func runFig10c(p Profile) (*Table, error) {
-	t := NewTable("Fig 10c: neuroscience end-to-end runtime", "virtual s", neuroSystems, labels(p.NeuroSubjects))
+	engines, err := p.engines(engine.CapNeuroE2E)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Fig 10c: neuroscience end-to-end runtime", "virtual s", engine.Names(engines), labels(p.NeuroSubjects))
 	for _, n := range p.NeuroSubjects {
 		w, err := neuroWorkload(p, n)
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range neuroSystems {
-			d, err := neuroEndToEnd(w, defaultNodes(p), sys)
+		for _, eng := range engines {
+			d, err := neuroEndToEnd(w, defaultNodes(p), eng)
 			if err != nil {
-				return nil, fmt.Errorf("%s at %d subjects: %w", sys, n, err)
+				return nil, fmt.Errorf("%s at %d subjects: %w", eng.Name(), n, err)
 			}
-			t.Set(sys, colLabel(n), seconds(d))
+			t.Set(eng.Name(), colLabel(n), seconds(d))
 		}
 	}
 	return t, nil
@@ -140,14 +144,20 @@ func runFig10c(p Profile) (*Table, error) {
 func checkFig10c(t *Table) error {
 	first, last := t.ColNames[0], t.ColNames[len(t.ColNames)-1]
 	// Dask pays its startup at the smallest scale: slowest there.
-	for _, sys := range []string{"Myria", "Spark"} {
+	for _, sys := range t.RowNames {
+		if sys == "Dask" {
+			continue
+		}
 		if err := wantLess("small scale: "+sys+" < Dask", t.Get(sys, first), t.Get("Dask", first)); err != nil {
 			return err
 		}
 	}
 	// At the largest scale Dask's pipelining wins, and all three systems
 	// land within ~25% of each other (paper: within 14%).
-	for _, sys := range []string{"Myria", "Spark"} {
+	for _, sys := range t.RowNames {
+		if sys == "Dask" {
+			continue
+		}
 		if err := wantLess("large scale: Dask < "+sys, t.Get("Dask", last), t.Get(sys, last)); err != nil {
 			return err
 		}
@@ -159,18 +169,22 @@ func checkFig10c(t *Table) error {
 }
 
 func runFig10d(p Profile) (*Table, error) {
-	t := NewTable("Fig 10d: astronomy end-to-end runtime", "virtual s", astroSystems, labels(p.AstroVisits))
+	engines, err := p.engines(engine.CapAstroE2E)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Fig 10d: astronomy end-to-end runtime", "virtual s", engine.Names(engines), labels(p.AstroVisits))
 	for _, n := range p.AstroVisits {
 		w, err := astroWorkload(p, n)
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range astroSystems {
-			d, err := astroEndToEnd(w, defaultNodes(p), sys)
+		for _, eng := range engines {
+			d, err := astroEndToEnd(w, defaultNodes(p), eng)
 			if err != nil {
-				return nil, fmt.Errorf("%s at %d visits: %w", sys, n, err)
+				return nil, fmt.Errorf("%s at %d visits: %w", eng.Name(), n, err)
 			}
-			t.Set(sys, colLabel(n), seconds(d))
+			t.Set(eng.Name(), colLabel(n), seconds(d))
 		}
 	}
 	return t, nil
@@ -230,7 +244,10 @@ func checkFig10e(t *Table) error {
 		}
 	}
 	// Dask's drop is the most pronounced (largest startup overhead).
-	for _, sys := range []string{"Myria", "Spark"} {
+	for _, sys := range t.RowNames {
+		if sys == "Dask" {
+			continue
+		}
 		if err := wantLess("Dask drop deepest vs "+sys, t.Get("Dask", last), t.Get(sys, last)); err != nil {
 			return err
 		}
@@ -259,6 +276,10 @@ func checkFig10f(t *Table) error {
 }
 
 func runFig10g(p Profile) (*Table, error) {
+	engines, err := p.engines(engine.CapNeuroE2E)
+	if err != nil {
+		return nil, err
+	}
 	// Speedup is only observable while work outnumbers worker slots:
 	// keep at least 4 volumes per slot at the largest cluster (the
 	// paper's 25 × 288-volume subjects easily exceed 512 slots; our
@@ -273,14 +294,14 @@ func runFig10g(p Profile) (*Table, error) {
 		return nil, err
 	}
 	t := NewTable(fmt.Sprintf("Fig 10g: neuroscience runtime vs cluster size (%d subjects)", n),
-		"virtual s", neuroSystems, labels(p.ClusterNodes))
+		"virtual s", engine.Names(engines), labels(p.ClusterNodes))
 	for _, nodes := range p.ClusterNodes {
-		for _, sys := range neuroSystems {
-			d, err := neuroEndToEnd(w, nodes, sys)
+		for _, eng := range engines {
+			d, err := neuroEndToEnd(w, nodes, eng)
 			if err != nil {
-				return nil, fmt.Errorf("%s at %d nodes: %w", sys, nodes, err)
+				return nil, fmt.Errorf("%s at %d nodes: %w", eng.Name(), nodes, err)
 			}
-			t.Set(sys, colLabel(nodes), seconds(d))
+			t.Set(eng.Name(), colLabel(nodes), seconds(d))
 		}
 	}
 	return t, nil
@@ -306,6 +327,10 @@ func checkFig10g(t *Table) error {
 }
 
 func runFig10h(p Profile) (*Table, error) {
+	engines, err := p.engines(engine.CapAstroE2E)
+	if err != nil {
+		return nil, err
+	}
 	// As in fig10g, keep at least 4 exposures per slot at the largest
 	// cluster by raising the per-visit sensor count (the paper's visits
 	// have 60 sensors; the scaled default has fewer).
@@ -320,14 +345,14 @@ func runFig10h(p Profile) (*Table, error) {
 		return nil, err
 	}
 	t := NewTable(fmt.Sprintf("Fig 10h: astronomy runtime vs cluster size (%d visits)", n),
-		"virtual s", astroSystems, labels(p.ClusterNodes))
+		"virtual s", engine.Names(engines), labels(p.ClusterNodes))
 	for _, nodes := range p.ClusterNodes {
-		for _, sys := range astroSystems {
-			d, err := astroEndToEnd(w, nodes, sys)
+		for _, eng := range engines {
+			d, err := astroEndToEnd(w, nodes, eng)
 			if err != nil {
-				return nil, fmt.Errorf("%s at %d nodes: %w", sys, nodes, err)
+				return nil, fmt.Errorf("%s at %d nodes: %w", eng.Name(), nodes, err)
 			}
-			t.Set(sys, colLabel(nodes), seconds(d))
+			t.Set(eng.Name(), colLabel(nodes), seconds(d))
 		}
 	}
 	return t, nil

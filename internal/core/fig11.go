@@ -3,15 +3,14 @@ package core
 import (
 	"fmt"
 
-	"imagebench/internal/neuro"
-	"imagebench/internal/vtime"
+	"imagebench/internal/engine"
 )
 
-// Figure 11: data-ingest times for the neuroscience benchmark across all
-// five systems (two SciDB variants), on the 16-node cluster, log-scale in
-// the paper.
-
-var ingestVariants = []string{"Myria", "Spark", "Dask", "TensorFlow", "SciDB-1", "SciDB-2"}
+// Figure 11: data-ingest times for the neuroscience benchmark on the
+// 16-node cluster, log-scale in the paper. The rows come from the
+// engine registry: every engine holding CapNeuroIngest, expanded
+// through its ingest variants (SciDB contributes two bars — from_array
+// and aio_input).
 
 func init() {
 	Register(&Experiment{
@@ -23,20 +22,54 @@ func init() {
 	})
 }
 
+// ingestRow is one Fig 11 bar: an ingest variant of one engine.
+type ingestRow struct {
+	label string
+	ing   engine.NeuroIngester
+}
+
+// ingestRows expands the registry's ingest-capable engines into their
+// variant rows, in paper order.
+func ingestRows(p Profile) ([]ingestRow, error) {
+	engines, err := p.engines(engine.CapNeuroIngest)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ingestRow
+	for _, e := range engines {
+		ing, ok := e.(engine.NeuroIngester)
+		if !ok {
+			return nil, fmt.Errorf("core: engine %s claims %s but implements no ingest path", e.Name(), engine.CapNeuroIngest)
+		}
+		for _, v := range ing.IngestVariants() {
+			rows = append(rows, ingestRow{label: v, ing: ing})
+		}
+	}
+	return rows, nil
+}
+
 func runFig11(p Profile) (*Table, error) {
-	t := NewTable("Fig 11: data ingest times", "virtual s", ingestVariants, labels(p.NeuroSubjects))
+	rows, err := ingestRows(p)
+	if err != nil {
+		return nil, err
+	}
+	rowNames := make([]string, len(rows))
+	for i, r := range rows {
+		rowNames[i] = r.label
+	}
+	t := NewTable("Fig 11: data ingest times", "virtual s", rowNames, labels(p.NeuroSubjects))
 	for _, n := range p.NeuroSubjects {
 		w, err := neuroWorkload(p, n)
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range ingestVariants {
+		for _, r := range rows {
 			cl := newCluster(defaultNodes(p))
-			d, err := neuro.IngestTime(w, cl, nil, sys)
+			d, err := r.ing.NeuroIngest(w, cl, nil, r.label)
 			if err != nil {
-				return nil, fmt.Errorf("ingest %s at %d subjects: %w", sys, n, err)
+				return nil, fmt.Errorf("ingest %s at %d subjects: %w", r.label, n, err)
 			}
-			t.Set(sys, colLabel(n), seconds(vtime.Duration(d)))
+			t.Set(r.label, colLabel(n), seconds(d))
 		}
 	}
 	return t, nil

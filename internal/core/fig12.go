@@ -4,14 +4,14 @@ import (
 	"fmt"
 
 	"imagebench/internal/astro"
-	"imagebench/internal/neuro"
-	"imagebench/internal/vtime"
+	"imagebench/internal/engine"
 )
 
 // Figures 12a–12d: individual step performance on the largest dataset
-// (16 nodes, log scale in the paper).
-
-var stepSystems = []string{"Dask", "Myria", "Spark", "SciDB", "TensorFlow"}
+// (16 nodes, log scale in the paper). The step rows come from
+// engine.Supporting(CapNeuroStep); the co-addition rows from
+// engine.Supporting(CapAstroCoadd) expanded through each engine's
+// variants (SciDB contributes its incremental-iteration bar).
 
 func init() {
 	Register(&Experiment{
@@ -21,10 +21,11 @@ func init() {
 		Run:   makeStepRun("filter"),
 		Check: func(t *Table) error {
 			last := t.ColNames[len(t.ColNames)-1]
-			for _, fast := range []string{"Myria", "Dask"} {
-				if err := wantLess(fast+" < Spark", t.Get(fast, last), t.Get("Spark", last)); err != nil {
-					return err
-				}
+			if err := wantLess("Myria < Spark", t.Get("Myria", last), t.Get("Spark", last)); err != nil {
+				return err
+			}
+			if err := wantLess("Dask < Spark", t.Get("Dask", last), t.Get("Spark", last)); err != nil {
+				return err
 			}
 			if err := wantRatioAtLeast("Spark ≫ Myria", t.Get("Spark", last), t.Get("Myria", last), 1.3); err != nil {
 				return err
@@ -53,7 +54,10 @@ func init() {
 			// per-step timing excludes session startup by construction,
 			// so Dask's in-memory mean is competitive — see
 			// EXPERIMENTS.md.)
-			for _, sys := range []string{"Spark", "Myria", "TensorFlow"} {
+			for _, sys := range t.RowNames {
+				if sys == "SciDB" || sys == "Dask" {
+					continue
+				}
 				if err := wantLess("small scale: SciDB < "+sys, t.Get("SciDB", first), t.Get(sys, first)); err != nil {
 					return err
 				}
@@ -73,17 +77,21 @@ func init() {
 		Check: func(t *Table) error {
 			last := t.ColNames[len(t.ColNames)-1]
 			// The UDF dominates: Dask/Myria/Spark within ~35%.
-			for _, pair := range [][2]string{{"Dask", "Myria"}, {"Myria", "Spark"}} {
-				if err := wantWithin(pair[0]+" vs "+pair[1], t.Get(pair[0], last), t.Get(pair[1], last), 0.35); err != nil {
-					return err
-				}
+			if err := wantWithin("Dask vs Myria", t.Get("Dask", last), t.Get("Myria", last), 0.35); err != nil {
+				return err
+			}
+			if err := wantWithin("Myria vs Spark", t.Get("Myria", last), t.Get("Spark", last), 0.35); err != nil {
+				return err
 			}
 			// SciDB's stream() TSV tax makes it slower than Myria.
 			if err := wantLess("Myria < SciDB", t.Get("Myria", last), t.Get("SciDB", last)); err != nil {
 				return err
 			}
 			// TensorFlow is the slowest (conversion + unmasked denoise).
-			for _, sys := range []string{"Dask", "Myria", "Spark"} {
+			for _, sys := range t.RowNames {
+				if sys == "TensorFlow" || sys == "SciDB" {
+					continue
+				}
 				if err := wantLess(sys+" < TensorFlow", t.Get(sys, last), t.Get("TensorFlow", last)); err != nil {
 					return err
 				}
@@ -101,31 +109,96 @@ func init() {
 	})
 }
 
+// stepRow is one Fig 12a–c row: an engine's per-step measurement path.
+type stepRow struct {
+	name    string
+	stepper engine.NeuroStepper
+}
+
+// stepRows validates the registry's step-capable engines up front (a
+// capability claim without the backing interface fails before any
+// simulation runs), in paper order.
+func stepRows(p Profile) ([]stepRow, error) {
+	engines, err := p.engines(engine.CapNeuroStep)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]stepRow, len(engines))
+	for i, e := range engines {
+		stepper, ok := e.(engine.NeuroStepper)
+		if !ok {
+			return nil, fmt.Errorf("core: engine %s claims %s but implements no step path", e.Name(), engine.CapNeuroStep)
+		}
+		rows[i] = stepRow{name: e.Name(), stepper: stepper}
+	}
+	return rows, nil
+}
+
 func makeStepRun(step string) func(Profile) (*Table, error) {
 	return func(p Profile) (*Table, error) {
-		t := NewTable(fmt.Sprintf("Fig 12: %s step", step), "virtual s", stepSystems, labels(p.NeuroSubjects))
+		rows, err := stepRows(p)
+		if err != nil {
+			return nil, err
+		}
+		rowNames := make([]string, len(rows))
+		for i, r := range rows {
+			rowNames[i] = r.name
+		}
+		t := NewTable(fmt.Sprintf("Fig 12: %s step", step), "virtual s", rowNames, labels(p.NeuroSubjects))
 		for _, n := range p.NeuroSubjects {
 			w, err := neuroWorkload(p, n)
 			if err != nil {
 				return nil, err
 			}
-			for _, sys := range stepSystems {
+			for _, r := range rows {
 				cl := newCluster(defaultNodes(p))
-				d, err := neuro.StepTime(w, cl, nil, sys, step)
+				d, err := r.stepper.NeuroStep(w, cl, nil, step)
 				if err != nil {
-					return nil, fmt.Errorf("%s/%s at %d subjects: %w", sys, step, n, err)
+					return nil, fmt.Errorf("%s/%s at %d subjects: %w", r.name, step, n, err)
 				}
-				t.Set(sys, colLabel(n), seconds(vtime.Duration(d)))
+				t.Set(r.name, colLabel(n), seconds(d))
 			}
 		}
 		return t, nil
 	}
 }
 
-var coaddVariants = []string{"Spark", "Myria", "SciDB", "SciDB-incremental"}
+// coaddRow is one Fig 12d bar: a co-addition variant of one engine.
+type coaddRow struct {
+	label string
+	co    engine.AstroCoadder
+}
+
+// coaddRows expands the registry's coadd-capable engines into their
+// variant rows, in paper order.
+func coaddRows(p Profile) ([]coaddRow, error) {
+	engines, err := p.engines(engine.CapAstroCoadd)
+	if err != nil {
+		return nil, err
+	}
+	var rows []coaddRow
+	for _, e := range engines {
+		co, ok := e.(engine.AstroCoadder)
+		if !ok {
+			return nil, fmt.Errorf("core: engine %s claims %s but implements no coadd path", e.Name(), engine.CapAstroCoadd)
+		}
+		for _, v := range co.CoaddVariants() {
+			rows = append(rows, coaddRow{label: v, co: co})
+		}
+	}
+	return rows, nil
+}
 
 func runFig12d(p Profile) (*Table, error) {
-	t := NewTable("Fig 12d: co-addition step", "virtual s", coaddVariants, labels(p.AstroVisits))
+	rows, err := coaddRows(p)
+	if err != nil {
+		return nil, err
+	}
+	rowNames := make([]string, len(rows))
+	for i, r := range rows {
+		rowNames[i] = r.label
+	}
+	t := NewTable("Fig 12d: co-addition step", "virtual s", rowNames, labels(p.AstroVisits))
 	for _, n := range p.AstroVisits {
 		w, err := astroWorkload(p, n)
 		if err != nil {
@@ -135,13 +208,13 @@ func runFig12d(p Profile) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range coaddVariants {
+		for _, r := range rows {
 			cl := newCluster(defaultNodes(p))
-			d, err := astro.CoaddStepTime(w, cl, nil, stacks, sys)
+			d, err := r.co.AstroCoadd(w, cl, nil, stacks, r.label)
 			if err != nil {
-				return nil, fmt.Errorf("coadd %s at %d visits: %w", sys, n, err)
+				return nil, fmt.Errorf("coadd %s at %d visits: %w", r.label, n, err)
 			}
-			t.Set(sys, colLabel(n), seconds(vtime.Duration(d)))
+			t.Set(r.label, colLabel(n), seconds(d))
 		}
 	}
 	return t, nil

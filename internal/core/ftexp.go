@@ -1,27 +1,29 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"imagebench/internal/astro"
 	"imagebench/internal/cluster"
 	"imagebench/internal/cost"
-	"imagebench/internal/myria"
-	"imagebench/internal/neuro"
-	"imagebench/internal/scidb"
+	"imagebench/internal/engine"
 	"imagebench/internal/vtime"
 )
 
 // The ft* experiments reproduce the qualitative fault-tolerance axis of
 // the paper's evaluation (Section 4 discussion; Zaharia et al. for the
 // Spark mechanism): how each system degrades when nodes die or straggle
-// mid-run. Spark recomputes only the lost partitions from lineage, Dask
-// resubmits the lost tasks on survivors, TensorFlow restarts from its
-// last checkpoint, Myria restarts the whole query, and SciDB offers no
-// mid-query recovery at all — the operator reruns the query by hand.
-// Each cell is the end-to-end virtual makespan including all recovery
-// work, on the same deterministic fault schedule.
+// mid-run. Each engine's recovery policy lives behind its
+// engine.RunWithFaults hook — Spark recomputes only the lost partitions
+// from lineage, Dask resubmits the lost tasks on survivors, TensorFlow
+// restarts from its last checkpoint, Myria restarts the whole query,
+// and SciDB offers no mid-query recovery at all: the operator reruns
+// the query by hand. Each cell is the end-to-end virtual makespan
+// including all recovery work, on the same deterministic fault
+// schedule. The system rows come from
+// engine.Supporting(CapFaultTolerance), so a sixth engine joins these
+// tables by registering the capability, not by editing this file.
 
 func init() {
 	Register(&Experiment{
@@ -40,29 +42,28 @@ func init() {
 	})
 }
 
-var ftNeuroSystems = []string{"Spark", "Myria", "Dask", "TensorFlow", "SciDB"}
-var ftAstroSystems = []string{"Spark", "Myria"}
+// ftNeuroEngines returns the fault-tolerance comparison set.
+func ftNeuroEngines(p Profile) ([]engine.Engine, error) {
+	return p.engines(engine.CapFaultTolerance)
+}
 
-// ftRun executes one system run with the system's recovery policy
-// wrapped around it: Spark, Dask, and TensorFlow recover inside their
-// engines; Myria restarts the whole program; SciDB reports failure and
-// the operator reruns. It returns the final makespan and how many fully
-// failed attempts were paid (SciDB only).
-func ftRun(sys string, cl *cluster.Cluster, run func() error) (vtime.Duration, int, error) {
-	var reruns int
-	var err error
-	switch sys {
-	case "Myria":
-		err = myria.RunWithRestart(cl, cl.Kills(), run)
-	case "SciDB":
-		reruns, err = scidb.RerunOnFailure(cl, cl.Kills(), run)
-	default:
-		err = run()
-	}
+// ftAstroEngines returns the fault-capable engines that also run the
+// astronomy pipeline end-to-end, in fault-comparison order.
+func ftAstroEngines(p Profile) ([]engine.Engine, error) {
+	all, err := p.engines(engine.CapFaultTolerance)
 	if err != nil {
-		return 0, reruns, err
+		return nil, err
 	}
-	return vtime.Duration(cl.Makespan()), reruns, nil
+	var out []engine.Engine
+	for _, e := range all {
+		if e.Capabilities().Has(engine.CapAstroE2E) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, engine.Unsupported("core: no allowed fault-tolerant engine runs astronomy end-to-end (systems filter %v)", p.Systems)
+	}
+	return out, nil
 }
 
 // ftCluster builds a fresh experiment cluster with the scenario's faults
@@ -99,19 +100,21 @@ func ftScenarios(p Profile, nodes int) ([]string, []cluster.Scenario, error) {
 	return names, parsed, nil
 }
 
-// runFTTable drives one domain's recovery-overhead table: per system, a
+// runFTTable drives one domain's recovery-overhead table: per engine, a
 // fault-free reference run fixes the scenario kill times, then each
-// scenario runs on a fresh cluster with those faults injected.
-func runFTTable(title string, p Profile, nodes int, systems []string,
-	run func(sys string, cl *cluster.Cluster) error, minMem int64) (*Table, error) {
+// scenario runs on a fresh cluster with those faults injected under the
+// engine's recovery policy (engine.RunWithFaults).
+func runFTTable(title string, p Profile, nodes int, engines []engine.Engine,
+	run func(eng engine.Engine, cl *cluster.Cluster) error, minMem int64) (*Table, error) {
 	names, parsed, err := ftScenarios(p, nodes)
 	if err != nil {
 		return nil, err
 	}
-	t := NewTable(title, "virtual s", systems, names)
-	for _, sys := range systems {
+	t := NewTable(title, "virtual s", engine.Names(engines), names)
+	for _, eng := range engines {
+		sys := eng.Name()
 		cl := newClusterMem(nodes, minMem)
-		if err := run(sys, cl); err != nil {
+		if err := run(eng, cl); err != nil {
 			return nil, fmt.Errorf("%s baseline: %w", sys, err)
 		}
 		ref := vtime.Duration(cl.Makespan())
@@ -124,11 +127,11 @@ func runFTTable(title string, p Profile, nodes int, systems []string,
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", sys, names[i], err)
 			}
-			d, reruns, err := ftRun(sys, fcl, func() error { return run(sys, fcl) })
+			reruns, err := eng.RunWithFaults(fcl, func() error { return run(eng, fcl) })
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", sys, names[i], err)
 			}
-			t.Set(sys, names[i], seconds(d))
+			t.Set(sys, names[i], seconds(vtime.Duration(fcl.Makespan())))
 			if reruns > 0 {
 				t.Notes = append(t.Notes, fmt.Sprintf("%s %s: query failed %d time(s); cell includes the manual rerun (no mid-query recovery)",
 					sys, names[i], reruns))
@@ -142,6 +145,10 @@ func runFTTable(title string, p Profile, nodes int, systems []string,
 }
 
 func runFTNeuro(p Profile) (*Table, error) {
+	engines, err := ftNeuroEngines(p)
+	if err != nil {
+		return nil, err
+	}
 	nodes := defaultNodes(p)
 	n := p.NeuroSubjects[0] // recovery shape, not scale: the smallest dataset
 	w, err := neuroWorkload(p, n)
@@ -149,29 +156,19 @@ func runFTNeuro(p Profile) (*Table, error) {
 		return nil, err
 	}
 	model := cost.Default()
-	run := func(sys string, cl *cluster.Cluster) error {
-		var err error
-		switch sys {
-		case "Spark":
-			_, err = neuro.RunSpark(w, cl, model, neuro.SparkOpts{Partitions: cl.Workers(), CacheInput: true})
-		case "Myria":
-			_, err = neuro.RunMyria(w, cl, model, neuro.MyriaOpts{})
-		case "Dask":
-			_, err = neuro.RunDask(w, cl, model)
-		case "TensorFlow":
-			_, err = neuro.RunTF(w, cl, model, neuro.TFOpts{})
-		case "SciDB":
-			_, err = neuro.RunSciDB(w, cl, model, neuro.SciDBAio)
-		default:
-			err = fmt.Errorf("core: no fault-tolerance run for %q", sys)
-		}
+	run := func(eng engine.Engine, cl *cluster.Cluster) error {
+		_, err := eng.RunNeuro(context.Background(), w, cl, model, engine.Opts{CacheInput: true})
 		return err
 	}
 	return runFTTable(fmt.Sprintf("ftneuro: neuroscience recovery overhead (%d subject(s), %d nodes)", n, nodes),
-		p, nodes, ftNeuroSystems, run, 10*w.InputModelBytes()/int64(nodes))
+		p, nodes, engines, run, engine.MemFloor(w.InputModelBytes(), nodes))
 }
 
 func runFTAstro(p Profile) (*Table, error) {
+	engines, err := ftAstroEngines(p)
+	if err != nil {
+		return nil, err
+	}
 	nodes := defaultNodes(p)
 	n := p.AstroVisits[0]
 	w, err := astroWorkload(p, n)
@@ -179,20 +176,12 @@ func runFTAstro(p Profile) (*Table, error) {
 		return nil, err
 	}
 	model := cost.Default()
-	run := func(sys string, cl *cluster.Cluster) error {
-		var err error
-		switch sys {
-		case "Spark":
-			_, err = astro.RunSpark(w, cl, model, astro.SparkOpts{Partitions: cl.Workers()})
-		case "Myria":
-			_, err = astro.RunMyria(w, cl, model, astro.MyriaOpts{})
-		default:
-			err = fmt.Errorf("core: no fault-tolerance run for %q", sys)
-		}
+	run := func(eng engine.Engine, cl *cluster.Cluster) error {
+		_, err := eng.RunAstro(context.Background(), w, cl, model, engine.Opts{})
 		return err
 	}
 	return runFTTable(fmt.Sprintf("ftastro: astronomy recovery overhead (%d visit(s), %d nodes)", n, nodes),
-		p, nodes, ftAstroSystems, run, 10*w.InputModelBytes()/int64(nodes))
+		p, nodes, engines, run, engine.MemFloor(w.InputModelBytes(), nodes))
 }
 
 // checkFT validates the paper's qualitative fault-tolerance ordering on
@@ -236,11 +225,15 @@ func checkFT(t *Table) error {
 		base := t.Get(sys, baseCol)
 		return (t.Get(sys, col) - base) / base
 	}
-	// Spark and Dask recover at task granularity (lineage recompute,
+	// Engines that recover at task granularity (lineage recompute,
 	// dynamic resubmission): a kill landing where survivors have slack
 	// can cost them ~nothing, which is itself the paper's qualitative
-	// point. The restart-based systems always pay for a kill.
-	partialRecovery := map[string]bool{"Spark": true, "Dask": true}
+	// point. The restart-based systems always pay for a kill. The
+	// classification comes from the registry's recovery kinds.
+	partialRecovery := func(sys string) bool {
+		e, err := engine.Lookup(sys)
+		return err == nil && e.RecoveryKind().Partial()
+	}
 	for _, sys := range t.RowNames {
 		base := t.Get(sys, baseCol)
 		if !(base > 0) {
@@ -252,7 +245,7 @@ func checkFT(t *Table) error {
 			}
 		}
 		for _, c := range killCols {
-			if partialRecovery[sys] {
+			if partialRecovery(sys) {
 				if t.Get(sys, c) < base {
 					return fmt.Errorf("%s: %s (%.1fs) cheaper than baseline (%.1fs)", sys, c, t.Get(sys, c), base)
 				}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoStringlyTypedDispatch guards the Engine API refactor: the
+// experiment harness must derive its system sets from the engine
+// registry, never from hard-coded name lists or switch-on-system-name
+// blocks. Shape checks may still reference individual engines by name
+// (t.Get("Spark", …) encodes the paper's findings); what must not come
+// back is *dispatch* — a switch over a system variable, a []string
+// literal enumerating engines, or a map keyed by engine names deciding
+// behavior. Any of those would mean a sixth engine needs edits here
+// instead of one adapter file.
+func TestNoStringlyTypedDispatch(t *testing.T) {
+	engineName := `(Spark|Myria|Dask|SciDB|TensorFlow)`
+	forbidden := []struct {
+		what string
+		re   *regexp.Regexp
+	}{
+		{
+			"switch over a system-name variable",
+			regexp.MustCompile(`\bswitch\s+sys(Variant)?\b`),
+		},
+		{
+			"[]string literal of engine names",
+			regexp.MustCompile(`\[\]string\s*\{[^}]*"` + engineName + `(-1|-2|-incremental)?"`),
+		},
+		{
+			"map literal keyed by engine names",
+			regexp.MustCompile(`map\[string\][^\n]*\{[^}]*"` + engineName + `"\s*:`),
+		},
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(".", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range forbidden {
+			if loc := f.re.FindIndex(src); loc != nil {
+				line := 1 + strings.Count(string(src[:loc[0]]), "\n")
+				t.Errorf("%s:%d: %s (%q) — derive the set from engine.Supporting/engine.Lookup instead",
+					name, line, f.what, src[loc[0]:loc[1]])
+			}
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"imagebench/internal/astro"
 	"imagebench/internal/cluster"
 	"imagebench/internal/cost"
+	"imagebench/internal/engine"
 	"imagebench/internal/neuro"
 	"imagebench/internal/synth"
 	"imagebench/internal/vtime"
@@ -17,10 +19,8 @@ func newCluster(nodes int) *cluster.Cluster {
 	return newClusterMem(nodes, 0)
 }
 
-// newClusterMem is newCluster with a per-node memory floor: speedup
-// experiments scale task counts beyond the paper's data:memory ratio, so
-// the budget grows with the workload (fig15 studies memory pressure
-// explicitly with its own budget).
+// newClusterMem is newCluster with a per-node memory floor (fig15
+// studies memory pressure explicitly with its own budget).
 func newClusterMem(nodes int, minMemPerNode int64) *cluster.Cluster {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = nodes
@@ -28,6 +28,14 @@ func newClusterMem(nodes int, minMemPerNode int64) *cluster.Cluster {
 		cfg.MemPerNode = minMemPerNode
 	}
 	return cluster.New(cfg)
+}
+
+// runCluster builds the end-to-end experiment cluster for a workload
+// with the given input model size, applying the shared engine.MemFloor
+// budget (the end-to-end and fault-tolerance experiments size their
+// clusters identically).
+func runCluster(nodes int, inputModelBytes int64) *cluster.Cluster {
+	return newClusterMem(nodes, engine.MemFloor(inputModelBytes, nodes))
 }
 
 // defaultNodes is the paper's base cluster size, scaled down in the quick
@@ -55,46 +63,26 @@ func astroWorkload(p Profile, visits int) (*astro.Workload, error) {
 	return astro.NewWorkloadCfg(cfg)
 }
 
-// neuroEndToEnd runs the full neuroscience pipeline on one system and
+// neuroEndToEnd runs the full neuroscience pipeline on one engine and
 // returns the virtual runtime (cluster makespan).
-func neuroEndToEnd(w *neuro.Workload, nodes int, sys string) (vtime.Duration, error) {
-	cl := newClusterMem(nodes, 10*w.InputModelBytes()/int64(nodes))
-	model := cost.Default()
-	var err error
-	switch sys {
-	case "Spark":
-		_, err = neuro.RunSpark(w, cl, model, neuro.SparkOpts{Partitions: cl.Workers(), CacheInput: true})
-	case "Myria":
-		_, err = neuro.RunMyria(w, cl, model, neuro.MyriaOpts{})
-	case "Dask":
-		_, err = neuro.RunDask(w, cl, model)
-	default:
-		return 0, fmt.Errorf("core: no end-to-end neuroscience run for %q", sys)
-	}
+func neuroEndToEnd(w *neuro.Workload, nodes int, eng engine.Engine) (vtime.Duration, error) {
+	cl := runCluster(nodes, w.InputModelBytes())
+	res, err := eng.RunNeuro(context.Background(), w, cl, cost.Default(), engine.Opts{CacheInput: true})
 	if err != nil {
 		return 0, err
 	}
-	return vtime.Duration(cl.Makespan()), nil
+	return res.Makespan, nil
 }
 
-// astroEndToEnd runs the full astronomy pipeline on one system and
+// astroEndToEnd runs the full astronomy pipeline on one engine and
 // returns the virtual runtime.
-func astroEndToEnd(w *astro.Workload, nodes int, sys string) (vtime.Duration, error) {
-	cl := newClusterMem(nodes, 10*w.InputModelBytes()/int64(nodes))
-	model := cost.Default()
-	var err error
-	switch sys {
-	case "Spark":
-		_, err = astro.RunSpark(w, cl, model, astro.SparkOpts{Partitions: cl.Workers()})
-	case "Myria":
-		_, err = astro.RunMyria(w, cl, model, astro.MyriaOpts{})
-	default:
-		return 0, fmt.Errorf("core: no end-to-end astronomy run for %q", sys)
-	}
+func astroEndToEnd(w *astro.Workload, nodes int, eng engine.Engine) (vtime.Duration, error) {
+	cl := runCluster(nodes, w.InputModelBytes())
+	res, err := eng.RunAstro(context.Background(), w, cl, cost.Default(), engine.Opts{})
 	if err != nil {
 		return 0, err
 	}
-	return vtime.Duration(cl.Makespan()), nil
+	return res.Makespan, nil
 }
 
 // seconds converts a duration to float seconds for table cells.

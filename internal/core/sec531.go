@@ -10,10 +10,12 @@ import (
 
 // Section 5.3.1 tuning studies that are described in text rather than
 // figures: TensorFlow's manual work assignment and SciDB's chunk-size
-// sensitivity.
+// sensitivity. Per-engine tuning studies register through
+// registerForEngine, so they follow their engine in and out of the
+// registry and respect the profile's Systems filter.
 
 func init() {
-	Register(&Experiment{
+	registerForEngine("TensorFlow", &Experiment{
 		ID:    "sec531tf",
 		Title: "TensorFlow: volume-to-worker assignments (filter step)",
 		Paper: "Different manual assignments of image volumes to workers differ by ~2× in total runtime.",
@@ -25,7 +27,7 @@ func init() {
 		},
 	})
 
-	Register(&Experiment{
+	registerForEngine("SciDB", &Experiment{
 		ID:    "sec531scidb",
 		Title: "SciDB: chunk-size sensitivity (co-addition)",
 		Paper: "[1000×1000] chunks are best; [500×500] is ~3× slower (per-chunk overhead), [1500×1500] +22%, [2000×2000] +55%.",
@@ -48,6 +50,9 @@ func init() {
 }
 
 func runSec531TF(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("TensorFlow"); err != nil {
+		return nil, err
+	}
 	n := p.NeuroSubjects[len(p.NeuroSubjects)-1]
 	w, err := neuroWorkload(p, n)
 	if err != nil {
@@ -85,6 +90,9 @@ func assignment(n, devices int, f func(i int) int) []int {
 func chunkBytesForEdge(edge int) int64 { return int64(edge) * int64(edge) * 3 * 4 }
 
 func runSec531SciDB(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("SciDB"); err != nil {
+		return nil, err
+	}
 	n := p.AstroVisits[len(p.AstroVisits)-1]
 	w, err := astroWorkload(p, n)
 	if err != nil {

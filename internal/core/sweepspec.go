@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"imagebench/internal/cluster"
+	"imagebench/internal/engine"
 )
 
 // This file is the profile-override and experiment-pattern plumbing used
@@ -27,11 +28,15 @@ type Overrides struct {
 	// per scenario set lets a single batch grid over fault scenarios —
 	// the `imagebench sweep -kill-at ...` axis.
 	Failures []string `json:"failures,omitempty"`
+	// Systems restricts experiments to the named engines. One sweep
+	// axis point per engine set lets a single batch grid over engines —
+	// the `imagebench sweep -systems ...` axis.
+	Systems []string `json:"systems,omitempty"`
 }
 
 // IsZero reports whether the overrides change nothing.
 func (o Overrides) IsZero() bool {
-	return o.ClusterNodes == nil && o.NeuroSubjects == nil && o.AstroVisits == nil && o.Failures == nil
+	return o.ClusterNodes == nil && o.NeuroSubjects == nil && o.AstroVisits == nil && o.Failures == nil && o.Systems == nil
 }
 
 // Validate rejects empty or non-positive sweep points: they would make
@@ -65,6 +70,14 @@ func (o Overrides) Validate() error {
 			return fmt.Errorf("core: override failures: %w", err)
 		}
 	}
+	if o.Systems != nil && len(o.Systems) == 0 {
+		return fmt.Errorf("core: override systems is empty (omit it to run every engine)")
+	}
+	for _, name := range o.Systems {
+		if _, err := engine.Lookup(name); err != nil {
+			return fmt.Errorf("core: override systems: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -90,6 +103,9 @@ func (o Overrides) Label() string {
 	if o.Failures != nil {
 		parts = append(parts, "failures="+strings.Join(o.Failures, ";"))
 	}
+	if o.Systems != nil {
+		parts = append(parts, "systems="+strings.Join(o.Systems, ","))
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -113,6 +129,9 @@ func (p Profile) Apply(o Overrides) Profile {
 	}
 	if o.Failures != nil {
 		out.FaultScenarios = append([]string(nil), o.Failures...)
+	}
+	if o.Systems != nil {
+		out.Systems = append([]string(nil), o.Systems...)
 	}
 	out.Name = p.Name + "+" + strings.ReplaceAll(o.Label(), " ", "+")
 	return out

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+
+	"imagebench/internal/engine"
 )
 
 // Table 1: lines of code per use case per system. The paper counted the
@@ -16,7 +18,10 @@ import (
 // lines excluded), which preserves the finding: systems that can reuse
 // the reference code (Spark, Myria, Dask) need little per-system code,
 // while SciDB and TensorFlow require rewrites — and some steps are simply
-// not implementable there (NA).
+// not implementable there (NA). Which file implements which (use case,
+// system) pair is registry data: each engine adapter reports its own
+// source files (engine.SourceFiler), so a sixth engine appears in this
+// table by registering, not by editing it.
 
 func init() {
 	Register(&Experiment{
@@ -28,24 +33,11 @@ func init() {
 	})
 }
 
-// table1Files maps (use case, system) → implementation source file.
-var table1Files = map[string]map[string]string{
-	"Neuroscience": {
-		"Reference":  "neuro/neuro.go",
-		"Spark":      "neuro/spark.go",
-		"Myria":      "neuro/myria.go",
-		"Dask":       "neuro/dask.go",
-		"SciDB":      "neuro/scidb.go",
-		"TensorFlow": "neuro/tf.go",
-	},
-	"Astronomy": {
-		"Reference": "astro/astro.go",
-		"Spark":     "astro/spark.go",
-		"Myria":     "astro/myria.go",
-		"Dask":      "astro/dask.go",
-		"SciDB":     "astro/scidb.go",
-		// TensorFlow: not implementable (NA in the paper).
-	},
+// referenceFiles maps use case → the shared reference implementation
+// the per-system files are measured against.
+var referenceFiles = map[string]string{
+	engine.UseNeuro: "neuro/neuro.go",
+	engine.UseAstro: "astro/astro.go",
 }
 
 // internalDir locates the repository's internal/ directory from this
@@ -93,22 +85,42 @@ func CountLoC(path string) (int, error) {
 	return n, sc.Err()
 }
 
-var table1Systems = []string{"Reference", "Dask", "SciDB", "Spark", "Myria", "TensorFlow"}
-
-func runTable1(Profile) (*Table, error) {
+func runTable1(p Profile) (*Table, error) {
+	engines, err := p.engines(engine.CapLoC)
+	if err != nil {
+		return nil, err
+	}
 	dir, err := internalDir()
 	if err != nil {
 		return nil, err
 	}
+	cols := append([]string{"Reference"}, engine.Names(engines)...)
 	t := NewTable("Table 1: lines of Go per implementation", "LoC",
-		[]string{"Neuroscience", "Astronomy"}, table1Systems)
-	for useCase, files := range table1Files {
-		for sys, rel := range files {
-			n, err := CountLoC(filepath.Join(dir, rel))
-			if err != nil {
+		[]string{engine.UseNeuro, engine.UseAstro}, cols)
+	setLoC := func(useCase, col, rel string) error {
+		n, err := CountLoC(filepath.Join(dir, rel))
+		if err != nil {
+			return err
+		}
+		t.Set(useCase, col, float64(n))
+		return nil
+	}
+	for useCase, rel := range referenceFiles {
+		if err := setLoC(useCase, "Reference", rel); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range engines {
+		sf, ok := e.(engine.SourceFiler)
+		if !ok {
+			return nil, fmt.Errorf("core: engine %s claims %s but reports no source files", e.Name(), engine.CapLoC)
+		}
+		// Use cases absent from the engine's file map stay NaN — the
+		// paper's NA cells.
+		for useCase, rel := range sf.SourceFiles() {
+			if err := setLoC(useCase, e.Name(), rel); err != nil {
 				return nil, err
 			}
-			t.Set(useCase, sys, float64(n))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -119,12 +131,14 @@ func runTable1(Profile) (*Table, error) {
 
 func checkTable1(t *Table) error {
 	// Every implemented cell is positive; TensorFlow/Astronomy is NA.
-	if !math.IsNaN(t.Get("Astronomy", "TensorFlow")) {
+	if !math.IsNaN(t.Get(engine.UseAstro, "TensorFlow")) {
 		return fmt.Errorf("TensorFlow astronomy should be NA")
 	}
-	for _, sys := range []string{"Spark", "Myria", "Dask"} {
-		if t.Get("Neuroscience", sys) <= 0 {
-			return fmt.Errorf("%s neuroscience LoC missing", sys)
+	// The reference-reuse systems (the end-to-end neuro set) all have a
+	// counted neuroscience implementation.
+	for _, e := range engine.Supporting(engine.CapNeuroE2E) {
+		if t.Get(engine.UseNeuro, e.Name()) <= 0 {
+			return fmt.Errorf("%s neuroscience LoC missing", e.Name())
 		}
 	}
 	return nil

@@ -12,10 +12,13 @@ import (
 	"imagebench/internal/vtime"
 )
 
-// Figures 13–15 and the Section 5.3 tuning studies.
+// Figures 13–15 and the Section 5.3 tuning studies. These are
+// per-engine tuning sweeps (one engine, one knob), so they register
+// through registerForEngine and call the engine's own entry points
+// directly — the cross-engine comparisons live in fig10–fig12/ft*.
 
 func init() {
-	Register(&Experiment{
+	registerForEngine("Myria", &Experiment{
 		ID:    "fig13",
 		Title: "Myria: workers per node (neuroscience, largest dataset)",
 		Paper: "4 workers per 8-core node is optimal; 1–2 under-utilize, 8 contend for memory/CPU/disk.",
@@ -32,7 +35,7 @@ func init() {
 		},
 	})
 
-	Register(&Experiment{
+	registerForEngine("Spark", &Experiment{
 		ID:    "fig14",
 		Title: "Spark: input data partitions (neuroscience, 1 subject)",
 		Paper: "Dramatic improvement from 1 to ~cluster-slot partitions; ≥50% gain from 16 to 97; flat beyond 128 (= 16 nodes × 8 cores).",
@@ -40,7 +43,7 @@ func init() {
 		Check: checkFig14,
 	})
 
-	Register(&Experiment{
+	registerForEngine("Myria", &Experiment{
 		ID:    "fig15",
 		Title: "Myria: memory-management strategies (astronomy)",
 		Paper: "Pipelined fastest (8–11% over materialized, 15–23% over multi-query) while data fits; fails with OOM under pressure, where materialized wins; at the largest scale only chunked multi-query execution survives.",
@@ -48,7 +51,7 @@ func init() {
 		Check: checkFig15,
 	})
 
-	Register(&Experiment{
+	registerForEngine("Spark", &Experiment{
 		ID:    "sec533",
 		Title: "Spark: input caching (neuroscience end-to-end)",
 		Paper: "Caching the input RDD yields a consistent ~7–8% improvement across input sizes.",
@@ -58,6 +61,9 @@ func init() {
 }
 
 func runFig13(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Myria"); err != nil {
+		return nil, err
+	}
 	// The sweep only makes sense when there is enough work to saturate
 	// 8 workers per node: ensure at least 2 volumes per worker slot.
 	nodes := defaultNodes(p)
@@ -84,6 +90,9 @@ func runFig13(p Profile) (*Table, error) {
 }
 
 func runFig14(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Spark"); err != nil {
+		return nil, err
+	}
 	w, err := neuroWorkload(p, 1)
 	if err != nil {
 		return nil, err
@@ -124,6 +133,9 @@ func checkFig14(t *Table) error {
 var fig15Modes = []string{"pipelined", "materialized", "multi-query"}
 
 func runFig15(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Myria"); err != nil {
+		return nil, err
+	}
 	t := NewTable("Fig 15: Myria memory-management strategies (astronomy)", "virtual s",
 		fig15Modes, labels(p.AstroVisits))
 	nodes := defaultNodes(p)
@@ -231,6 +243,9 @@ func checkFig15(t *Table) error {
 }
 
 func runSec533(p Profile) (*Table, error) {
+	if _, err := p.requireEngine("Spark"); err != nil {
+		return nil, err
+	}
 	t := NewTable("Sec 5.3.3: Spark input caching", "virtual s",
 		[]string{"cached", "uncached"}, labels(p.NeuroSubjects))
 	for _, n := range p.NeuroSubjects {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"imagebench/internal/core"
+	"imagebench/internal/engine"
 	"imagebench/internal/results"
 )
 
@@ -80,15 +81,20 @@ type Job struct {
 
 // Info is a point-in-time view of a job, shaped for JSON.
 type Info struct {
-	ID         string  `json:"id"`
-	Experiment string  `json:"experiment"`
-	Profile    string  `json:"profile"`
-	ResultKey  string  `json:"resultKey"`
-	Status     Status  `json:"status"`
-	Error      string  `json:"error,omitempty"`
-	CacheHit   bool    `json:"cacheHit"`
-	Submitted  string  `json:"submitted"`
-	ElapsedSec float64 `json:"elapsedSec"`
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	Profile    string `json:"profile"`
+	ResultKey  string `json:"resultKey"`
+	Status     Status `json:"status"`
+	Error      string `json:"error,omitempty"`
+	// Unsupported marks a failure that wraps engine.ErrUnsupported: the
+	// (experiment, engine-filter) combination is not applicable — e.g. a
+	// Myria tuning study under a Spark-only systems filter — rather than
+	// broken. Sweep grids render these cells as "n/a", not errors.
+	Unsupported bool    `json:"unsupported,omitempty"`
+	CacheHit    bool    `json:"cacheHit"`
+	Submitted   string  `json:"submitted"`
+	ElapsedSec  float64 `json:"elapsedSec"`
 }
 
 // ID returns the job's scheduler-assigned identifier.
@@ -129,6 +135,7 @@ func (j *Job) Snapshot() Info {
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
+		info.Unsupported = errors.Is(j.err, engine.ErrUnsupported)
 	}
 	switch {
 	case !j.finished.IsZero() && !j.started.IsZero():

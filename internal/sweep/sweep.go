@@ -54,24 +54,32 @@ type CellInfo struct {
 	Status     runner.Status `json:"status"`
 	CacheHit   bool          `json:"cacheHit,omitempty"`
 	Error      string        `json:"error,omitempty"`
-	ElapsedSec float64       `json:"elapsedSec"`
+	// Unsupported marks a cell whose experiment is not applicable under
+	// the cell's engine filter (engine.ErrUnsupported) — expected when a
+	// systems axis crosses per-engine experiments, so it is counted
+	// apart from real failures.
+	Unsupported bool    `json:"unsupported,omitempty"`
+	ElapsedSec  float64 `json:"elapsedSec"`
 }
 
 // Info aggregates a sweep's progress.
 type Info struct {
-	ID      string     `json:"id"`
-	Created string     `json:"created"`
-	Total   int        `json:"total"`
-	Queued  int        `json:"queued"`
-	Running int        `json:"running"`
-	Done    int        `json:"done"`
-	Failed  int        `json:"failed"`
-	Hits    int        `json:"cacheHits"`
-	Cells   []CellInfo `json:"cells,omitempty"`
+	ID      string `json:"id"`
+	Created string `json:"created"`
+	Total   int    `json:"total"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	// Unsupported counts not-applicable cells (see CellInfo.Unsupported);
+	// they are terminal but excluded from Failed.
+	Unsupported int        `json:"unsupported,omitempty"`
+	Hits        int        `json:"cacheHits"`
+	Cells       []CellInfo `json:"cells,omitempty"`
 }
 
 // Finished reports whether every cell is terminal.
-func (i Info) Finished() bool { return i.Done+i.Failed == i.Total }
+func (i Info) Finished() bool { return i.Done+i.Failed+i.Unsupported == i.Total }
 
 // Sweep is one submitted grid. Cells are immutable after construction;
 // their status lives in the underlying jobs.
@@ -169,6 +177,7 @@ func (s *Sweep) Info(withCells bool) Info {
 		case c.job != nil:
 			js := c.job.Snapshot()
 			ci.Status, ci.CacheHit, ci.Error, ci.ElapsedSec = js.Status, js.CacheHit, js.Error, js.ElapsedSec
+			ci.Unsupported = js.Unsupported
 		case c.cached:
 			// Completed before this process started; rehydrated from the
 			// result cache during recovery, nothing re-executed.
@@ -176,15 +185,17 @@ func (s *Sweep) Info(withCells bool) Info {
 		default:
 			ci.Status = runner.StatusQueued
 		}
-		switch ci.Status {
-		case runner.StatusDone:
+		switch {
+		case ci.Status == runner.StatusDone:
 			info.Done++
 			if ci.CacheHit {
 				info.Hits++
 			}
-		case runner.StatusFailed:
+		case ci.Status == runner.StatusFailed && ci.Unsupported:
+			info.Unsupported++
+		case ci.Status == runner.StatusFailed:
 			info.Failed++
-		case runner.StatusRunning:
+		case ci.Status == runner.StatusRunning:
 			info.Running++
 		default:
 			info.Queued++
