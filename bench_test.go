@@ -31,7 +31,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	p := core.Quick()
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run(p)
+		tab, err := e.Run(context.Background(), p)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

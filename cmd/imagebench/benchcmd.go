@@ -48,6 +48,11 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *list {
+		fmt.Fprintln(stdout, "metrics recorded per case (how the baseline comparator gates each):")
+		for _, m := range bench.StandardMetrics() {
+			fmt.Fprintf(stdout, "  %-16s %s\n", m, bench.MetricClass(m))
+		}
+		fmt.Fprintln(stdout, "\ncases:")
 		for _, c := range cases {
 			fmt.Fprintln(stdout, c.Name)
 		}

@@ -17,6 +17,7 @@
 //	imagebench -parallel 2 all     # cap the worker pool
 //	imagebench -cache-dir /tmp/ib all  # reuse results across invocations
 //	imagebench -systems Spark,Myria fig10c  # restrict rows to named engines
+//	imagebench -trace trace.json fig11 # write a Chrome/Perfetto trace of the run
 //
 // Batch sweeps (experiments × profiles × overrides) run through the
 // sweep engine, with a live grid summary and a combined JSON artifact:
@@ -42,6 +43,7 @@ import (
 
 	"imagebench/internal/core"
 	"imagebench/internal/engine"
+	"imagebench/internal/obs"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 )
@@ -82,6 +84,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
 	systems := flag.String("systems", "", "comma-separated engine names to restrict experiments to (see `imagebench engines`; empty = all)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto / chrome://tracing)")
 	flag.Parse()
 
 	if *list {
@@ -143,7 +146,16 @@ func main() {
 	// Submit everything up front so the pool runs experiments
 	// concurrently, then collect in submission order: the output is
 	// byte-identical in table content to the old serial path.
-	sched := runner.New(runner.Options{Workers: *parallel, Cache: cache})
+	opts := runner.Options{Workers: *parallel, Cache: cache}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		// Tracing records spans around the simulations (dual-clocked:
+		// wall and virtual time); it never alters what they compute.
+		tracer = obs.NewTracer()
+		opts.Tracer = tracer
+		opts.Metrics = obs.NewRegistry()
+	}
+	sched := runner.New(opts)
 	defer sched.Close()
 	jobs := make([]*runner.Job, len(exps))
 	for i, e := range exps {
@@ -237,8 +249,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "imagebench: trace written to %s (%d spans)\n", *traceOut, len(tracer.Spans()))
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "imagebench: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the tracer's spans as Chrome trace-event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return f.Close()
 }

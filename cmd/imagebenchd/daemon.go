@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"imagebench/internal/obs"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 	"imagebench/internal/sweep"
@@ -28,6 +29,8 @@ type daemon struct {
 	journal *runner.FileJournal
 	sched   *runner.Scheduler
 	sweeps  *sweep.Manager
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 	handler http.Handler
 
 	recoveredJobs   int
@@ -40,9 +43,17 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &daemon{cache: cache}
+	// The observability spine is always on: a registry for /metrics and
+	// a tracer for job/sweep span trees. Neither perturbs the
+	// simulations — spans record around them, never inside their timing.
+	d := &daemon{cache: cache, metrics: obs.NewRegistry(), tracer: obs.NewTracer()}
+	obs.RegisterGoMetrics(d.metrics)
+	registerCacheMetrics(d.metrics, cache)
 
-	opts := runner.Options{Workers: cfg.workers, QueueDepth: cfg.queueDepth, Cache: cache}
+	opts := runner.Options{
+		Workers: cfg.workers, QueueDepth: cfg.queueDepth, Cache: cache,
+		Tracer: d.tracer, Metrics: d.metrics,
+	}
 	if cfg.journal != "" && cfg.cacheDir == "" {
 		// The journal retires a job on OpDone because its result is
 		// rereadable from the disk cache; with a memory-only cache that
@@ -83,14 +94,32 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		return nil, err
 	}
 	d.sweeps = mgr
+	mgr.RegisterMetrics(d.metrics)
 	n, err := mgr.Recover()
 	d.recoveredSweeps = n
 	if err != nil {
 		d.warnings = append(d.warnings, fmt.Sprintf("sweep recovery: %v", err))
 	}
 
-	d.handler = newServer(d.sched, d.cache, d.sweeps)
+	d.handler = newServer(d.sched, d.cache, d.sweeps, d.metrics)
 	return d, nil
+}
+
+// registerCacheMetrics exposes the result cache's traffic counters,
+// hits split by serving layer (the in-memory map vs a disk
+// read-through). The cache keeps its own atomics; the registry samples
+// them at scrape time.
+func registerCacheMetrics(m *obs.Registry, cache *results.Cache) {
+	hits := m.NewCounterVec("imagebench_cache_hits_total",
+		"Result-cache hits, by the layer that served the entry.", "layer")
+	hits.WithFunc(func() float64 { return float64(cache.Stats().MemHits) }, "memory")
+	hits.WithFunc(func() float64 { return float64(cache.Stats().DiskHits) }, "disk")
+	m.NewCounterFunc("imagebench_cache_misses_total",
+		"Result-cache misses.",
+		func() float64 { return float64(cache.Stats().Misses) })
+	m.NewGaugeFunc("imagebench_cache_entries",
+		"Entries in the result cache (memory and disk union).",
+		func() float64 { return float64(cache.Stats().Entries) })
 }
 
 // Close drains the scheduler, then closes the journal — worker

@@ -3,7 +3,8 @@
 // bounded worker pool, deduplicates identical requests, serves results
 // from a content-addressed cache, and runs parameter-grid sweeps with a
 // crash-safe job journal — on restart, completed work rehydrates from
-// the cache and unfinished work resubmits.
+// the cache and unfinished work resubmits. With -debug-addr a second,
+// operator-only listener serves net/http/pprof profiles.
 //
 // Usage:
 //
@@ -15,7 +16,8 @@
 // API:
 //
 //	GET  /healthz              liveness probe
-//	GET  /metrics              expvar-style counters (JSON)
+//	GET  /metrics              Prometheus text exposition (scrape target)
+//	GET  /metrics.json         the same counters as JSON
 //	GET  /v1/experiments       list registered experiments
 //	POST /v1/jobs              {"experiments":["fig11"],"profile":"quick","wait":true}
 //	GET  /v1/jobs              list all jobs
@@ -37,6 +39,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"imagebench/internal/obs"
 )
 
 func main() {
@@ -46,6 +50,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "result-cache directory (empty = in-memory only)")
 	journal := flag.String("journal", "", "append-only job-journal file (empty = no journal)")
 	sweepDir := flag.String("sweep-dir", "", "sweep-spec directory (empty = sweeps not persisted)")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving /debug/pprof (keep it private)")
 	flag.Parse()
 
 	d, err := newDaemon(daemonConfig{
@@ -74,6 +79,28 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// The pprof listener is opt-in and separate from the API address so
+	// profiling endpoints are never exposed where the API is.
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("imagebenchd: pprof on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("imagebenchd: debug listener: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			dbg.Shutdown(shutCtx)
+		}()
+	}
 
 	go func() {
 		<-ctx.Done()

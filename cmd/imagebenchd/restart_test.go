@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -56,7 +57,7 @@ func rsRegisterFakes() {
 			rsRuns.Store(id, counter)
 			core.Register(&core.Experiment{
 				ID: id, Title: "restart fake " + id, Paper: "n/a",
-				Run: func(core.Profile) (*core.Table, error) {
+				Run: func(context.Context, core.Profile) (*core.Table, error) {
 					if rsCrashed.Load() {
 						return nil, errors.New("simulated crash")
 					}
@@ -236,7 +237,7 @@ func TestDaemonRestartMidSweep(t *testing.T) {
 
 	// The restarted process executed only the four unfinished cells.
 	var m map[string]float64
-	mresp, err := http.Get(ts2.URL + "/metrics")
+	mresp, err := http.Get(ts2.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"imagebench/internal/core"
 	"imagebench/internal/engine"
+	"imagebench/internal/obs"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 	"imagebench/internal/sweep"
@@ -19,19 +20,21 @@ import (
 // HTTP API. It is constructed by newServer so tests can drive it
 // through httptest.
 type server struct {
-	sched  *runner.Scheduler
-	cache  *results.Cache
-	sweeps *sweep.Manager
-	start  time.Time
+	sched   *runner.Scheduler
+	cache   *results.Cache
+	sweeps  *sweep.Manager
+	metrics *obs.Registry // may be nil: /metrics then serves 503
+	start   time.Time
 }
 
 // newServer returns the daemon's HTTP handler over the given scheduler,
-// cache, and sweep manager.
-func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Manager) http.Handler {
-	s := &server{sched: sched, cache: cache, sweeps: sweeps, start: time.Now()}
+// cache, sweep manager, and metrics registry.
+func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Manager, metrics *obs.Registry) http.Handler {
+	s := &server{sched: sched, cache: cache, sweeps: sweeps, metrics: metrics, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -94,7 +97,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// metrics is the expvar-style counter payload served at /metrics.
+// handlePromMetrics serves the registry in the Prometheus text
+// exposition format (version 0.0.4) — the scrape target. The JSON
+// counters live on at /metrics.json for humans and scripts.
+func (s *server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		writeError(w, http.StatusServiceUnavailable, "metrics registry not configured")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w)
+}
+
+// metrics is the expvar-style counter payload served at /metrics.json.
 type metrics struct {
 	UptimeSeconds           float64 `json:"uptime_seconds"`
 	Workers                 int     `json:"workers"`
@@ -105,6 +120,8 @@ type metrics struct {
 	JobsInFlight            int     `json:"jobs_in_flight"`
 	JobsRunning             int64   `json:"jobs_running"`
 	CacheHits               int64   `json:"cache_hits"`
+	CacheMemHits            int64   `json:"cache_mem_hits"`
+	CacheDiskHits           int64   `json:"cache_disk_hits"`
 	CacheMisses             int64   `json:"cache_misses"`
 	CacheEntries            int     `json:"cache_entries"`
 	Sweeps                  int     `json:"sweeps"`
@@ -125,6 +142,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsInFlight:            st.InFlight,
 		JobsRunning:             st.Running,
 		CacheHits:               cst.Hits,
+		CacheMemHits:            cst.MemHits,
+		CacheDiskHits:           cst.DiskHits,
 		CacheMisses:             cst.Misses,
 		CacheEntries:            cst.Entries,
 		Sweeps:                  s.sweeps.Len(),

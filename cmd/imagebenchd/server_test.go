@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"imagebench/internal/core"
+	"imagebench/internal/obs"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 	"imagebench/internal/sweep"
@@ -31,8 +33,8 @@ var (
 
 func registerFakes() {
 	registerO.Do(func() {
-		fake := func(counter *atomic.Int64) func(core.Profile) (*core.Table, error) {
-			return func(core.Profile) (*core.Table, error) {
+		fake := func(counter *atomic.Int64) func(context.Context, core.Profile) (*core.Table, error) {
+			return func(context.Context, core.Profile) (*core.Table, error) {
 				counter.Add(1)
 				time.Sleep(10 * time.Millisecond)
 				t := core.NewTable("fake", "virtual s", []string{"r"}, []string{"c"})
@@ -60,12 +62,15 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Scheduler, *results.
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := runner.New(runner.Options{Workers: 4, Cache: cache})
+	reg := obs.NewRegistry()
+	registerCacheMetrics(reg, cache)
+	sched := runner.New(runner.Options{Workers: 4, Cache: cache, Metrics: reg, Tracer: obs.NewTracer()})
 	sweeps, err := sweep.NewManager(sched, cache, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(sched, cache, sweeps))
+	sweeps.RegisterMetrics(reg)
+	ts := httptest.NewServer(newServer(sched, cache, sweeps, reg))
 	t.Cleanup(func() {
 		ts.Close()
 		sched.Close()
@@ -270,7 +275,7 @@ func TestRepeatedRequestServedFromCache(t *testing.T) {
 		t.Errorf("simulation ran %d times, want 1", got)
 	}
 	var m map[string]float64
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics.json", &m)
 	if m["jobs_executed"] != 1 {
 		t.Errorf("jobs_executed = %v, want 1", m["jobs_executed"])
 	}
@@ -316,7 +321,7 @@ func TestConcurrentIdenticalSubmitsExecuteOnce(t *testing.T) {
 		t.Errorf("simulation executed %d times under %d concurrent identical requests, want exactly 1", got, n)
 	}
 	var m map[string]float64
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics.json", &m)
 	if m["jobs_executed"] != 1 {
 		t.Errorf("jobs_executed = %v, want 1", m["jobs_executed"])
 	}
@@ -406,7 +411,7 @@ func TestNotFounds(t *testing.T) {
 func TestMetricsShape(t *testing.T) {
 	ts, _, _ := newTestServer(t)
 	var m map[string]any
-	resp := getJSON(t, ts.URL+"/metrics", &m)
+	resp := getJSON(t, ts.URL+"/metrics.json", &m)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status = %d", resp.StatusCode)
 	}
@@ -504,7 +509,7 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 
 	var m map[string]float64
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics.json", &m)
 	if m["sweeps"] != 1 {
 		t.Errorf("metrics sweeps = %v, want 1", m["sweeps"])
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,7 +21,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loccount:", err)
 		os.Exit(1)
 	}
-	tab, err := e.Run(core.Quick())
+	tab, err := e.Run(context.Background(), core.Quick())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loccount:", err)
 		os.Exit(1)

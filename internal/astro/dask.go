@@ -54,6 +54,7 @@ func RunDask(w *Workload, cl *cluster.Cluster, model *cost.Model) (*Result, erro
 	if _, err := sess.Compute(calibrated...); err != nil {
 		return nil, err
 	}
+	cl.MarkStage("preprocess")
 
 	// Group calibrated exposures per (patch, visit), then per patch.
 	type pv struct {
@@ -151,6 +152,7 @@ func RunDask(w *Workload, cl *cluster.Cluster, model *cost.Model) (*Result, erro
 	if _, err := sess.Compute(roots...); err != nil {
 		return nil, err
 	}
+	cl.MarkStage("coadd")
 	res := &Result{Patches: make(map[skymap.Patch]*PatchResult, len(resultNodes))}
 	for p, n := range resultNodes {
 		res.Patches[p] = n.Value().(*PatchResult)

@@ -46,6 +46,7 @@ func RunMyria(w *Workload, cl *cluster.Cluster, model *cost.Model, opts MyriaOpt
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("ingest")
 
 	chunks := [][2]int{{0, w.Visits}} // visit ranges, half-open
 	if opts.Mode == myria.MultiQuery && opts.ChunkVisits > 0 {
@@ -103,6 +104,7 @@ func RunMyria(w *Workload, cl *cluster.Cluster, model *cost.Model, opts MyriaOpt
 	if _, err := qf.Finish(); err != nil {
 		return nil, err
 	}
+	cl.MarkStage("coadd+detect")
 
 	res := &Result{Patches: make(map[skymap.Patch]*PatchResult, len(tuples))}
 	for _, t := range tuples {

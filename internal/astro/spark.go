@@ -99,6 +99,7 @@ func RunSpark(w *Workload, cl *cluster.Cluster, model *cost.Model, opts SparkOpt
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("pipeline")
 	res := &Result{Patches: make(map[skymap.Patch]*PatchResult, len(results))}
 	for _, p := range results {
 		pr := p.Value.(*PatchResult)

@@ -33,6 +33,27 @@ const (
 	MetricVSPerCell      = "vs_per_cell"
 )
 
+// MetricClass reports how the comparator gates a metric: "exact"
+// (deterministic virtual-time metrics, held to zero drift),
+// "noise-gated" (wall time and allocations, allowed CompareOpts.
+// Tolerance of relative increase), or "informational" (recorded in
+// the artifact but never gated).
+func MetricClass(name string) string {
+	switch {
+	case exactMetrics[name]:
+		return "exact"
+	case gatedMetrics[name]:
+		return "noise-gated"
+	}
+	return "informational"
+}
+
+// StandardMetrics lists the metrics the harness records for every
+// case, in display order.
+func StandardMetrics() []string {
+	return []string{MetricWallNS, MetricAllocs, MetricAllocBytes, MetricVirtualSeconds, MetricVSPerCell}
+}
+
 // exactMetrics are the deterministic metrics gated by CompareOpts.Exact
 // rather than the wall/alloc tolerances.
 var exactMetrics = map[string]bool{

@@ -158,6 +158,8 @@ type Cluster struct {
 	// Tracing state (see trace.go).
 	tracing bool
 	trace   []Event
+
+	stageMarks []StageMark
 }
 
 // New builds a cluster from cfg. It panics on non-positive node or worker

@@ -1,0 +1,59 @@
+package cluster
+
+import "imagebench/internal/vtime"
+
+// Stage marks: named points on the cluster's virtual timeline, dropped
+// by the engine pipelines at their stage boundaries (ingest done, mask
+// collected, coadd finished). A mark records the makespan at the moment
+// it was dropped, so the intervals between consecutive marks partition
+// the cluster's virtual timeline exactly — which is what lets the
+// tracing layer emit per-stage virtual-time spans whose durations sum
+// to the run's reported virtual seconds with no residue. Marks are
+// always on (one slice append; no time is charged and no scheduling
+// decision changes), so traced and untraced runs simulate identically.
+
+// StageMark is one named point on the virtual timeline.
+type StageMark struct {
+	Name string
+	At   vtime.Time
+}
+
+// MarkStage records a stage boundary at the current makespan.
+func (c *Cluster) MarkStage(name string) {
+	c.stageMarks = append(c.stageMarks, StageMark{Name: name, At: c.makespan})
+}
+
+// StageMarks returns a copy of the marks recorded so far, in order.
+func (c *Cluster) StageMarks() []StageMark {
+	return append([]StageMark(nil), c.stageMarks...)
+}
+
+// StageMarkCount returns the number of marks recorded so far, so a
+// caller can later slice StageMarks() down to the marks a particular
+// run added.
+func (c *Cluster) StageMarkCount() int { return len(c.stageMarks) }
+
+// FaultEvent is one injected fault, reconstructed from node state for
+// span annotation: kind "kill" or "straggler", stamped with its
+// virtual onset time.
+type FaultEvent struct {
+	Node   int
+	Kind   string
+	At     vtime.Time
+	Factor float64 // slowdown factor for stragglers, 0 for kills
+}
+
+// FaultEvents lists the faults injected into this cluster, in node
+// order (kills before stragglers per node).
+func (c *Cluster) FaultEvents() []FaultEvent {
+	var out []FaultEvent
+	for i, n := range c.nodes {
+		if n.killed {
+			out = append(out, FaultEvent{Node: i, Kind: "kill", At: n.deadAt})
+		}
+		if n.slowFactor > 1 {
+			out = append(out, FaultEvent{Node: i, Kind: "straggler", At: n.slowAt, Factor: n.slowFactor})
+		}
+	}
+	return out
+}

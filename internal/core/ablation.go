@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -74,7 +75,7 @@ func init() {
 
 // runAblSparkPyTax maps the same records once through a Python lambda
 // and once through a native (JVM) operator.
-func runAblSparkPyTax(p Profile) (*Table, error) {
+func runAblSparkPyTax(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Spark"); err != nil {
 		return nil, err
 	}
@@ -150,7 +151,7 @@ func ablChains(s *dask.Session, nChains, depth, pinNode int, stageCost vtime.Dur
 	return roots
 }
 
-func runAblDaskFusion(p Profile) (*Table, error) {
+func runAblDaskFusion(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Dask"); err != nil {
 		return nil, err
 	}
@@ -184,7 +185,7 @@ func runAblDaskFusion(p Profile) (*Table, error) {
 	return t, nil
 }
 
-func runAblDaskStealing(p Profile) (*Table, error) {
+func runAblDaskStealing(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Dask"); err != nil {
 		return nil, err
 	}
@@ -220,7 +221,7 @@ func runAblDaskStealing(p Profile) (*Table, error) {
 	return t, nil
 }
 
-func runAblMyriaPushdown(p Profile) (*Table, error) {
+func runAblMyriaPushdown(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Myria"); err != nil {
 		return nil, err
 	}

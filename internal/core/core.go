@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -185,8 +186,11 @@ type Experiment struct {
 	Title string
 	// Paper summarizes the shape the paper reports.
 	Paper string
-	// Run executes the experiment under the profile.
-	Run func(p Profile) (*Table, error)
+	// Run executes the experiment under the profile. The context
+	// carries cancellation plus the observability plumbing (obs tracer,
+	// metrics registry, parent span); deterministic simulations must not
+	// let it change their results.
+	Run func(ctx context.Context, p Profile) (*Table, error)
 	// Check validates that the table's shape matches the paper's
 	// finding. It is run by tests against both profiles.
 	Check func(t *Table) error

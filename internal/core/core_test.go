@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func TestAllExperimentsQuickProfile(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			tab, err := e.Run(p)
+			tab, err := e.Run(context.Background(), p)
 			if err != nil {
 				t.Fatalf("%s: run: %v", e.ID, err)
 			}

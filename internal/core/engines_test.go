@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -108,7 +109,7 @@ func TestSystemsFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e.Run(p)
+	tab, err := e.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSystemsFilter(t *testing.T) {
 	// TensorFlow runs no end-to-end neuro sweep: the filter empties the
 	// set and the typed unsupported error surfaces.
 	tfOnly := Quick().Apply(Overrides{Systems: []string{"TensorFlow"}})
-	if _, err := e.Run(tfOnly); !errors.Is(err, engine.ErrUnsupported) {
+	if _, err := e.Run(context.Background(), tfOnly); !errors.Is(err, engine.ErrUnsupported) {
 		t.Errorf("fig10c under TensorFlow-only filter: err = %v, want ErrUnsupported", err)
 	}
 
@@ -128,7 +129,7 @@ func TestSystemsFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fig13.Run(Quick().Apply(Overrides{Systems: []string{"Spark"}})); !errors.Is(err, engine.ErrUnsupported) {
+	if _, err := fig13.Run(context.Background(), Quick().Apply(Overrides{Systems: []string{"Spark"}})); !errors.Is(err, engine.ErrUnsupported) {
 		t.Errorf("fig13 under Spark-only filter: err = %v, want ErrUnsupported", err)
 	}
 }

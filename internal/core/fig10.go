@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"imagebench/internal/engine"
@@ -18,7 +19,7 @@ func init() {
 		ID:    "fig10a",
 		Title: "Neuroscience data sizes (GB)",
 		Paper: "Input 4.1–105 GB for 1–25 subjects; largest intermediate is 2× the input.",
-		Run: func(p Profile) (*Table, error) {
+		Run: func(ctx context.Context, p Profile) (*Table, error) {
 			cols := labels(p.NeuroSubjects)
 			t := NewTable("Fig 10a: neuroscience data sizes", "GB", []string{"Input", "Largest Intermediate"}, cols)
 			for _, n := range p.NeuroSubjects {
@@ -42,7 +43,7 @@ func init() {
 		ID:    "fig10b",
 		Title: "Astronomy data sizes (GB)",
 		Paper: "Input 9.6–115 GB for 2–24 visits; largest intermediate is ~2.5× the input.",
-		Run: func(p Profile) (*Table, error) {
+		Run: func(ctx context.Context, p Profile) (*Table, error) {
 			cols := labels(p.AstroVisits)
 			t := NewTable("Fig 10b: astronomy data sizes", "GB", []string{"Input", "Largest Intermediate"}, cols)
 			for _, n := range p.AstroVisits {
@@ -119,7 +120,7 @@ func labels(ns []int) []string {
 	return out
 }
 
-func runFig10c(p Profile) (*Table, error) {
+func runFig10c(ctx context.Context, p Profile) (*Table, error) {
 	engines, err := p.engines(engine.CapNeuroE2E)
 	if err != nil {
 		return nil, err
@@ -131,7 +132,7 @@ func runFig10c(p Profile) (*Table, error) {
 			return nil, err
 		}
 		for _, eng := range engines {
-			d, err := neuroEndToEnd(w, defaultNodes(p), eng)
+			d, err := neuroEndToEnd(ctx, w, defaultNodes(p), eng)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d subjects: %w", eng.Name(), n, err)
 			}
@@ -168,7 +169,7 @@ func checkFig10c(t *Table) error {
 	return nil
 }
 
-func runFig10d(p Profile) (*Table, error) {
+func runFig10d(ctx context.Context, p Profile) (*Table, error) {
 	engines, err := p.engines(engine.CapAstroE2E)
 	if err != nil {
 		return nil, err
@@ -180,7 +181,7 @@ func runFig10d(p Profile) (*Table, error) {
 			return nil, err
 		}
 		for _, eng := range engines {
-			d, err := astroEndToEnd(w, defaultNodes(p), eng)
+			d, err := astroEndToEnd(ctx, w, defaultNodes(p), eng)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d visits: %w", eng.Name(), n, err)
 			}
@@ -226,8 +227,8 @@ func parseInt(s string) int {
 	return n
 }
 
-func runFig10e(p Profile) (*Table, error) {
-	src, err := runFig10c(p)
+func runFig10e(ctx context.Context, p Profile) (*Table, error) {
+	src, err := runFig10c(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -255,8 +256,8 @@ func checkFig10e(t *Table) error {
 	return nil
 }
 
-func runFig10f(p Profile) (*Table, error) {
-	src, err := runFig10d(p)
+func runFig10f(ctx context.Context, p Profile) (*Table, error) {
+	src, err := runFig10d(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +276,7 @@ func checkFig10f(t *Table) error {
 	return nil
 }
 
-func runFig10g(p Profile) (*Table, error) {
+func runFig10g(ctx context.Context, p Profile) (*Table, error) {
 	engines, err := p.engines(engine.CapNeuroE2E)
 	if err != nil {
 		return nil, err
@@ -297,7 +298,7 @@ func runFig10g(p Profile) (*Table, error) {
 		"virtual s", engine.Names(engines), labels(p.ClusterNodes))
 	for _, nodes := range p.ClusterNodes {
 		for _, eng := range engines {
-			d, err := neuroEndToEnd(w, nodes, eng)
+			d, err := neuroEndToEnd(ctx, w, nodes, eng)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d nodes: %w", eng.Name(), nodes, err)
 			}
@@ -326,7 +327,7 @@ func checkFig10g(t *Table) error {
 	return nil
 }
 
-func runFig10h(p Profile) (*Table, error) {
+func runFig10h(ctx context.Context, p Profile) (*Table, error) {
 	engines, err := p.engines(engine.CapAstroE2E)
 	if err != nil {
 		return nil, err
@@ -348,7 +349,7 @@ func runFig10h(p Profile) (*Table, error) {
 		"virtual s", engine.Names(engines), labels(p.ClusterNodes))
 	for _, nodes := range p.ClusterNodes {
 		for _, eng := range engines {
-			d, err := astroEndToEnd(w, nodes, eng)
+			d, err := astroEndToEnd(ctx, w, nodes, eng)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d nodes: %w", eng.Name(), nodes, err)
 			}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"imagebench/internal/engine"
+	"imagebench/internal/vtime"
 )
 
 // Figure 11: data-ingest times for the neuroscience benchmark on the
@@ -48,7 +50,7 @@ func ingestRows(p Profile) ([]ingestRow, error) {
 	return rows, nil
 }
 
-func runFig11(p Profile) (*Table, error) {
+func runFig11(ctx context.Context, p Profile) (*Table, error) {
 	rows, err := ingestRows(p)
 	if err != nil {
 		return nil, err
@@ -65,7 +67,12 @@ func runFig11(p Profile) (*Table, error) {
 		}
 		for _, r := range rows {
 			cl := newCluster(defaultNodes(p))
-			d, err := r.ing.NeuroIngest(w, cl, nil, r.label)
+			var d vtime.Duration
+			err := engine.TraceRun(ctx, r.label, "neuro", cl, func() error {
+				var err error
+				d, err = r.ing.NeuroIngest(w, cl, nil, r.label)
+				return err
+			})
 			if err != nil {
 				return nil, fmt.Errorf("ingest %s at %d subjects: %w", r.label, n, err)
 			}

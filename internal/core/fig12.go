@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"imagebench/internal/astro"
 	"imagebench/internal/engine"
+	"imagebench/internal/vtime"
 )
 
 // Figures 12a–12d: individual step performance on the largest dataset
@@ -134,8 +136,8 @@ func stepRows(p Profile) ([]stepRow, error) {
 	return rows, nil
 }
 
-func makeStepRun(step string) func(Profile) (*Table, error) {
-	return func(p Profile) (*Table, error) {
+func makeStepRun(step string) func(context.Context, Profile) (*Table, error) {
+	return func(ctx context.Context, p Profile) (*Table, error) {
 		rows, err := stepRows(p)
 		if err != nil {
 			return nil, err
@@ -152,7 +154,12 @@ func makeStepRun(step string) func(Profile) (*Table, error) {
 			}
 			for _, r := range rows {
 				cl := newCluster(defaultNodes(p))
-				d, err := r.stepper.NeuroStep(w, cl, nil, step)
+				var d vtime.Duration
+				err := engine.TraceRun(ctx, r.name, "neuro", cl, func() error {
+					var err error
+					d, err = r.stepper.NeuroStep(w, cl, nil, step)
+					return err
+				})
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s at %d subjects: %w", r.name, step, n, err)
 				}
@@ -189,7 +196,7 @@ func coaddRows(p Profile) ([]coaddRow, error) {
 	return rows, nil
 }
 
-func runFig12d(p Profile) (*Table, error) {
+func runFig12d(ctx context.Context, p Profile) (*Table, error) {
 	rows, err := coaddRows(p)
 	if err != nil {
 		return nil, err
@@ -210,7 +217,12 @@ func runFig12d(p Profile) (*Table, error) {
 		}
 		for _, r := range rows {
 			cl := newCluster(defaultNodes(p))
-			d, err := r.co.AstroCoadd(w, cl, nil, stacks, r.label)
+			var d vtime.Duration
+			err := engine.TraceRun(ctx, r.label, "astro", cl, func() error {
+				var err error
+				d, err = r.co.AstroCoadd(w, cl, nil, stacks, r.label)
+				return err
+			})
 			if err != nil {
 				return nil, fmt.Errorf("coadd %s at %d visits: %w", r.label, n, err)
 			}

@@ -144,7 +144,7 @@ func runFTTable(title string, p Profile, nodes int, engines []engine.Engine,
 	return t, nil
 }
 
-func runFTNeuro(p Profile) (*Table, error) {
+func runFTNeuro(ctx context.Context, p Profile) (*Table, error) {
 	engines, err := ftNeuroEngines(p)
 	if err != nil {
 		return nil, err
@@ -157,14 +157,14 @@ func runFTNeuro(p Profile) (*Table, error) {
 	}
 	model := cost.Default()
 	run := func(eng engine.Engine, cl *cluster.Cluster) error {
-		_, err := eng.RunNeuro(context.Background(), w, cl, model, engine.Opts{CacheInput: true})
+		_, err := eng.RunNeuro(ctx, w, cl, model, engine.Opts{CacheInput: true})
 		return err
 	}
 	return runFTTable(fmt.Sprintf("ftneuro: neuroscience recovery overhead (%d subject(s), %d nodes)", n, nodes),
 		p, nodes, engines, run, engine.MemFloor(w.InputModelBytes(), nodes))
 }
 
-func runFTAstro(p Profile) (*Table, error) {
+func runFTAstro(ctx context.Context, p Profile) (*Table, error) {
 	engines, err := ftAstroEngines(p)
 	if err != nil {
 		return nil, err
@@ -177,7 +177,7 @@ func runFTAstro(p Profile) (*Table, error) {
 	}
 	model := cost.Default()
 	run := func(eng engine.Engine, cl *cluster.Cluster) error {
-		_, err := eng.RunAstro(context.Background(), w, cl, model, engine.Opts{})
+		_, err := eng.RunAstro(ctx, w, cl, model, engine.Opts{})
 		return err
 	}
 	return runFTTable(fmt.Sprintf("ftastro: astronomy recovery overhead (%d visit(s), %d nodes)", n, nodes),

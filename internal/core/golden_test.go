@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,7 +41,7 @@ func TestGoldenTables(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tab, err := e.Run(Quick())
+			tab, err := e.Run(context.Background(), Quick())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -65,9 +65,9 @@ func astroWorkload(p Profile, visits int) (*astro.Workload, error) {
 
 // neuroEndToEnd runs the full neuroscience pipeline on one engine and
 // returns the virtual runtime (cluster makespan).
-func neuroEndToEnd(w *neuro.Workload, nodes int, eng engine.Engine) (vtime.Duration, error) {
+func neuroEndToEnd(ctx context.Context, w *neuro.Workload, nodes int, eng engine.Engine) (vtime.Duration, error) {
 	cl := runCluster(nodes, w.InputModelBytes())
-	res, err := eng.RunNeuro(context.Background(), w, cl, cost.Default(), engine.Opts{CacheInput: true})
+	res, err := eng.RunNeuro(ctx, w, cl, cost.Default(), engine.Opts{CacheInput: true})
 	if err != nil {
 		return 0, err
 	}
@@ -76,9 +76,9 @@ func neuroEndToEnd(w *neuro.Workload, nodes int, eng engine.Engine) (vtime.Durat
 
 // astroEndToEnd runs the full astronomy pipeline on one engine and
 // returns the virtual runtime.
-func astroEndToEnd(w *astro.Workload, nodes int, eng engine.Engine) (vtime.Duration, error) {
+func astroEndToEnd(ctx context.Context, w *astro.Workload, nodes int, eng engine.Engine) (vtime.Duration, error) {
 	cl := runCluster(nodes, w.InputModelBytes())
-	res, err := eng.RunAstro(context.Background(), w, cl, cost.Default(), engine.Opts{})
+	res, err := eng.RunAstro(ctx, w, cl, cost.Default(), engine.Opts{})
 	if err != nil {
 		return 0, err
 	}

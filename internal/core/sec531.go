@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"imagebench/internal/astro"
@@ -49,7 +50,7 @@ func init() {
 	})
 }
 
-func runSec531TF(p Profile) (*Table, error) {
+func runSec531TF(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("TensorFlow"); err != nil {
 		return nil, err
 	}
@@ -89,7 +90,7 @@ func assignment(n, devices int, f func(i int) int) []int {
 // chunk edge → paper-scale bytes: edge² pixels × 3 planes × 4 bytes.
 func chunkBytesForEdge(edge int) int64 { return int64(edge) * int64(edge) * 3 * 4 }
 
-func runSec531SciDB(p Profile) (*Table, error) {
+func runSec531SciDB(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("SciDB"); err != nil {
 		return nil, err
 	}

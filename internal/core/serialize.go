@@ -156,7 +156,7 @@ func (e *Experiment) RunContext(ctx context.Context, p Profile) (*Table, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %s not started: %w", e.ID, err)
 	}
-	tab, err := e.Run(p)
+	tab, err := e.Run(ctx, p)
 	if err != nil {
 		return nil, err
 	}

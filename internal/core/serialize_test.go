@@ -103,7 +103,7 @@ func TestRunContext(t *testing.T) {
 	ran := 0
 	e := &Experiment{
 		ID: "ctx-test", Title: "t", Paper: "p",
-		Run: func(p Profile) (*Table, error) {
+		Run: func(ctx context.Context, p Profile) (*Table, error) {
 			ran++
 			return NewTable("t", "s", []string{"a"}, []string{"1"}), nil
 		},
@@ -124,7 +124,7 @@ func TestRunContext(t *testing.T) {
 	// Cancellation arriving mid-run is reported once the run returns.
 	midway := &Experiment{
 		ID: "ctx-mid", Title: "t", Paper: "p",
-		Run: func(p Profile) (*Table, error) {
+		Run: func(ctx context.Context, p Profile) (*Table, error) {
 			cancelSelf()
 			return NewTable("t", "s", []string{"a"}, []string{"1"}), nil
 		},

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"imagebench/internal/obs"
+	"imagebench/internal/vtime"
+)
+
+// TestFTNeuroStageSpansSumToReportedSeconds is the tracing acceptance
+// check: running ftneuro under a tracer, the virtual durations of each
+// engine's stage spans must sum to exactly the virtual seconds the
+// experiment reports for that engine (the table row sum). This is the
+// partition invariant — stage marks tile every cluster's timeline with
+// no gaps, overlaps, or residue, including fault-retry reruns.
+func TestFTNeuroStageSpansSumToReportedSeconds(t *testing.T) {
+	e, err := Lookup("ftneuro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	tab, err := e.Run(ctx, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reported virtual seconds per engine: the row sum. The fault-free
+	// column reuses the baseline run's makespan, so baseline + scenario
+	// runs is exactly one run per cell.
+	want := make(map[string]float64)
+	for _, sys := range tab.RowNames {
+		for _, c := range tab.ColNames {
+			want[sys] += tab.Get(sys, c)
+		}
+	}
+
+	got := make(map[string]float64)
+	stageSpans := 0
+	for _, sp := range tr.Spans() {
+		if kind, _ := sp.Attr("kind"); kind != "stage" {
+			continue
+		}
+		eng, ok := sp.Attr("engine")
+		if !ok {
+			t.Fatalf("stage span %q has no engine attr", sp.Name)
+		}
+		vs, ve, hasV := sp.Virtual()
+		if !hasV {
+			t.Fatalf("stage span %q has no virtual window", sp.Name)
+		}
+		if ve < vs {
+			t.Fatalf("stage span %q has negative virtual duration [%v, %v]", sp.Name, vs, ve)
+		}
+		got[eng] += vtime.Duration(ve - vs).Seconds()
+		stageSpans++
+	}
+	if stageSpans == 0 {
+		t.Fatal("traced ftneuro run produced no stage spans")
+	}
+
+	for _, sys := range tab.RowNames {
+		if math.Abs(got[sys]-want[sys]) > 1e-6 {
+			t.Errorf("%s: stage spans sum to %.9fs virtual, table reports %.9fs", sys, got[sys], want[sys])
+		}
+	}
+	for eng := range got {
+		if _, ok := want[eng]; !ok {
+			t.Errorf("stage spans for engine %q which has no table row", eng)
+		}
+	}
+
+	// The same trace must export as a loadable Chrome trace.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+// TestTracedRunMatchesUntraced is the zero-perturbation check: the same
+// experiment run with and without a tracer must produce byte-identical
+// tables. Tracing observes the simulation; it must never steer it.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	e, err := Lookup("ftneuro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Run(context.Background(), Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	traced, err := e.Run(obs.WithTracer(context.Background(), tr), Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("traced run drifted from untraced run:\nuntraced: %s\ntraced:   %s", a, b)
+	}
+	if len(tr.Spans()) == 0 {
+		t.Error("traced run recorded no spans")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,7 +61,7 @@ func init() {
 	})
 }
 
-func runFig13(p Profile) (*Table, error) {
+func runFig13(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Myria"); err != nil {
 		return nil, err
 	}
@@ -89,7 +90,7 @@ func runFig13(p Profile) (*Table, error) {
 	return t, nil
 }
 
-func runFig14(p Profile) (*Table, error) {
+func runFig14(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Spark"); err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func checkFig14(t *Table) error {
 
 var fig15Modes = []string{"pipelined", "materialized", "multi-query"}
 
-func runFig15(p Profile) (*Table, error) {
+func runFig15(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Myria"); err != nil {
 		return nil, err
 	}
@@ -242,7 +243,7 @@ func checkFig15(t *Table) error {
 	return nil
 }
 
-func runSec533(p Profile) (*Table, error) {
+func runSec533(_ context.Context, p Profile) (*Table, error) {
 	if _, err := p.requireEngine("Spark"); err != nil {
 		return nil, err
 	}

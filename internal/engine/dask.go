@@ -40,7 +40,10 @@ func (daskEngine) RunNeuro(ctx context.Context, w *neuro.Workload, cl *cluster.C
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	_, err := neuro.RunDask(w, cl, model)
+	err := TraceRun(ctx, "Dask", "neuro", cl, func() error {
+		_, err := neuro.RunDask(w, cl, model)
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -51,7 +54,10 @@ func (daskEngine) RunAstro(ctx context.Context, w *astro.Workload, cl *cluster.C
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	_, err := astro.RunDask(w, cl, model)
+	err := TraceRun(ctx, "Dask", "astro", cl, func() error {
+		_, err := astro.RunDask(w, cl, model)
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -40,7 +40,10 @@ func (myriaEngine) RunNeuro(ctx context.Context, w *neuro.Workload, cl *cluster.
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	_, err := neuro.RunMyria(w, cl, model, neuro.MyriaOpts{})
+	err := TraceRun(ctx, "Myria", "neuro", cl, func() error {
+		_, err := neuro.RunMyria(w, cl, model, neuro.MyriaOpts{})
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -51,7 +54,10 @@ func (myriaEngine) RunAstro(ctx context.Context, w *astro.Workload, cl *cluster.
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	_, err := astro.RunMyria(w, cl, model, astro.MyriaOpts{})
+	err := TraceRun(ctx, "Myria", "astro", cl, func() error {
+		_, err := astro.RunMyria(w, cl, model, astro.MyriaOpts{})
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}

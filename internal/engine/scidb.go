@@ -43,7 +43,10 @@ func (scidbEngine) RunNeuro(ctx context.Context, w *neuro.Workload, cl *cluster.
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	_, err := neuro.RunSciDB(w, cl, model, neuro.SciDBAio)
+	err := TraceRun(ctx, "SciDB", "neuro", cl, func() error {
+		_, err := neuro.RunSciDB(w, cl, model, neuro.SciDBAio)
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}

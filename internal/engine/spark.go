@@ -44,7 +44,10 @@ func (sparkEngine) RunNeuro(ctx context.Context, w *neuro.Workload, cl *cluster.
 	if parts == 0 {
 		parts = cl.Workers()
 	}
-	_, err := neuro.RunSpark(w, cl, model, neuro.SparkOpts{Partitions: parts, CacheInput: opts.CacheInput})
+	err := TraceRun(ctx, "Spark", "neuro", cl, func() error {
+		_, err := neuro.RunSpark(w, cl, model, neuro.SparkOpts{Partitions: parts, CacheInput: opts.CacheInput})
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -59,7 +62,10 @@ func (sparkEngine) RunAstro(ctx context.Context, w *astro.Workload, cl *cluster.
 	if parts == 0 {
 		parts = cl.Workers()
 	}
-	_, err := astro.RunSpark(w, cl, model, astro.SparkOpts{Partitions: parts})
+	err := TraceRun(ctx, "Spark", "astro", cl, func() error {
+		_, err := astro.RunSpark(w, cl, model, astro.SparkOpts{Partitions: parts})
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -38,7 +38,10 @@ func (tfEngine) RunNeuro(ctx context.Context, w *neuro.Workload, cl *cluster.Clu
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	_, err := neuro.RunTF(w, cl, model, neuro.TFOpts{})
+	err := TraceRun(ctx, "TensorFlow", "neuro", cl, func() error {
+		_, err := neuro.RunTF(w, cl, model, neuro.TFOpts{})
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"imagebench/internal/cluster"
+	"imagebench/internal/obs"
+	"imagebench/internal/vtime"
+)
+
+// TraceRun wraps one engine run on cl with a dual-clock span. The span
+// records the run's wall window and its virtual window on cl's
+// timeline; the stage marks the pipelines drop (cluster.MarkStage) are
+// turned into child spans — one per inter-mark interval — whose
+// virtual durations partition the run's virtual window exactly, so
+// summing a cluster's stage spans reproduces its makespan with no
+// residue. Injected faults land on the run span as virtual-stamped
+// events. With no tracer in ctx the run executes bare except for one
+// per-engine run counter when a metrics registry is present.
+//
+// The partition invariant holds across retries: ft experiments rerun
+// failed attempts on the same cluster, and because each attempt closes
+// its window with a mark at the then-current makespan, the next
+// attempt's window begins exactly where the previous one ended.
+func TraceRun(ctx context.Context, engineName, workload string, cl *cluster.Cluster, f func() error) error {
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		reg.NewCounterVec("imagebench_engine_runs_total",
+			"Engine runs started, by engine and workload.",
+			"engine", "workload").With(engineName, workload).Inc()
+	}
+	ctx, span := obs.StartSpan(ctx, engineName+" "+workload)
+	if span == nil {
+		return f()
+	}
+	span.SetAttr("engine", engineName)
+	span.SetAttr("workload", workload)
+
+	// The run's virtual window opens where the previous run on this
+	// cluster closed its window (the last mark), or at 0 on a fresh
+	// cluster.
+	vstart := vtime.Time(0)
+	preMarks := cl.StageMarkCount()
+	if marks := cl.StageMarks(); len(marks) > 0 {
+		vstart = marks[len(marks)-1].At
+	}
+
+	err := f()
+
+	vend := cl.Makespan()
+	marks := cl.StageMarks()
+	interior := len(marks) > preMarks
+	// Close the window with a mark at the final makespan, so the next
+	// attempt on this cluster starts where we ended and the intervals
+	// stay a partition.
+	if len(marks) == 0 || marks[len(marks)-1].At != vend {
+		switch {
+		case err != nil:
+			cl.MarkStage("aborted")
+		case interior:
+			cl.MarkStage("tail")
+		default:
+			cl.MarkStage("run")
+		}
+		marks = cl.StageMarks()
+	}
+
+	// Emit one virtual-only child span per inter-mark interval inside
+	// this run's window, skipping zero-length intervals.
+	prev := vstart
+	for _, m := range marks[preMarks:] {
+		if m.At > prev {
+			_, stage := obs.StartSpan(ctx, m.Name)
+			stage.SetAttr("kind", "stage")
+			stage.SetAttr("engine", engineName)
+			stage.SetAttr("workload", workload)
+			stage.SetVirtual(prev, m.At)
+			stage.SetVirtualOnly()
+			stage.End()
+		}
+		prev = m.At
+	}
+
+	// Fault injections whose onset falls inside this run's window.
+	for _, fe := range cl.FaultEvents() {
+		if fe.At.After(vstart) && !fe.At.After(vend) || (vstart == 0 && fe.At == 0) {
+			attrs := []obs.Attr{
+				{Key: "node", Value: fmt.Sprintf("%d", fe.Node)},
+			}
+			if fe.Factor > 0 {
+				attrs = append(attrs, obs.Attr{Key: "factor", Value: fmt.Sprintf("%g", fe.Factor)})
+			}
+			span.AddVirtualEvent(fe.Kind, fe.At, attrs...)
+		}
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		if nd, ok := cluster.DownAt(err); ok {
+			span.AddVirtualEvent("node-down-detected", nd.At,
+				obs.Attr{Key: "node", Value: fmt.Sprintf("%d", nd.Node)})
+		}
+	}
+	span.SetVirtual(vstart, vend)
+	span.End()
+	return err
+}

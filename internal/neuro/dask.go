@@ -49,6 +49,7 @@ func RunDask(w *Workload, cl *cluster.Cluster, model *cost.Model) (*Result, erro
 	if _, err := sess.Compute(fetch...); err != nil {
 		return nil, err
 	}
+	cl.MarkStage("fetch")
 
 	var roots []*dask.Delayed
 	maskNodes := make([]*dask.Delayed, w.Subjects)
@@ -136,6 +137,7 @@ func RunDask(w *Workload, cl *cluster.Cluster, model *cost.Model) (*Result, erro
 	if _, err := sess.Compute(roots...); err != nil {
 		return nil, err
 	}
+	cl.MarkStage("compute")
 
 	// Assemble results on the client.
 	masks := make(map[int]*volume.V3, w.Subjects)

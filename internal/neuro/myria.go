@@ -48,6 +48,7 @@ func RunMyria(w *Workload, cl *cluster.Cluster, model *cost.Model, opts MyriaOpt
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("ingest")
 
 	// ---- Query 1: the segmentation mask (Step 1N). ----
 	q1 := eng.NewQuery()
@@ -71,6 +72,7 @@ func RunMyria(w *Workload, cl *cluster.Cluster, model *cost.Model, opts MyriaOpt
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("mask")
 
 	masks := make(map[int]*volume.V3, w.Subjects)
 	for _, t := range maskRel.Tuples() {
@@ -149,5 +151,6 @@ func RunMyria(w *Workload, cl *cluster.Cluster, model *cost.Model, opts MyriaOpt
 	if _, err := q2.Finish(); err != nil {
 		return nil, err
 	}
+	cl.MarkStage("fit")
 	return assembleFA(w, masks, faTuples, func(t myria.Tuple) (string, any) { return t.Key, t.Value })
 }

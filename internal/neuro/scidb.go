@@ -98,6 +98,7 @@ func RunSciDB(w *Workload, cl *cluster.Cluster, model *cost.Model, mode SciDBIng
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("ingest")
 	b0 := w.Grad.B0Mask(50)
 
 	// Step 1N: filter b0 volumes (chunk-misaligned selection), then a
@@ -143,6 +144,7 @@ func RunSciDB(w *Workload, cl *cluster.Cluster, model *cost.Model, mode SciDBIng
 	if h := maskArr.Done(); h.Err != nil {
 		return nil, h.Err
 	}
+	cl.MarkStage("queries")
 
 	res := &SciDBResult{Masks: make(map[int]*volume.V3), Denoised: make(map[string]*volume.V3)}
 	for _, c := range maskArr.Chunks {

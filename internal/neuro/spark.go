@@ -89,6 +89,7 @@ func RunSpark(w *Workload, cl *cluster.Cluster, model *cost.Model, opts SparkOpt
 		if _, err := img.Materialize(); err != nil {
 			return nil, err
 		}
+		cl.MarkStage("ingest")
 	}
 
 	// ---- Query 1: Step 1N, the segmentation mask per subject. ----
@@ -106,6 +107,7 @@ func RunSpark(w *Workload, cl *cluster.Cluster, model *cost.Model, opts SparkOpt
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("mask")
 	masks := make(map[int]*volume.V3, w.Subjects)
 	for _, p := range maskPairs {
 		var s int
@@ -173,6 +175,7 @@ func RunSpark(w *Workload, cl *cluster.Cluster, model *cost.Model, opts SparkOpt
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("fit")
 	return assembleFA(w, masks, faPairs, func(p spark.Pair) (string, any) { return p.Key, p.Value })
 }
 

@@ -69,6 +69,7 @@ func RunTF(w *Workload, cl *cluster.Cluster, model *cost.Model, opts TFOpts) (*T
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("ingest")
 
 	// Step: filter on the volume ID (the fourth dimension). TensorFlow
 	// only filters along the first dimension, so the 4-D tensor is
@@ -80,6 +81,7 @@ func RunTF(w *Workload, cl *cluster.Cluster, model *cost.Model, opts TFOpts) (*T
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("filter")
 	// Master-side selection of the b0 items after the reshape.
 	bySubj := make(map[int][]tfgraph.Tensor)
 	for _, it := range filtered {
@@ -113,6 +115,7 @@ func RunTF(w *Workload, cl *cluster.Cluster, model *cost.Model, opts TFOpts) (*T
 		mean := volume.Mean3(vols)
 		res.Masks[s] = simplifiedMask(mean)
 	}
+	cl.MarkStage("mask")
 
 	// Step: denoise every volume, without the mask (element-wise masked
 	// assignment is unsupported). With ConvDenoise the step runs the
@@ -137,6 +140,7 @@ func RunTF(w *Workload, cl *cluster.Cluster, model *cost.Model, opts TFOpts) (*T
 	if err != nil {
 		return nil, err
 	}
+	cl.MarkStage("denoise")
 	for _, it := range denoised {
 		vi := it.Value.(volItem)
 		res.Denoised[VolKey(vi.subj, vi.t)] = vi.vol

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// DebugHandler returns the opt-in profiling mux served behind the
+// daemon's -debug-addr flag: the standard net/http/pprof endpoints,
+// registered explicitly so nothing leaks onto the default serve mux or
+// the public API listener.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterGoMetrics adds Go runtime gauges and counters to r, sampled
+// at scrape time (one ReadMemStats per scrape).
+func RegisterGoMetrics(r *Registry) {
+	r.NewGaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return f(&ms)
+		}
+	}
+	r.NewGaugeFunc("go_memstats_alloc_bytes", "Bytes of allocated heap objects.",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.NewGaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }))
+	r.NewCounterFunc("go_memstats_mallocs_total", "Cumulative count of heap objects allocated.",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.Mallocs) }))
+	r.NewCounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imagebench/internal/vtime"
+)
+
+// Tracer collects finished spans. It is safe for concurrent use; span
+// IDs are assigned from an atomic counter, so a single-goroutine run
+// (the CLI's deterministic quick profile) always numbers spans the
+// same way, which is what makes the Chrome-trace golden stable.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	spans []*Span
+	clock func() time.Time
+}
+
+// NewTracer returns an empty tracer on the real clock.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// SetClock replaces the wall clock (tests pin it for golden traces).
+func (t *Tracer) SetClock(fn func() time.Time) {
+	t.mu.Lock()
+	t.clock = fn
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() time.Time {
+	t.mu.Lock()
+	fn := t.clock
+	t.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return time.Now()
+}
+
+// Spans returns the finished spans in completion order.
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Event is a point-in-time annotation on a span: wall-stamped always,
+// virtual-stamped when it happened inside the cluster simulator (a
+// kill, a straggler onset, a detected node failure).
+type Event struct {
+	Name       string
+	Wall       time.Time
+	Virtual    vtime.Time
+	HasVirtual bool
+	Attrs      []Attr
+}
+
+// Span is one timed operation. Every span has a wall-clock window;
+// spans opened inside the simulator additionally carry a virtual-time
+// window [VStart, VEnd] on the owning cluster's timeline. All methods
+// are nil-receiver safe, so call sites never branch on whether tracing
+// is enabled.
+type Span struct {
+	tracer *Tracer
+
+	ID       uint64
+	ParentID uint64 // 0 for roots
+	RootID   uint64 // own ID for roots
+	Name     string
+
+	mu          sync.Mutex
+	start, end  time.Time
+	vstart      vtime.Time
+	vend        vtime.Time
+	hasVirtual  bool
+	virtualOnly bool
+	attrs       []Attr
+	events      []Event
+	ended       bool
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	registryKey
+	spanKey
+)
+
+// WithTracer returns ctx carrying t; StartSpan under it records spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRegistry returns ctx carrying r, for call sites that bump
+// metrics without holding a registry reference themselves.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the metrics registry carried by ctx, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// ContextWithSpan returns ctx with s as the current span, so children
+// started under it parent correctly.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFrom returns the current span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name as a child of the current span in
+// ctx. When ctx carries no tracer it returns (ctx, nil): the nil span
+// accepts every method as a no-op, so instrumentation costs nothing in
+// untraced runs.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		ID:     t.nextID.Add(1),
+		Name:   name,
+		start:  t.now(),
+	}
+	if parent := SpanFrom(ctx); parent != nil {
+		s.ParentID = parent.ID
+		s.RootID = parent.RootID
+	} else {
+		s.RootID = s.ID
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetVirtual records the span's window on the simulator's virtual
+// timeline.
+func (s *Span) SetVirtual(start, end vtime.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.vstart, s.vend, s.hasVirtual = start, end, true
+	s.mu.Unlock()
+}
+
+// SetVirtualOnly marks the span as meaningful only on the virtual
+// timeline (its wall window is an artifact of when it was synthesized);
+// the Chrome export then emits it on the virtual process only.
+func (s *Span) SetVirtualOnly() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.virtualOnly = true
+	s.mu.Unlock()
+}
+
+// AddEvent records a wall-stamped point event.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, Wall: s.tracer.now(), Attrs: attrs}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// AddVirtualEvent records an event stamped with a virtual timestamp
+// (and the wall time it was observed at).
+func (s *Span) AddVirtualEvent(name string, at vtime.Time, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, Wall: s.tracer.now(), Virtual: at, HasVirtual: true, Attrs: attrs}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// End closes the span and hands it to the tracer. Ending twice is a
+// no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = now
+	s.mu.Unlock()
+	s.tracer.mu.Lock()
+	s.tracer.spans = append(s.tracer.spans, s)
+	s.tracer.mu.Unlock()
+}
+
+// Wall returns the span's wall-clock window (end is zero until End).
+func (s *Span) Wall() (start, end time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start, s.end
+}
+
+// Virtual returns the span's virtual window; ok is false when the span
+// never entered the simulator.
+func (s *Span) Virtual() (start, end vtime.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vstart, s.vend, s.hasVirtual
+}
+
+// Attrs returns the span's annotations in insertion order.
+func (s *Span) Attrs() []Attr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Attr returns the value of the first annotation with the given key.
+func (s *Span) Attr(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Events returns the span's point events in insertion order.
+func (s *Span) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

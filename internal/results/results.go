@@ -43,11 +43,15 @@ type Entry struct {
 	Table      *core.Table  `json:"table"`
 }
 
-// Stats reports cache traffic since the process started.
+// Stats reports cache traffic since the process started. Hits is
+// always MemHits+DiskHits: the per-layer split says which tier served
+// the entry (memory, or a lazy read-through from disk).
 type Stats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits     int64 `json:"hits"`
+	MemHits  int64 `json:"memHits"`
+	DiskHits int64 `json:"diskHits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
 }
 
 // Cache is a concurrency-safe result cache. The in-memory map is the
@@ -61,8 +65,9 @@ type Cache struct {
 	mem  map[string]*Entry
 	disk map[string]bool // keys present on disk: seeded at Open, maintained by Put/load
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+	misses   atomic.Int64
 }
 
 // Open returns a cache backed by dir, creating it if needed. An empty
@@ -93,11 +98,16 @@ func Open(dir string) (*Cache, error) {
 
 // Get returns the entry for key, consulting memory first and then disk.
 // The boolean reports whether the key was found; hit/miss counters are
-// updated either way.
+// updated either way, and hits are attributed to the layer that served
+// them (memory, or a disk read-through).
 func (c *Cache) Get(key string) (*Entry, bool) {
-	e, ok := c.Peek(key)
+	e, layer, ok := c.peek(key)
 	if ok {
-		c.hits.Add(1)
+		if layer == layerMem {
+			c.memHits.Add(1)
+		} else {
+			c.diskHits.Add(1)
+		}
 		return e, true
 	}
 	c.misses.Add(1)
@@ -116,13 +126,31 @@ func (c *Cache) Contains(key string) bool {
 // paths rehydrate completed results through it after a restart, so
 // hit/miss rates keep reflecting client traffic only.
 func (c *Cache) Peek(key string) (*Entry, bool) {
+	e, _, ok := c.peek(key)
+	return e, ok
+}
+
+// Cache layers, for hit attribution.
+const (
+	layerMem  = "memory"
+	layerDisk = "disk"
+)
+
+// peek is the shared lookup: memory first, then a disk read-through.
+// It reports which layer served the entry.
+func (c *Cache) peek(key string) (*Entry, string, bool) {
 	c.mu.RLock()
 	e, ok := c.mem[key]
 	c.mu.RUnlock()
-	if !ok && c.dir != "" {
-		e, ok = c.load(key)
+	if ok {
+		return e, layerMem, true
 	}
-	return e, ok
+	if c.dir != "" {
+		if e, ok := c.load(key); ok {
+			return e, layerDisk, true
+		}
+	}
+	return nil, "", false
 }
 
 // Put stores the entry in memory and, if the cache is disk-backed,
@@ -201,10 +229,13 @@ func (c *Cache) Stats() Stats {
 		}
 	}
 	c.mu.RUnlock()
+	mem, disk := c.memHits.Load(), c.diskHits.Load()
 	return Stats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: n,
+		Hits:     mem + disk,
+		MemHits:  mem,
+		DiskHits: disk,
+		Misses:   c.misses.Load(),
+		Entries:  n,
 	}
 }
 

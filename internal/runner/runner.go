@@ -18,6 +18,7 @@ import (
 
 	"imagebench/internal/core"
 	"imagebench/internal/engine"
+	"imagebench/internal/obs"
 	"imagebench/internal/results"
 )
 
@@ -58,6 +59,14 @@ type Options struct {
 	// exactly the jobs that never finished. Journal write failures do
 	// not fail jobs; they are counted in Stats.JournalErrors.
 	Journal Journal
+	// Tracer, when non-nil, records a span tree per job (queued →
+	// execute → cache-write, plus the per-engine stage spans emitted
+	// inside the simulations).
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the scheduler's Prometheus
+	// metrics: job-lifecycle counters, pool gauges, and the
+	// imagebench_job_latency_seconds histogram.
+	Metrics *obs.Registry
 }
 
 // Job is one scheduled experiment run. Jobs are created by Submit and
@@ -68,6 +77,13 @@ type Job struct {
 	exp     *core.Experiment
 	profile core.Profile
 	done    chan struct{}
+
+	// Observability state, set once at submission (nil without a
+	// tracer): the job's root span, its queued child, and the context
+	// whose values parent the execute-phase spans.
+	span       *obs.Span
+	queuedSpan *obs.Span
+	obsCtx     context.Context
 
 	mu        sync.Mutex
 	status    Status
@@ -198,6 +214,8 @@ type Scheduler struct {
 	nextSeq  int64
 	vsecs    float64 // virtual seconds simulated (guarded by mu)
 
+	jobLatency *obs.Histogram
+
 	submitted   atomic.Int64
 	executed    atomic.Int64
 	failed      atomic.Int64
@@ -248,6 +266,9 @@ func New(opts Options) *Scheduler {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	if opts.Metrics != nil {
+		s.registerMetrics(opts.Metrics)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -261,10 +282,19 @@ func New(opts Options) *Scheduler {
 // if the result is already cached, Submit returns a job that is done on
 // arrival, served from the cache without touching the worker pool.
 func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
+	return s.SubmitWithContext(context.Background(), experimentID, p)
+}
+
+// SubmitWithContext is Submit with a caller context used ONLY for span
+// parentage (a sweep passes its root-span context so cell jobs nest
+// under the sweep): cancellation still follows the scheduler's own
+// lifecycle, never the submitter's.
+func (s *Scheduler) SubmitWithContext(ctx context.Context, experimentID string, p core.Profile) (*Job, error) {
 	e, err := core.Lookup(experimentID)
 	if err != nil {
 		return nil, err
 	}
+	ctx = s.withObs(ctx)
 	key := results.Key(e.ID, p)
 
 	s.mu.Lock()
@@ -275,9 +305,11 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 	if j, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.deduped.Add(1)
+		j.span.AddEvent("dedup-join")
 		return j, nil
 	}
 	j := s.newJobLocked(e, p, key)
+	j.startJobSpans(ctx, e)
 
 	// Serve from cache without scheduling. The cache probe happens with
 	// the job registered in-flight so a concurrent identical Submit
@@ -292,7 +324,7 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 			// by an awakened waiter could journal ahead of them.
 			s.journalSubmit(j)
 			s.journal(Record{Op: OpDone, JobID: j.id, Key: j.key, CacheHit: true})
-			j.finish(entry.Table, nil, true)
+			s.finishJob(j, entry.Table, nil, true)
 			s.mu.Lock()
 			delete(s.inflight, key)
 			s.mu.Unlock()
@@ -305,7 +337,7 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 			delete(s.inflight, key)
 			s.mu.Unlock()
 			s.failed.Add(1)
-			j.finish(nil, ErrClosed, false)
+			s.finishJob(j, nil, ErrClosed, false)
 			return nil, ErrClosed
 		}
 	} else {
@@ -329,7 +361,7 @@ func (s *Scheduler) Submit(experimentID string, p core.Profile) (*Job, error) {
 		// shed job is retried on the next recovery, which is the right
 		// default for a full queue.
 		s.journal(Record{Op: OpFail, JobID: j.id, Key: j.key, Error: ErrQueueFull.Error()})
-		j.finish(nil, ErrQueueFull, false)
+		s.finishJob(j, nil, ErrQueueFull, false)
 		return nil, ErrQueueFull
 	}
 }
@@ -453,8 +485,14 @@ func (s *Scheduler) run(j *Job) {
 	j.setRunning()
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	j.queuedSpan.End()
 
-	tab, err := j.exp.RunContext(s.ctx, j.profile)
+	execCtx, execSpan := obs.StartSpan(s.execCtx(j), "execute")
+	tab, err := j.exp.RunContext(execCtx, j.profile)
+	if err != nil {
+		execSpan.SetAttr("error", err.Error())
+	}
+	execSpan.End()
 	if err != nil {
 		// Leave the in-flight map before signaling completion:
 		// failures are not cached, so a resubmit arriving after Done
@@ -465,7 +503,7 @@ func (s *Scheduler) run(j *Job) {
 		s.failed.Add(1)
 		// Journal before finish (see the cache-hit path in Submit).
 		s.journal(Record{Op: OpFail, JobID: j.id, Key: j.key, Error: err.Error()})
-		j.finish(nil, err, false)
+		s.finishJob(j, nil, err, false)
 		return
 	}
 
@@ -475,9 +513,14 @@ func (s *Scheduler) run(j *Job) {
 		// A write-through failure (disk full, unwritable dir) does not
 		// fail the job — the in-memory entry still serves this process —
 		// but it does change what gets journaled below.
+		_, putSpan := obs.StartSpan(j.execCtxValues(), "cache-write")
 		putErr = s.opts.Cache.Put(&results.Entry{
 			Key: j.key, Experiment: j.exp.ID, Profile: j.profile, Table: tab,
 		})
+		if putErr != nil {
+			putSpan.SetAttr("error", putErr.Error())
+		}
+		putSpan.End()
 	}
 	s.mu.Lock()
 	s.vsecs += tab.VirtualSeconds()
@@ -495,7 +538,7 @@ func (s *Scheduler) run(j *Job) {
 	} else {
 		s.journal(Record{Op: OpDone, JobID: j.id, Key: j.key})
 	}
-	j.finish(tab, nil, false)
+	s.finishJob(j, tab, nil, false)
 }
 
 // Wait blocks until the job terminates or ctx is canceled, returning

@@ -47,7 +47,7 @@ func registerFakes() {
 	registerO.Do(func() {
 		core.Register(&core.Experiment{
 			ID: "zz-test-ok", Title: "fake ok", Paper: "n/a",
-			Run: func(p core.Profile) (*core.Table, error) {
+			Run: func(ctx context.Context, p core.Profile) (*core.Table, error) {
 				fakeRuns.Add(1)
 				time.Sleep(20 * time.Millisecond) // widen the dedup race window
 				t := core.NewTable("fake", "virtual s", []string{"r"}, []string{"c"})
@@ -58,14 +58,14 @@ func registerFakes() {
 		})
 		core.Register(&core.Experiment{
 			ID: "zz-test-fail", Title: "fake fail", Paper: "n/a",
-			Run: func(p core.Profile) (*core.Table, error) {
+			Run: func(ctx context.Context, p core.Profile) (*core.Table, error) {
 				return nil, errors.New("synthetic failure")
 			},
 			Check: func(*core.Table) error { return nil },
 		})
 		core.Register(&core.Experiment{
 			ID: "zz-test-slow", Title: "fake slow", Paper: "n/a",
-			Run: func(p core.Profile) (*core.Table, error) {
+			Run: func(ctx context.Context, p core.Profile) (*core.Table, error) {
 				slowRuns.Add(1)
 				slowWait()
 				t := core.NewTable("slow", "virtual s", []string{"r"}, []string{"c"})

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"imagebench/internal/fsatomic"
+	"imagebench/internal/obs"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 )
@@ -84,13 +85,21 @@ func (m *Manager) Submit(spec Spec) (s *Sweep, existing bool, err error) {
 	}
 	m.mu.Unlock()
 
+	// The sweep root span parents every cell's job span; it ends (in a
+	// watcher goroutine) when the last cell terminates.
+	sctx, root := obs.StartSpan(m.sched.ObsContext(), "sweep")
+	root.SetAttr("sweep", sid)
+	root.SetAttr("cells", fmt.Sprintf("%d", len(cells)))
+
 	// Submit outside the lock: Submit can block briefly and other
 	// sweeps' status reads should not stall behind it. A concurrent
 	// identical Submit is resolved below; its duplicate jobs are
 	// deduplicated by the scheduler anyway.
 	for i, c := range cells {
-		j, err := m.sched.Submit(c.Experiment, c.Profile)
+		j, err := m.sched.SubmitWithContext(sctx, c.Experiment, c.Profile)
 		if err != nil {
+			root.SetAttr("error", err.Error())
+			root.End()
 			// Not transactional: the first i cells are already running.
 			// That work is not lost — they land in the cache, and a
 			// retry of the same spec joins them in flight — but until
@@ -102,6 +111,8 @@ func (m *Manager) Submit(spec Spec) (s *Sweep, existing bool, err error) {
 		c.job = j
 	}
 	s = &Sweep{ID: sid, Spec: spec, Cells: cells, created: time.Now()}
+
+	watchSweep(root, s)
 
 	m.mu.Lock()
 	if prior, ok := m.sweeps[sid]; ok {

@@ -26,8 +26,8 @@ var (
 
 func registerFakes() {
 	registerO.Do(func() {
-		mk := func(counter *atomic.Int64) func(core.Profile) (*core.Table, error) {
-			return func(p core.Profile) (*core.Table, error) {
+		mk := func(counter *atomic.Int64) func(context.Context, core.Profile) (*core.Table, error) {
+			return func(ctx context.Context, p core.Profile) (*core.Table, error) {
 				counter.Add(1)
 				time.Sleep(5 * time.Millisecond)
 				t := core.NewTable("fake", "virtual s", []string{"r"}, []string{"c"})
