@@ -52,6 +52,10 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		for _, m := range bench.StandardMetrics() {
 			fmt.Fprintf(stdout, "  %-16s %s\n", m, bench.MetricClass(m))
 		}
+		fmt.Fprintln(stdout, "\nserve/... cases additionally record:")
+		for _, m := range bench.ServeMetrics() {
+			fmt.Fprintf(stdout, "  %-16s %s\n", m, bench.MetricClass(m))
+		}
 		fmt.Fprintln(stdout, "\ncases:")
 		for _, c := range cases {
 			fmt.Fprintln(stdout, c.Name)

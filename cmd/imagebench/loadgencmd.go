@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/daemon"
+	"imagebench/internal/loadgen"
+)
+
+// loadgenMain implements `imagebench loadgen`: drive a daemon with a
+// mixed, Zipf-skewed request load and report per-class throughput and
+// latency quantiles. It returns the process exit code so tests can
+// drive it without exec'ing.
+func loadgenMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("imagebench loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the daemon under load")
+	agents := fs.Int("agents", 32, "concurrent client goroutines")
+	duration := fs.Duration("duration", 10*time.Second, "length of a timed run (ignored with -requests)")
+	requests := fs.Int("requests", 0, "per-agent request count; closed-loop, deterministic for a fixed -seed")
+	seed := fs.Int64("seed", 1, "base RNG seed (agent i draws from seed+i)")
+	zipf := fs.Float64("zipf", 1.01, "Zipf skew exponent over the experiment list, > 1; higher = hotter keys")
+	mixFlag := fs.String("mix", loadgen.DefaultMix().String(), "request-class weights submit/result/jobpoll/sweeppoll")
+	experiments := fs.String("experiments", "fig10*,table1", "comma-separated experiment IDs or globs to draw from")
+	profile := fs.String("profile", "quick", "profile for submissions and result-key derivation")
+	out := fs.String("out", "", "write the JSON summary (schema-versioned, atomic) to this file")
+	deterministic := fs.Bool("deterministic", false,
+		"boot a fresh in-process daemon on a loopback port and load that instead of -addr;\nwith -requests this makes every reported count a pure function of -seed")
+	workers := fs.Int("workers", 0, "worker-pool size for the -deterministic daemon (0 = GOMAXPROCS)")
+	failOn5xx := fs.Bool("fail-on-5xx", false, "exit nonzero if any request got a 5xx response or a transport error")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: imagebench loadgen [flags]\n\n"+
+			"Fires -agents concurrent clients at a daemon with a weighted mix of job\n"+
+			"submissions, result fetches, job polls, and sweep polls. Experiment choice\n"+
+			"is Zipf(-zipf)-skewed, so hot-key runs stress dedup and the result cache.\n"+
+			"Prints TPS and p50/p95/p99 per request class plus the daemon's reuse\n"+
+			"accounting. Examples:\n\n"+
+			"  imagebench loadgen -agents 32 -duration 10s -addr http://localhost:8080\n"+
+			"  imagebench loadgen -deterministic -requests 50 -seed 7 -zipf 2.5\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "imagebench loadgen: unexpected arguments %v (experiments go in -experiments)\n", fs.Args())
+		return 2
+	}
+
+	ids, err := core.ExpandIDs(splitList(*experiments))
+	if err != nil {
+		fmt.Fprintf(stderr, "imagebench loadgen: %v\n", err)
+		return 2
+	}
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "imagebench loadgen: %v\n", err)
+		return 2
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:     *addr,
+		Agents:      *agents,
+		Seed:        *seed,
+		ZipfS:       *zipf,
+		Experiments: ids,
+		Profile:     *profile,
+		Mix:         mix,
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	} else {
+		cfg.Duration = *duration
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *deterministic {
+		d, err := daemon.StartLocal(daemon.Config{Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(stderr, "imagebench loadgen: %v\n", err)
+			return 1
+		}
+		defer d.Stop()
+		cfg.BaseURL = d.BaseURL
+		fmt.Fprintf(stdout, "loadgen: in-process daemon at %s\n", d.BaseURL)
+	}
+
+	sum, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "imagebench loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, sum.Render())
+	if *out != "" {
+		if err := loadgen.WriteSummary(*out, sum); err != nil {
+			fmt.Fprintf(stderr, "imagebench loadgen: write summary: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "summary written to %s\n", *out)
+	}
+	if *failOn5xx {
+		var bad int64
+		for _, cs := range sum.Classes {
+			bad += cs.Errors5xx + cs.TransportErrors
+		}
+		if bad > 0 {
+			fmt.Fprintf(stderr, "imagebench loadgen: %d failed request(s) with -fail-on-5xx\n", bad)
+			return 1
+		}
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

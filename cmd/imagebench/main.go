@@ -30,6 +30,13 @@
 //
 //	imagebench bench -reps 3 -out BENCH_4.json all
 //	imagebench bench -baseline BENCH_4.json -tolerance 0.3 kernel/...
+//
+// Serving-path load tests (TPS and latency quantiles per request class
+// against a running imagebenchd, or an in-process one) go through the
+// loadgen harness:
+//
+//	imagebench loadgen -agents 32 -duration 10s -addr http://localhost:8080
+//	imagebench loadgen -deterministic -requests 50 -seed 7 -zipf 2.5
 package main
 
 import (
@@ -73,6 +80,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(benchMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		os.Exit(loadgenMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "engines" {
 		os.Exit(enginesMain(os.Args[2:]))

@@ -59,6 +59,13 @@ func StandardMetrics() []string {
 var exactMetrics = map[string]bool{
 	MetricVirtualSeconds: true,
 	MetricVSPerCell:      true,
+	// Serving-path accounting: deterministic under the serve/... cases'
+	// fixed seed and fresh per-rep daemon (see internal/loadgen).
+	MetricServeRequests:  true,
+	MetricServe5xx:       true,
+	MetricServeTransport: true,
+	MetricServeReuseHits: true,
+	MetricServeExecuted:  true,
 }
 
 // Case is one benchmarked unit: a registered experiment or a kernel

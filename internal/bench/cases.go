@@ -112,13 +112,14 @@ func KernelCases() []Case {
 }
 
 // DefaultCases returns every registered experiment under p plus the
-// kernel microbenchmarks.
+// kernel microbenchmarks and the serving-path cases.
 func DefaultCases(p core.Profile) []Case {
 	var out []Case
 	for _, e := range core.All() {
 		out = append(out, ExperimentCase(e, p))
 	}
-	return append(out, KernelCases()...)
+	out = append(out, KernelCases()...)
+	return append(out, ServeCases()...)
 }
 
 // SelectCases filters the default set by name. Each selector matches a

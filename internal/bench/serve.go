@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"imagebench/internal/daemon"
+	"imagebench/internal/loadgen"
+)
+
+// The serving-path metrics. Request and reuse accounting is a pure
+// function of the loadgen seed on a fresh daemon (see the loadgen
+// package doc), so the comparator holds those to zero drift — a
+// change in executed or reuse_hits means the dedup or cache semantics
+// changed, not that the machine was busy. Latency stays informational
+// here; wall_ns (the whole rep, noise-floored) is the gated speed
+// signal.
+const (
+	MetricServeRequests  = "requests"
+	MetricServe5xx       = "errors_5xx"
+	MetricServeTransport = "transport_errors"
+	MetricServeReuseHits = "reuse_hits"
+	MetricServeExecuted  = "executed"
+	MetricServeP99Ms     = "p99_ms"
+)
+
+// ServeMetrics lists the extra metrics the serve/... cases record, in
+// display order.
+func ServeMetrics() []string {
+	return []string{MetricServeRequests, MetricServe5xx, MetricServeTransport,
+		MetricServeReuseHits, MetricServeExecuted, MetricServeP99Ms}
+}
+
+// serveExperiments are cheap quick-profile experiments (each well
+// under the serving overhead being measured) so serve/... reps are
+// dominated by the HTTP path, not the simulations.
+var serveExperiments = []string{
+	"fig10a", "fig10b", "fig10d", "fig10f", "table1",
+	"abl-spark-pytax", "abl-myria-pushdown", "abl-dask-stealing",
+}
+
+// ServeCases benchmarks the daemon's serving path end to end: each rep
+// boots a fresh in-process daemon and drives it with the loadgen
+// harness under a fixed seed. Two skew points: cold is near-uniform
+// over the experiment list (cache misses dominate), hot concentrates
+// on a few keys (dedup + cache hits dominate). Always quick-profile —
+// the simulations are scenery here.
+func ServeCases() []Case {
+	return []Case{
+		serveCase("serve/cold", 1.01),
+		// s=4 concentrates ~99.7% of the draw mass on the top four
+		// ranks, so the hot case executes strictly fewer distinct keys
+		// than cold even at this request volume.
+		serveCase("serve/hot", 4.0),
+	}
+}
+
+func serveCase(name string, zipfS float64) Case {
+	return Case{
+		Name: name,
+		Run: func(ctx context.Context) (map[string]float64, error) {
+			d, err := daemon.StartLocal(daemon.Config{Workers: 4})
+			if err != nil {
+				return nil, err
+			}
+			defer d.Stop()
+			sum, err := loadgen.Run(ctx, loadgen.Config{
+				BaseURL:     d.BaseURL,
+				Agents:      8,
+				Requests:    25,
+				Seed:        73,
+				ZipfS:       zipfS,
+				Experiments: serveExperiments,
+				Profile:     "quick",
+			})
+			if err != nil {
+				return nil, err
+			}
+			var errs5xx, transport, p99 float64
+			for _, cs := range sum.Classes {
+				errs5xx += float64(cs.Errors5xx)
+				transport += float64(cs.TransportErrors)
+				if cs.P99Ms > p99 {
+					p99 = cs.P99Ms
+				}
+			}
+			if errs5xx > 0 {
+				// A 5xx under this tiny fixed load is a daemon bug, not
+				// a regression to trend: fail the rep loudly.
+				return nil, fmt.Errorf("%s: %v 5xx responses under fixed load", name, errs5xx)
+			}
+			return map[string]float64{
+				MetricServeRequests:  float64(sum.TotalRequests),
+				MetricServe5xx:       errs5xx,
+				MetricServeTransport: transport,
+				MetricServeReuseHits: float64(sum.Daemon.ReuseHits),
+				MetricServeExecuted:  float64(sum.Daemon.Executed),
+				MetricServeP99Ms:     p99,
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// The serve/... cases promise their accounting metrics are exact: two
+// reps against fresh daemons under the same seed must produce
+// identical request counts, executed keys, and reuse hits — that is
+// what lets the comparator hold them to zero drift.
+func TestServeCaseRepExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots daemons")
+	}
+	cases := ServeCases()
+	art, err := Run(context.Background(), cases, Options{Reps: 2, Profile: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		res, ok := art.Results[c.Name]
+		if !ok {
+			t.Fatalf("no result for %s", c.Name)
+		}
+		for _, m := range []string{MetricServeRequests, MetricServe5xx,
+			MetricServeTransport, MetricServeReuseHits, MetricServeExecuted} {
+			d, ok := res.Metrics[m]
+			if !ok {
+				t.Errorf("%s: metric %s missing", c.Name, m)
+				continue
+			}
+			if d.Min != d.Max {
+				t.Errorf("%s: metric %s varies across reps (min %v, max %v) — not exact-gateable",
+					c.Name, m, d.Min, d.Max)
+			}
+			if MetricClass(m) != "exact" {
+				t.Errorf("metric %s classed %q, want exact", m, MetricClass(m))
+			}
+		}
+		if res.Metrics[MetricServe5xx].Max != 0 {
+			t.Errorf("%s: 5xx responses recorded", c.Name)
+		}
+	}
+	// Skew must show in the execution count: the hot workload touches
+	// strictly fewer distinct keys, so more of its submissions reuse.
+	hot := art.Results["serve/hot"].Metrics
+	cold := art.Results["serve/cold"].Metrics
+	if hot[MetricServeExecuted].Mean >= cold[MetricServeExecuted].Mean {
+		t.Errorf("hot executed %v distinct keys, cold %v — skew had no effect",
+			hot[MetricServeExecuted].Mean, cold[MetricServeExecuted].Mean)
+	}
+}

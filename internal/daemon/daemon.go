@@ -1,4 +1,10 @@
-package main
+// Package daemon assembles the experiment service — scheduler, result
+// cache, sweep manager, journal recovery, metrics registry, and HTTP
+// API — into one embeddable unit. cmd/imagebenchd wraps it in a real
+// listener; the loadgen harness, the bench serve/... cases, and the
+// tests boot the identical daemon in-process, so what gets load-tested
+// is what ships.
+package daemon
 
 import (
 	"fmt"
@@ -10,98 +16,103 @@ import (
 	"imagebench/internal/sweep"
 )
 
-// daemonConfig is everything needed to stand up the service; main fills
-// it from flags, tests fill it directly so restart behavior is testable
-// over httptest against real dirs.
-type daemonConfig struct {
-	workers    int
-	queueDepth int
-	cacheDir   string // "" = memory-only result cache
-	journal    string // "" = no job journal
-	sweepDir   string // "" = sweeps are not persisted
+// Config is everything needed to stand up the service; main fills it
+// from flags, tests and the loadgen harness fill it directly.
+type Config struct {
+	Workers    int
+	QueueDepth int
+	// MaxJobs bounds the retained job index (see runner.Options.MaxJobs);
+	// 0 means the runner default. Evicted jobs remain pollable through
+	// their tombstones as long as their results stay cached.
+	MaxJobs  int
+	CacheDir string // "" = memory-only result cache
+	Journal  string // "" = no job journal
+	SweepDir string // "" = sweeps are not persisted
 }
 
-// daemon bundles the service's long-lived state. Construction performs
+// Daemon bundles the service's long-lived state. Construction performs
 // crash recovery: pending journaled jobs are resubmitted and persisted
 // sweeps re-adopted, with completed cells rehydrating from the cache.
-type daemon struct {
-	cache   *results.Cache
-	journal *runner.FileJournal
-	sched   *runner.Scheduler
-	sweeps  *sweep.Manager
-	metrics *obs.Registry
-	tracer  *obs.Tracer
-	handler http.Handler
+type Daemon struct {
+	Cache   *results.Cache
+	Sched   *runner.Scheduler
+	Sweeps  *sweep.Manager
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+	Handler http.Handler
 
-	recoveredJobs   int
-	recoveredSweeps int
-	warnings        []string
+	journal *runner.FileJournal
+
+	RecoveredJobs   int
+	RecoveredSweeps int
+	Warnings        []string
 }
 
-func newDaemon(cfg daemonConfig) (*daemon, error) {
-	cache, err := results.Open(cfg.cacheDir)
+// New constructs and recovers a daemon.
+func New(cfg Config) (*Daemon, error) {
+	cache, err := results.Open(cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
 	// The observability spine is always on: a registry for /metrics and
 	// a tracer for job/sweep span trees. Neither perturbs the
 	// simulations — spans record around them, never inside their timing.
-	d := &daemon{cache: cache, metrics: obs.NewRegistry(), tracer: obs.NewTracer()}
-	obs.RegisterGoMetrics(d.metrics)
-	registerCacheMetrics(d.metrics, cache)
+	d := &Daemon{Cache: cache, Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()}
+	obs.RegisterGoMetrics(d.Metrics)
+	registerCacheMetrics(d.Metrics, cache)
 
 	opts := runner.Options{
-		Workers: cfg.workers, QueueDepth: cfg.queueDepth, Cache: cache,
-		Tracer: d.tracer, Metrics: d.metrics,
+		Workers: cfg.Workers, QueueDepth: cfg.QueueDepth, MaxJobs: cfg.MaxJobs,
+		Cache: cache, Tracer: d.Tracer, Metrics: d.Metrics,
 	}
-	if cfg.journal != "" && cfg.cacheDir == "" {
+	if cfg.Journal != "" && cfg.CacheDir == "" {
 		// The journal retires a job on OpDone because its result is
 		// rereadable from the disk cache; with a memory-only cache that
 		// premise is false and completed results vanish on restart.
-		d.warnings = append(d.warnings,
+		d.Warnings = append(d.Warnings,
 			"-journal without -cache-dir: completed results will not survive a restart (only pending jobs recover)")
 	}
-	if cfg.journal != "" {
+	if cfg.Journal != "" {
 		// Compact before opening for append: completed history is
 		// dropped (the cache holds those results), so the journal stays
 		// proportional to pending work instead of total traffic. Must
 		// happen before OpenJournal — compaction renames the file.
-		if _, err := runner.CompactJournal(cfg.journal); err != nil {
-			d.warnings = append(d.warnings, fmt.Sprintf("journal compaction: %v", err))
+		if _, err := runner.CompactJournal(cfg.Journal); err != nil {
+			d.Warnings = append(d.Warnings, fmt.Sprintf("journal compaction: %v", err))
 		}
-		j, err := runner.OpenJournal(cfg.journal)
+		j, err := runner.OpenJournal(cfg.Journal)
 		if err != nil {
 			return nil, err
 		}
 		d.journal = j
 		opts.Journal = j
 	}
-	d.sched = runner.New(opts)
+	d.Sched = runner.New(opts)
 
 	// Recovery is best-effort: a journal resubmission that no longer
 	// resolves (an experiment renamed between versions) or a stale sweep
 	// spec must not keep the daemon from serving fresh traffic.
-	if cfg.journal != "" {
-		n, err := runner.Recover(cfg.journal, d.sched)
-		d.recoveredJobs = n
+	if cfg.Journal != "" {
+		n, err := runner.Recover(cfg.Journal, d.Sched)
+		d.RecoveredJobs = n
 		if err != nil {
-			d.warnings = append(d.warnings, fmt.Sprintf("journal recovery: %v", err))
+			d.Warnings = append(d.Warnings, fmt.Sprintf("journal recovery: %v", err))
 		}
 	}
-	mgr, err := sweep.NewManager(d.sched, cache, cfg.sweepDir)
+	mgr, err := sweep.NewManager(d.Sched, cache, cfg.SweepDir)
 	if err != nil {
 		d.Close()
 		return nil, err
 	}
-	d.sweeps = mgr
-	mgr.RegisterMetrics(d.metrics)
+	d.Sweeps = mgr
+	mgr.RegisterMetrics(d.Metrics)
 	n, err := mgr.Recover()
-	d.recoveredSweeps = n
+	d.RecoveredSweeps = n
 	if err != nil {
-		d.warnings = append(d.warnings, fmt.Sprintf("sweep recovery: %v", err))
+		d.Warnings = append(d.Warnings, fmt.Sprintf("sweep recovery: %v", err))
 	}
 
-	d.handler = newServer(d.sched, d.cache, d.sweeps, d.metrics)
+	d.Handler = newServer(d.Sched, d.Cache, d.Sweeps, d.Metrics)
 	return d, nil
 }
 
@@ -124,8 +135,8 @@ func registerCacheMetrics(m *obs.Registry, cache *results.Cache) {
 
 // Close drains the scheduler, then closes the journal — worker
 // completion records are still being appended until Close returns.
-func (d *daemon) Close() {
-	d.sched.Close()
+func (d *Daemon) Close() {
+	d.Sched.Close()
 	if d.journal != nil {
 		d.journal.Close()
 	}

@@ -1,0 +1,174 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"imagebench/internal/runner"
+)
+
+// submitWait posts a wait=true job and returns its terminal Info.
+func submitWait(t *testing.T, baseURL, experiment, profile string) runner.Info {
+	t.Helper()
+	body := fmt.Sprintf(`{"experiments":[%q],"profile":%q,"wait":true}`, experiment, profile)
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit %s/%s: status %d: %s", experiment, profile, resp.StatusCode, b)
+	}
+	var out struct {
+		Jobs []runner.Info `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 1 {
+		t.Fatalf("submit returned %d jobs, want 1", len(out.Jobs))
+	}
+	return out.Jobs[0]
+}
+
+// Regression test for the eviction 404: a job pushed out of the
+// retained index by MaxJobs used to vanish from GET /v1/jobs/{id} even
+// though its result was still sitting in the cache, so pollers saw
+// "unknown job" for work that had succeeded. Evicted terminal jobs must
+// answer from their tombstone as long as the result is fetchable.
+// Before the EvictedInfo fallback in handleJob this test failed with a
+// 404 on the first poll below.
+func TestEvictedJobAnswersFromTombstone(t *testing.T) {
+	d, err := New(Config{Workers: 2, MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	registerFakes()
+	ts := httptest.NewServer(d.Handler)
+	t.Cleanup(ts.Close)
+
+	first := submitWait(t, ts.URL, "zz-test-http", "quick")
+	if first.Status != runner.StatusDone {
+		t.Fatalf("first job status = %s, want done", first.Status)
+	}
+	// Two more distinct terminated jobs push the first past MaxJobs=2.
+	submitWait(t, ts.URL, "zz-test-conc", "quick")
+	submitWait(t, ts.URL, "zz-test-http", "full")
+	if _, ok := d.Sched.Job(first.ID); ok {
+		t.Fatalf("job %s still in the retained index; eviction did not trigger", first.ID)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET evicted job: status %d, want 200 (eviction regression): %s", resp.StatusCode, b)
+	}
+	var got runner.Info
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Evicted {
+		t.Error("evicted job's Info.Evicted = false, want true")
+	}
+	if got.Status != runner.StatusDone || got.ID != first.ID ||
+		got.Experiment != first.Experiment || got.ResultKey != first.ResultKey {
+		t.Errorf("tombstone Info mismatch: got %+v, want terminal fields of %+v", got, first)
+	}
+
+	// The tombstone's promise is that the result is still fetchable.
+	rr, err := http.Get(ts.URL + "/v1/results/" + first.ResultKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Errorf("GET result of evicted job: status %d, want 200", rr.StatusCode)
+	}
+
+	// Truly unknown IDs must still 404 — the fallback must not turn the
+	// endpoint into a 200-for-anything.
+	nf, err := http.Get(ts.URL + "/v1/jobs/no-such-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job: status %d, want 404", nf.StatusCode)
+	}
+}
+
+// The daemon's listeners used to set only ReadHeaderTimeout, so a
+// client that stalled mid-body (or mid-headers) pinned its connection
+// forever. NewHTTPServer must shed such connections while healthy
+// requests keep flowing.
+func TestStalledConnectionIsShed(t *testing.T) {
+	d, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	timeouts := Timeouts{
+		ReadHeader: 200 * time.Millisecond,
+		Read:       400 * time.Millisecond,
+		Write:      2 * time.Second,
+		Idle:       400 * time.Millisecond,
+	}
+	srv := NewHTTPServer("", d.Handler, timeouts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	base := "http://" + ln.Addr().String()
+
+	// A stalled agent: sends a partial request then goes silent. The
+	// server must close the connection once the read timeouts fire,
+	// surfacing EOF on our next read instead of hanging.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n{\"exper")); err != nil {
+		t.Fatal(err)
+	}
+	// The server may write a 408 before closing; drain until it tears
+	// the connection down (EOF or reset). Only a read deadline expiring
+	// means the connection was held open — the pre-fix behaviour.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	_, readErr := io.ReadAll(conn)
+	var ne net.Error
+	if errors.As(readErr, &ne) && ne.Timeout() {
+		t.Fatal("server kept the stalled connection open")
+	}
+	if waited := time.Since(start); waited > 4*time.Second {
+		t.Fatalf("stalled connection held for %s; timeouts did not fire", waited)
+	}
+
+	// Healthy traffic is unaffected.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after shedding: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -22,7 +22,7 @@ import (
 // ones and one that blocks on a gate, so a sweep can be frozen
 // mid-flight with some cells completed and some not. A shared "crashed"
 // flag makes every fake fail instantly while the first daemon is being
-// torn down, which is how a kill looks to the journal: accepted
+// torn down, which is how a kill looks to the Journal: accepted
 // submissions with no completion.
 
 var (
@@ -109,11 +109,11 @@ func TestDaemonRestartMidSweep(t *testing.T) {
 	rsRegisterFakes()
 	rsRuns.Range(func(_, c any) bool { c.(*atomic.Int64).Store(0); return true })
 	dir := t.TempDir()
-	cfg := daemonConfig{
-		workers:  1, // serial: cells complete in deterministic order up to the gate
-		cacheDir: filepath.Join(dir, "cache"),
-		journal:  filepath.Join(dir, "journal.jsonl"),
-		sweepDir: filepath.Join(dir, "sweeps"),
+	cfg := Config{
+		Workers:  1, // serial: cells complete in deterministic order up to the gate
+		CacheDir: filepath.Join(dir, "cache"),
+		Journal:  filepath.Join(dir, "journal.jsonl"),
+		SweepDir: filepath.Join(dir, "sweeps"),
 	}
 
 	// --- Phase 1: submit the sweep, let two cells finish, crash. ---
@@ -122,11 +122,11 @@ func TestDaemonRestartMidSweep(t *testing.T) {
 	rsSetGate(gate)
 	defer rsSetGate(nil)
 
-	d1, err := newDaemon(cfg)
+	d1, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1 := httptest.NewServer(d1.handler)
+	ts1 := httptest.NewServer(d1.Handler)
 
 	body := `{"experiments":["zz-rs-*"]}`
 	resp, err := http.Post(ts1.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(body)))
@@ -173,22 +173,22 @@ func TestDaemonRestartMidSweep(t *testing.T) {
 	// --- Phase 2: restart on the same dirs. ---
 	rsCrashed.Store(false)
 	rsSetGate(nil)
-	d2, err := newDaemon(cfg)
+	d2, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d2.Close()
-	ts2 := httptest.NewServer(d2.handler)
+	ts2 := httptest.NewServer(d2.Handler)
 	defer ts2.Close()
 
-	if d2.recoveredSweeps != 1 {
-		t.Errorf("recovered %d sweeps, want 1 (warnings: %v)", d2.recoveredSweeps, d2.warnings)
+	if d2.RecoveredSweeps != 1 {
+		t.Errorf("recovered %d sweeps, want 1 (warnings: %v)", d2.RecoveredSweeps, d2.Warnings)
 	}
-	if d2.recoveredJobs != 4 {
-		t.Errorf("recovered %d pending jobs, want 4 (cgate, d, e, f)", d2.recoveredJobs)
+	if d2.RecoveredJobs != 4 {
+		t.Errorf("recovered %d pending jobs, want 4 (cgate, d, e, f)", d2.RecoveredJobs)
 	}
-	if len(d2.warnings) > 0 {
-		t.Errorf("recovery warnings: %v", d2.warnings)
+	if len(d2.Warnings) > 0 {
+		t.Errorf("recovery warnings: %v", d2.Warnings)
 	}
 
 	// The sweep is immediately addressable and finishes without help.

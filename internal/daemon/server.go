@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -117,6 +117,7 @@ type metrics struct {
 	JobsExecuted            int64   `json:"jobs_executed"`
 	JobsFailed              int64   `json:"jobs_failed"`
 	JobsDeduped             int64   `json:"jobs_deduped"`
+	JobsCacheHits           int64   `json:"jobs_cache_hits"`
 	JobsInFlight            int     `json:"jobs_in_flight"`
 	JobsRunning             int64   `json:"jobs_running"`
 	CacheHits               int64   `json:"cache_hits"`
@@ -139,6 +140,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsExecuted:            st.Executed,
 		JobsFailed:              st.Failed,
 		JobsDeduped:             st.Deduped,
+		JobsCacheHits:           st.CacheHits,
 		JobsInFlight:            st.InFlight,
 		JobsRunning:             st.Running,
 		CacheHits:               cst.Hits,
@@ -258,6 +260,15 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.sched.Job(id)
 	if !ok {
+		// The job index is bounded: a terminated job may have been
+		// evicted while a poller still holds its ID. As long as its
+		// terminal state is reconstructible (and, for done jobs, the
+		// result still cached), answer from the tombstone instead of
+		// 404ing work that succeeded.
+		if info, ok := s.sched.EvictedInfo(id); ok {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramShardedSemantics pins that sharding changed nothing
+// observable: a deterministic set of observations produces exactly the
+// exposition the unsharded layout produced — cumulative buckets, +Inf,
+// _sum, and _count.
+func TestHistogramShardedSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_lat", "help", []float64{0.25, 0.5, 1})
+	for _, v := range []float64{0.125, 0.25, 0.5, 2, 1} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP t_lat help
+# TYPE t_lat histogram
+t_lat_bucket{le="0.25"} 2
+t_lat_bucket{le="0.5"} 3
+t_lat_bucket{le="1"} 4
+t_lat_bucket{le="+Inf"} 5
+t_lat_sum 3.875
+t_lat_count 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition changed under sharding:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race in CI) and checks that no observation is
+// lost or double-counted across the shards.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_conc", "", DefLatencyBuckets)
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != goroutines*perG {
+		t.Errorf("bucket counts sum to %d, want %d", sum, goroutines*perG)
+	}
+	// Per goroutine: perG/100 full cycles of sum(0..99)/1000.
+	wantSum := float64(goroutines) * (perG / 100) * (99 * 100 / 2) / 1000
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramShardCap proves shard growth is bounded even when the
+// pool is drained (as a GC purge would): takeShard past the cap
+// recycles existing shards instead of allocating forever.
+func TestHistogramShardCap(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_cap", "", []float64{1})
+	for i := 0; i < 10*h.maxShards; i++ {
+		sh := h.takeShard() // never returned to the pool
+		sh.count.Add(1)
+	}
+	h.mu.Lock()
+	n := len(h.shards)
+	h.mu.Unlock()
+	if n > h.maxShards {
+		t.Errorf("grew %d shards, cap is %d", n, h.maxShards)
+	}
+	if s := h.Snapshot(); s.Count != uint64(10*h.maxShards) {
+		t.Errorf("recycled shards lost counts: %d, want %d", s.Count, 10*h.maxShards)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_q", "", []float64{0.1, 0.2, 0.4, 0.8})
+
+	if q := h.Snapshot().Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %v, want NaN", q)
+	}
+	if m := h.Snapshot().Mean(); !math.IsNaN(m) {
+		t.Errorf("empty histogram mean = %v, want NaN", m)
+	}
+
+	// 100 observations uniformly into the (0.1, 0.2] bucket: the median
+	// interpolates to the bucket midpoint region.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.15)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0.1 || q > 0.2 {
+		t.Errorf("p50 = %v, want within (0.1, 0.2]", q)
+	}
+	// Exact interpolation: rank 50 of 100 in a bucket spanning
+	// (0.1, 0.2] with all 100 counts → 0.1 + 0.1*50/100 = 0.15.
+	if q := s.Quantile(0.5); math.Abs(q-0.15) > 1e-12 {
+		t.Errorf("p50 = %v, want 0.15 by linear interpolation", q)
+	}
+	if q := s.Quantile(1); math.Abs(q-0.2) > 1e-12 {
+		t.Errorf("p100 = %v, want bucket upper bound 0.2", q)
+	}
+	if m := s.Mean(); math.Abs(m-0.15) > 1e-12 {
+		t.Errorf("mean = %v, want 0.15", m)
+	}
+
+	// Overflow observations clamp to the highest finite bound.
+	h2 := r.NewHistogram("t_q2", "", []float64{0.1, 0.2})
+	for i := 0; i < 10; i++ {
+		h2.Observe(99)
+	}
+	if q := h2.Snapshot().Quantile(0.99); q != 0.2 {
+		t.Errorf("overflow quantile = %v, want clamp to 0.2", q)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures the Observe hot path under
+// the loadgen's concurrency shape: every P observing in a tight loop.
+// Before sharding this serialized all cores on one cache line's CAS
+// loop; after, each P mostly owns a pool-local shard.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("b_lat", "", FineLatencyBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0001
+		for pb.Next() {
+			h.Observe(v)
+			v += 0.0001
+			if v > 1 {
+				v = 0.0001
+			}
+		}
+	})
+	if s := h.Snapshot(); s.Count != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", s.Count, b.N)
+	}
+}

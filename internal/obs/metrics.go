@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -353,37 +354,164 @@ func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 // cumulative style: observations land in the first bucket whose upper
 // bound is >= the value, and exposition emits cumulative counts with an
 // implicit +Inf bucket, plus _sum and _count series.
+//
+// Storage is sharded: Observe borrows a shard through a sync.Pool (the
+// pool's per-P caches hand each OS thread its own shard almost every
+// time), so concurrent observers from many goroutines do not fight over
+// one set of cache lines. Shard fields are still atomics — a scrape
+// reads them while observers write — but uncontended atomic adds are
+// cheap; it is the cross-core contention this removes. Exposition
+// merges the shards, so the wire format is byte-identical to the
+// unsharded layout.
 type Histogram struct {
 	name, help string
-	bounds     []float64       // sorted upper bounds, +Inf implicit
-	counts     []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
-	sum        atomicFloat
-	count      atomic.Uint64
+	bounds     []float64 // sorted upper bounds, +Inf implicit
+
+	pool      sync.Pool
+	mu        sync.Mutex   // guards shards growth and rr
+	shards    []*histShard // every shard ever created; never dropped
+	rr        int          // round-robin cursor once maxShards is hit
+	maxShards int
+}
+
+// histShard is one observer's slice of the histogram's storage.
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomicFloat
+	count  atomic.Uint64
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	sh, _ := h.pool.Get().(*histShard)
+	if sh == nil {
+		sh = h.takeShard()
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.count.Add(1)
+	sh.counts[i].Add(1)
+	sh.sum.Add(v)
+	sh.count.Add(1)
+	h.pool.Put(sh)
+}
+
+// takeShard returns a shard for an observer whose pool came up empty:
+// a fresh one while under the cap, a round-robin pick of the existing
+// ones after (a GC purges the pool's caches, and unbounded regrowth
+// would leak a shard per purge). A recycled shard may be concurrently
+// owned by another observer; that is safe, the fields are atomic.
+func (h *Histogram) takeShard() *histShard {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.shards) < h.maxShards {
+		sh := &histShard{counts: make([]atomic.Uint64, len(h.bounds)+1)}
+		h.shards = append(h.shards, sh)
+		return sh
+	}
+	sh := h.shards[h.rr%len(h.shards)]
+	h.rr++
+	return sh
+}
+
+// HistSnapshot is a point-in-time merge of a histogram's shards, the
+// raw material for quantile estimates and summary artifacts. Counts is
+// per-bucket (not cumulative) with the +Inf overflow last, so
+// len(Counts) == len(Bounds)+1.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot merges the shards. Concurrent observers keep writing while
+// the merge runs, so the totals are advisory to within the in-flight
+// handful — the same guarantee the unsharded exposition had.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	shards := append([]*histShard(nil), h.shards...)
+	h.mu.Unlock()
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for _, sh := range shards {
+		for i := range sh.counts {
+			s.Counts[i] += sh.counts[i].Load()
+		}
+		s.Sum += sh.sum.Load()
+		s.Count += sh.count.Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket that crosses the target rank, the
+// same estimate PromQL's histogram_quantile gives. The first bucket
+// interpolates from zero (latencies are non-negative); ranks landing
+// in the +Inf overflow clamp to the highest finite bound. Returns NaN
+// for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, b := range s.Bounds {
+		c := float64(s.Counts[i])
+		if cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			return lower + (b-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observation, NaN when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
 }
 
 func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
 func (h *Histogram) sample(emit func(string, string, float64)) {
+	s := h.Snapshot()
 	var cum uint64
 	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
+		cum += s.Counts[i]
 		emit("_bucket", `{le="`+formatFloat(b)+`"}`, float64(cum))
 	}
-	emit("_bucket", `{le="+Inf"}`, float64(h.count.Load()))
-	emit("_sum", "", h.sum.Load())
-	emit("_count", "", float64(h.count.Load()))
+	emit("_bucket", `{le="+Inf"}`, float64(s.Count))
+	emit("_sum", "", s.Sum)
+	emit("_count", "", float64(s.Count))
 }
 
 // DefLatencyBuckets are the default upper bounds (seconds) for job and
 // request latency histograms.
 var DefLatencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// FineLatencyBuckets are finer upper bounds (seconds) for HTTP
+// request latencies, where the interesting mass sits well under a
+// millisecond: the loadgen harness needs sub-millisecond resolution to
+// report a meaningful p50 for cache-hit responses.
+var FineLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
 
 // NewHistogram returns the histogram registered under name with the
 // given bucket upper bounds (ascending; +Inf is implicit and must not
@@ -403,7 +531,9 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	f := r.register(name,
 		func() metricFamily {
 			h := &Histogram{name: name, help: help, bounds: append([]float64(nil), bounds...)}
-			h.counts = make([]atomic.Uint64, len(bounds)+1)
+			// Enough shards that every P can hold one with headroom for
+			// pool churn; past the cap, observers share round-robin.
+			h.maxShards = 4 * runtime.GOMAXPROCS(0)
 			return h
 		},
 		func(f metricFamily) (metricFamily, bool) {

@@ -111,6 +111,11 @@ type Info struct {
 	CacheHit    bool    `json:"cacheHit"`
 	Submitted   string  `json:"submitted"`
 	ElapsedSec  float64 `json:"elapsedSec"`
+	// Evicted marks an Info reconstructed from an eviction tombstone:
+	// the job itself left the retained index (MaxJobs exceeded), but its
+	// terminal state — and, for done jobs, its result in the
+	// content-addressed cache — survived it.
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // ID returns the job's scheduler-assigned identifier.
@@ -213,6 +218,15 @@ type Scheduler struct {
 	inflight map[string]*Job // by result key, queued or running
 	nextSeq  int64
 	vsecs    float64 // virtual seconds simulated (guarded by mu)
+
+	// Eviction tombstones: when evictLocked drops a terminated job, the
+	// few bytes a poller needs to find its result again (the job ID →
+	// result key mapping plus terminal state) are retained here, FIFO-
+	// bounded by MaxJobs. Without this, a submit-then-poll client whose
+	// job was evicted under load sees a 404 even though the result is
+	// sitting in the content-addressed cache.
+	tombs     map[string]tombstone
+	tombOrder []string
 
 	jobLatency *obs.Histogram
 
@@ -385,10 +399,26 @@ func (s *Scheduler) newJobLocked(e *core.Experiment, p core.Profile, key string)
 	return j
 }
 
+// tombstone is what eviction keeps of a terminated job: enough to
+// answer a late poll (terminal status, result key) without retaining
+// the job, its table reference, or its span tree.
+type tombstone struct {
+	key         string
+	experiment  string
+	profile     string
+	status      Status
+	errMsg      string
+	unsupported bool
+	cacheHit    bool
+	submitted   time.Time
+	elapsedSec  float64
+}
+
 // evictLocked trims terminated jobs, oldest first, once the retained
 // index exceeds MaxJobs; s.mu must be held. Queued and running jobs are
 // never evicted, so the index can exceed the bound transiently while
-// that many jobs are genuinely live.
+// that many jobs are genuinely live. Each evicted job leaves a
+// tombstone (see EvictedInfo), themselves FIFO-bounded by MaxJobs.
 func (s *Scheduler) evictLocked() {
 	if len(s.jobs) <= s.opts.MaxJobs {
 		return
@@ -397,6 +427,7 @@ func (s *Scheduler) evictLocked() {
 	for _, j := range s.order {
 		if len(s.jobs) > s.opts.MaxJobs && j.terminated() {
 			delete(s.jobs, j.id)
+			s.entombLocked(j)
 			continue
 		}
 		kept = append(kept, j)
@@ -405,6 +436,74 @@ func (s *Scheduler) evictLocked() {
 		s.order[i] = nil // release evicted jobs to the GC
 	}
 	s.order = kept
+}
+
+// entombLocked records an evicted job's terminal state; s.mu must be
+// held and the job must be terminated (its fields are settled, so
+// reading them without j.mu cannot race finish).
+func (s *Scheduler) entombLocked(j *Job) {
+	if s.tombs == nil {
+		s.tombs = make(map[string]tombstone)
+	}
+	t := tombstone{
+		key:        j.key,
+		experiment: j.exp.ID,
+		profile:    j.profile.Name,
+		status:     j.status,
+		cacheHit:   j.cacheHit,
+		submitted:  j.submitted,
+	}
+	if j.err != nil {
+		t.errMsg = j.err.Error()
+		t.unsupported = errors.Is(j.err, engine.ErrUnsupported)
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		t.elapsedSec = j.finished.Sub(j.started).Seconds()
+	}
+	s.tombs[j.id] = t
+	s.tombOrder = append(s.tombOrder, j.id)
+	// A tombstone is ~150 bytes against a job's table and span tree, so
+	// retaining 4x MaxJobs of them is cheap and keeps the poll window
+	// usefully wider than the job window under heavy submit traffic.
+	for len(s.tombOrder) > 4*s.opts.MaxJobs {
+		delete(s.tombs, s.tombOrder[0])
+		s.tombOrder = s.tombOrder[1:]
+	}
+}
+
+// EvictedInfo reconstructs a terminal Info for a job that was evicted
+// from the retained index. For done jobs it additionally requires the
+// result to still be present in the cache (checked with Peek, so the
+// probe does not skew client hit rates): a tombstone whose result has
+// vanished is as unanswerable as no tombstone at all.
+func (s *Scheduler) EvictedInfo(id string) (Info, bool) {
+	s.mu.Lock()
+	t, ok := s.tombs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Info{}, false
+	}
+	if t.status == StatusDone {
+		if s.opts.Cache == nil {
+			return Info{}, false
+		}
+		if _, ok := s.opts.Cache.Peek(t.key); !ok {
+			return Info{}, false
+		}
+	}
+	return Info{
+		ID:          id,
+		Experiment:  t.experiment,
+		Profile:     t.profile,
+		ResultKey:   t.key,
+		Status:      t.status,
+		Error:       t.errMsg,
+		Unsupported: t.unsupported,
+		CacheHit:    t.cacheHit,
+		Submitted:   t.submitted.UTC().Format(time.RFC3339Nano),
+		ElapsedSec:  t.elapsedSec,
+		Evicted:     true,
+	}, true
 }
 
 // terminated reports whether the job has reached a terminal state.

@@ -314,6 +314,60 @@ func TestJobEviction(t *testing.T) {
 	if !cache.Contains(jobs[0].Key()) {
 		t.Error("evicted job's result missing from cache")
 	}
+
+	// The eviction left a tombstone: a poller that kept the job ID can
+	// still learn the terminal state and the result key.
+	info, ok := s.EvictedInfo(jobs[0].ID())
+	if !ok {
+		t.Fatal("EvictedInfo: no tombstone for the evicted job")
+	}
+	if info.Status != StatusDone || !info.Evicted || info.ResultKey != jobs[0].Key() {
+		t.Errorf("EvictedInfo = %+v, want done/evicted with key %s", info, jobs[0].Key())
+	}
+	if info.Experiment != "zz-test-ok" || info.ID != jobs[0].ID() {
+		t.Errorf("EvictedInfo identity = %+v", info)
+	}
+	// Live jobs have no tombstone.
+	if _, ok := s.EvictedInfo(jobs[2].ID()); ok {
+		t.Error("EvictedInfo answered for a retained job")
+	}
+	if _, ok := s.EvictedInfo("job-does-not-exist"); ok {
+		t.Error("EvictedInfo answered for an unknown ID")
+	}
+}
+
+// TestEvictedFailedJobTombstone: failed jobs have no cached result, but
+// their tombstone still answers a late poll with the terminal failure
+// instead of pretending the job never existed.
+func TestEvictedFailedJobTombstone(t *testing.T) {
+	cache, _ := results.Open("")
+	s := newTestScheduler(t, Options{Workers: 1, MaxJobs: 1, Cache: cache})
+
+	fail, err := s.Submit("zz-test-fail", core.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fail.Done()
+	// Push enough terminated jobs through to evict the failed one.
+	for _, p := range []core.Profile{core.Quick(), core.Full()} {
+		j, err := s.Submit("zz-test-ok", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Wait(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Job(fail.ID()); ok {
+		t.Fatal("failed job not evicted; test setup broken")
+	}
+	info, ok := s.EvictedInfo(fail.ID())
+	if !ok {
+		t.Fatal("no tombstone for evicted failed job")
+	}
+	if info.Status != StatusFailed || info.Error == "" || !info.Evicted {
+		t.Errorf("EvictedInfo = %+v, want failed with error", info)
+	}
 }
 
 func TestQueueFull(t *testing.T) {
