@@ -1,8 +1,8 @@
 package main
 
 import (
+	"bufio"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -10,8 +10,10 @@ import (
 	"strings"
 	"time"
 
+	"imagebench/internal/bench"
 	"imagebench/internal/cluster"
 	"imagebench/internal/core"
+	"imagebench/internal/fsatomic"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
 	"imagebench/internal/sweep"
@@ -32,9 +34,10 @@ func sweepMain(args []string) {
 		"cells whose experiment has no allowed engine show as n/a, not errors")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "result-cache directory (empty = no cross-run caching)")
-	out := fs.String("out", "", "write the combined sweep artifact (JSON) to this file")
+	out := fs.String("out", "", "write the combined sweep artifact (JSON) to this file, streamed cell by cell")
 	interval := fs.Duration("interval", 500*time.Millisecond, "live grid refresh interval")
 	quiet := fs.Bool("quiet", false, "suppress the live grid; print only the final summary")
+	memStats := fs.Bool("mem-stats", false, "sample the heap during the sweep and print peak usage at the end")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: imagebench sweep [flags] <experiment-id-or-glob>...\n\n"+
 			"Runs every experiment × profile × override combination as one batch,\n"+
@@ -103,12 +106,40 @@ func sweepMain(args []string) {
 		fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
 		os.Exit(1)
 	}
+	var sampler *bench.HeapSampler
+	if *memStats {
+		sampler = bench.StartHeapSampler(0)
+	}
 	s, _, err := mgr.Submit(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("sweep %s: %d cells\n", s.ID, len(s.Cells))
+
+	// The artifact streams while the sweep runs: each cell is appended
+	// (and its retained table released) the moment it finishes, so the
+	// process holds O(workers) tables no matter how many cells the grid
+	// has. The bytes land in a temp file and rename into place on
+	// Commit, so a crash mid-sweep never leaves a torn artifact.
+	var artFile *fsatomic.File
+	artDone := make(chan error, 1)
+	if *out != "" {
+		artFile, err = fsatomic.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+			os.Exit(1)
+		}
+		defer artFile.Abort()
+		go func() {
+			bw := bufio.NewWriter(artFile)
+			_, err := s.StreamArtifact(context.Background(), bw, cache)
+			if err == nil {
+				err = bw.Flush()
+			}
+			artDone <- err
+		}()
+	}
 
 	if *quiet {
 		// No grid wanted: block on completion instead of polling.
@@ -142,11 +173,19 @@ func sweepMain(args []string) {
 		s.ID, final.Done, final.Hits, final.Failed, final.Unsupported)
 
 	if *out != "" {
-		if err := writeArtifact(*out, s, cache, final); err != nil {
+		if err := <-artDone; err != nil {
+			fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
+			os.Exit(1)
+		}
+		if err := artFile.Commit(); err != nil {
 			fmt.Fprintln(os.Stderr, "imagebench sweep:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if sampler != nil {
+		peak, delta := sampler.Stop()
+		fmt.Printf("peak heap: %d bytes (%d above start)\n", peak, delta)
 	}
 	if final.Failed > 0 {
 		for _, c := range final.Cells {
@@ -232,46 +271,4 @@ func cellMark(ci sweep.CellInfo) string {
 	default:
 		return "."
 	}
-}
-
-// artifactCell is one cell of the combined JSON artifact.
-type artifactCell struct {
-	Experiment string      `json:"experiment"`
-	Profile    string      `json:"profile"`
-	Key        string      `json:"key"`
-	Status     string      `json:"status"`
-	CacheHit   bool        `json:"cacheHit,omitempty"`
-	Error      string      `json:"error,omitempty"`
-	ElapsedSec float64     `json:"elapsedSec"`
-	Table      *core.Table `json:"table,omitempty"`
-}
-
-// writeArtifact assembles the sweep's combined JSON artifact: spec,
-// aggregate summary, and every cell with its table (NaN cells as null).
-func writeArtifact(path string, s *sweep.Sweep, cache *results.Cache, final sweep.Info) error {
-	cells := make([]artifactCell, 0, len(s.Cells))
-	for i, c := range s.Cells {
-		ci := final.Cells[i]
-		ac := artifactCell{
-			Experiment: c.Experiment, Profile: c.Profile.Name, Key: c.Key,
-			Status: string(ci.Status), CacheHit: ci.CacheHit,
-			Error: ci.Error, ElapsedSec: ci.ElapsedSec,
-		}
-		if tab, ok := s.Result(c, cache); ok {
-			ac.Table = tab
-		}
-		cells = append(cells, ac)
-	}
-	summary := final
-	summary.Cells = nil
-	b, err := json.MarshalIndent(map[string]any{
-		"id":      s.ID,
-		"spec":    s.Spec,
-		"summary": summary,
-		"cells":   cells,
-	}, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

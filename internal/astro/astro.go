@@ -13,7 +13,6 @@ import (
 	"math"
 	"sort"
 
-	"imagebench/internal/fits"
 	"imagebench/internal/imaging"
 	"imagebench/internal/objstore"
 	"imagebench/internal/skymap"
@@ -213,32 +212,38 @@ func Detect(co *skymap.Coadd) []imaging.Source {
 // LoadExposures decodes every staged FITS exposure, sorted by key.
 func LoadExposures(store *objstore.Store) ([]*skymap.Exposure, error) {
 	var out []*skymap.Exposure
-	for _, key := range store.List("astro/fits/") {
-		obj, err := store.Get(key)
-		if err != nil {
-			return nil, err
-		}
-		e, err := fits.DecodeExposure(obj.Data)
-		if err != nil {
-			return nil, fmt.Errorf("astro: decoding %s: %w", key, err)
-		}
+	err := EachExposure(store, func(e *skymap.Exposure) error {
 		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Reference runs the single-node reference implementation (the Python +
-// LSST-stack baseline): all four steps, sequentially.
+// LSST-stack baseline): all four steps. Exposures stream through Steps
+// 1A and 2A one at a time — load, calibrate, project onto overlapping
+// patches, discard — so the pipeline holds the patch pieces (the
+// co-addition input) but never the full exposure set. Piece order, and
+// therefore every downstream result, is identical to the materialized
+// form's.
 func Reference(w *Workload) (*Result, error) {
-	exposures, err := LoadExposures(w.Store)
+	g := w.Grid()
+	var pieces []*skymap.PatchExposure
+	err := EachExposure(w.Store, func(e *skymap.Exposure) error {
+		cal := Preprocess(e)
+		for _, p := range g.ExposureOverlaps(cal) {
+			piece := g.Project(cal, p)
+			pieces = append(pieces, piece)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	calibrated := make([]*skymap.Exposure, len(exposures))
-	for i, e := range exposures {
-		calibrated[i] = Preprocess(e)
-	}
-	pes, err := CreatePatches(w.Grid(), calibrated)
+	pes, err := skymap.AssemblePatches(pieces)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,34 @@
+// Streaming plumbing for the reference pipeline: the one-at-a-time
+// exposure loader Steps 1A/2A pull from. This is harness-side memory
+// machinery, not per-system pipeline code, so it lives outside
+// astro.go (the file Table 1 measures as the reference implementation).
+
+package astro
+
+import (
+	"fmt"
+
+	"imagebench/internal/fits"
+	"imagebench/internal/objstore"
+	"imagebench/internal/skymap"
+)
+
+// EachExposure decodes the staged FITS exposures one at a time in key
+// order and hands each to fn, so only one sensor image is materialized
+// at once. fn owns the exposure and may mutate or retain it.
+func EachExposure(store *objstore.Store, fn func(e *skymap.Exposure) error) error {
+	for _, key := range store.List("astro/fits/") {
+		obj, err := store.Get(key)
+		if err != nil {
+			return err
+		}
+		e, err := fits.DecodeExposure(obj.Data)
+		if err != nil {
+			return fmt.Errorf("astro: decoding %s: %w", key, err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

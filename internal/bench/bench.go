@@ -26,6 +26,11 @@ const (
 	MetricWallNS     = "wall_ns"
 	MetricAllocs     = "allocs"
 	MetricAllocBytes = "alloc_bytes"
+	// MetricHeapBytes is the peak live-heap growth during a repetition
+	// (max sampled HeapAlloc minus HeapAlloc at rep start). Unlike
+	// alloc_bytes, which counts churn, this is the case's working-set
+	// high-water mark — the number the streaming pipelines bound.
+	MetricHeapBytes = "heap_bytes"
 	// MetricVirtualSeconds and MetricVSPerCell are deterministic
 	// simulator outputs: identical on every machine for a given code
 	// version, so the comparator holds them to an exact tolerance.
@@ -51,7 +56,7 @@ func MetricClass(name string) string {
 // StandardMetrics lists the metrics the harness records for every
 // case, in display order.
 func StandardMetrics() []string {
-	return []string{MetricWallNS, MetricAllocs, MetricAllocBytes, MetricVirtualSeconds, MetricVSPerCell}
+	return []string{MetricWallNS, MetricAllocs, MetricAllocBytes, MetricHeapBytes, MetricVirtualSeconds, MetricVSPerCell}
 }
 
 // exactMetrics are the deterministic metrics gated by CompareOpts.Exact
@@ -146,11 +151,17 @@ func Run(ctx context.Context, cases []Case, opts Options) (*Artifact, error) {
 		}
 		samples := make(map[string][]float64)
 		for rep := 0; rep < reps; rep++ {
+			// Collect before the baseline read so heap_bytes measures
+			// growth above the *live* heap, not above whatever garbage
+			// the previous repetition left uncollected.
+			runtime.GC()
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
+			heap := StartHeapSampler(0)
 			start := time.Now()
 			extra, err := c.Run(ctx)
 			wall := time.Since(start)
+			_, heapDelta := heap.Stop()
 			runtime.ReadMemStats(&after)
 			if err != nil {
 				return nil, fmt.Errorf("bench: case %s rep %d: %w", c.Name, rep, err)
@@ -158,6 +169,7 @@ func Run(ctx context.Context, cases []Case, opts Options) (*Artifact, error) {
 			samples[MetricWallNS] = append(samples[MetricWallNS], float64(wall.Nanoseconds()))
 			samples[MetricAllocs] = append(samples[MetricAllocs], float64(after.Mallocs-before.Mallocs))
 			samples[MetricAllocBytes] = append(samples[MetricAllocBytes], float64(after.TotalAlloc-before.TotalAlloc))
+			samples[MetricHeapBytes] = append(samples[MetricHeapBytes], float64(heapDelta))
 			for name, v := range extra {
 				samples[name] = append(samples[name], v)
 			}

@@ -120,7 +120,7 @@ func TestSelectCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantLen := len(core.All()) + len(KernelCases()) + len(ServeCases())
+	wantLen := len(core.All()) + len(KernelCases()) + len(SweepCases()) + len(ServeCases())
 	if len(all) != wantLen {
 		t.Fatalf("default set has %d cases, want %d", len(all), wantLen)
 	}

@@ -119,6 +119,7 @@ func DefaultCases(p core.Profile) []Case {
 		out = append(out, ExperimentCase(e, p))
 	}
 	out = append(out, KernelCases()...)
+	out = append(out, SweepCases()...)
 	return append(out, ServeCases()...)
 }
 

@@ -118,6 +118,9 @@ var gatedMetrics = map[string]bool{
 	MetricWallNS:     true,
 	MetricAllocs:     true,
 	MetricAllocBytes: true,
+	// Peak-heap deltas move with GC scheduling, so they share the noisy
+	// tolerance rather than the exact gate.
+	MetricHeapBytes: true,
 }
 
 // Compare diffs current against baseline. Cases present in the

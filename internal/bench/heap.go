@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// HeapSampler polls runtime.ReadMemStats on a background goroutine and
+// tracks the peak HeapAlloc observed — the measurement behind the
+// heap_bytes metric and the sweep CLI's -mem-stats flag. Peak live
+// heap is the number the streaming-pipeline work is accountable to:
+// TotalAlloc-style churn counters cannot distinguish "allocated and
+// released per block" from "held the whole dataset", but peak
+// HeapAlloc can.
+type HeapSampler struct {
+	base uint64
+
+	mu   sync.Mutex
+	peak uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeapSampler begins sampling every interval (<=0 means 5ms). The
+// baseline for Delta is HeapAlloc at this call.
+func StartHeapSampler(interval time.Duration) *HeapSampler {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := &HeapSampler{
+		base: ms.HeapAlloc,
+		peak: ms.HeapAlloc,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				h.sample()
+				return
+			case <-t.C:
+				h.sample()
+			}
+		}
+	}()
+	return h
+}
+
+func (h *HeapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.mu.Lock()
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	h.mu.Unlock()
+}
+
+// Stop takes a final sample, ends the sampler, and returns the peak
+// HeapAlloc observed plus its delta over the baseline at start (zero
+// if the heap only shrank). Sampling is periodic, so a spike shorter
+// than the interval can be missed — peaks are a floor, not an exact
+// high-water mark.
+func (h *HeapSampler) Stop() (peak, delta uint64) {
+	close(h.stop)
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.peak < h.base {
+		return h.peak, 0
+	}
+	return h.peak, h.peak - h.base
+}

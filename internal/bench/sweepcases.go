@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime/debug"
+
+	"imagebench/internal/core"
+	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
+)
+
+// Sweep memory cases: the same experiment swept across axisPoints
+// cluster-size points, streamed to a discarded artifact on a
+// single-worker pool. The point is heap_bytes, not wall time: the
+// artifact streams cells out (and releases their tables) as they
+// finish, so the 10x grid's peak heap must stay in the same band as
+// the 1x grid's — O(workers) footprint, not O(cells). The two cases
+// exist precisely so the committed baseline carries that ratio.
+const (
+	sweepCaseExperiment = "fig10f"
+	sweepCase1xPoints   = 4
+	sweepCase10xPoints  = 40
+)
+
+func sweepMemCase(name string, axisPoints int) Case {
+	return Case{
+		Name: name,
+		Run: func(ctx context.Context) (map[string]float64, error) {
+			// Tighten GC pacing for the duration of the case: with the
+			// default GOGC the pacer lets dead cell churn pile up in
+			// proportion to how long the sweep runs, which would make
+			// peak heap scale with cell count even though the *live*
+			// working set does not. At GOGC=10 the sampled peak tracks
+			// the live set, which is the thing these cases bound.
+			prevGC := debug.SetGCPercent(10)
+			defer debug.SetGCPercent(prevGC)
+			spec := sweep.Spec{
+				Experiments: []string{sweepCaseExperiment},
+				Profiles:    []string{"quick"},
+			}
+			for i := 0; i < axisPoints; i++ {
+				spec.Overrides = append(spec.Overrides, core.Overrides{ClusterNodes: []int{i + 1}})
+			}
+			sched := runner.New(runner.Options{Workers: 1})
+			defer sched.Close()
+			mgr, err := sweep.NewManager(sched, nil, "")
+			if err != nil {
+				return nil, err
+			}
+			s, _, err := mgr.Submit(spec)
+			if err != nil {
+				return nil, err
+			}
+			final, err := s.StreamArtifact(ctx, io.Discard, nil)
+			if err != nil {
+				return nil, err
+			}
+			if final.Done != axisPoints {
+				return nil, fmt.Errorf("sweep case: %d/%d cells done, %d failed", final.Done, axisPoints, final.Failed)
+			}
+			return nil, nil
+		},
+	}
+}
+
+// SweepCases returns the batch-engine footprint cases.
+func SweepCases() []Case {
+	return []Case{
+		sweepMemCase("sweep/mem/1x", sweepCase1xPoints),
+		sweepMemCase("sweep/mem/10x", sweepCase10xPoints),
+	}
+}

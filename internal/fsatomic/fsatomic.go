@@ -15,36 +15,85 @@ import (
 // created in path's directory so the final rename never crosses a
 // filesystem boundary.
 func WriteFile(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	f, err := Create(path)
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
 		return err
 	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	return f.Commit()
+}
+
+// File is an incrementally written atomic file: data accumulates in a
+// temp file in the target's directory, and Commit flushes and renames
+// it into place in one step. Until Commit returns, readers of the
+// target path see the previous content (or absence) untouched — which
+// is what lets a producer append output as it is computed (the
+// streaming sweep artifact) while keeping WriteFile's all-or-nothing
+// guarantee.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Name returns the target path the pending content will replace.
+func (f *File) Name() string { return f.path }
+
+// Create opens an incremental atomic write targeting path. The caller
+// must finish with exactly one of Commit or Abort.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write appends to the pending content (io.Writer).
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Commit flushes the pending content and atomically renames it over
+// the target path.
+func (f *File) Commit() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	if err := f.tmp.Chmod(0o644); err != nil {
+		f.tmp.Close()
+		os.Remove(f.tmp.Name())
 		return err
 	}
 	// Flush data before the rename is journaled, or a power loss could
 	// leave the destination as an empty file — exactly the torn state
 	// the rename is supposed to rule out.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(f.tmp.Name())
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
 		return err
 	}
 	return nil
+}
+
+// Abort discards the pending content, leaving the target untouched.
+// Safe to call after Commit (no-op), so it can run in a defer.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
 }

@@ -1,0 +1,95 @@
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+}
+
+func TestIncrementalCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "art.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Fatalf("Name() = %q, want %q", f.Name(), path)
+	}
+	for _, chunk := range []string{"part1,", "part2,", "part3"} {
+		if _, err := f.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mid-write, readers still see the previous content.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous" {
+		t.Fatalf("target mutated before Commit: %q", got)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort() // post-Commit Abort is the documented defer pattern: no-op
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "part1,part2,part3" {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestAbortLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "art.json")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted write left the target: %v", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -81,6 +81,17 @@ func OtsuMask(v *volume.V3) *volume.V3 {
 	return out
 }
 
+// MedianFilter3Into applies MedianFilter3 into dst, which must match
+// v's shape and not alias it; existing contents are overwritten, so
+// dst may come from an arena. Output is bit-identical to MedianFilter3.
+func MedianFilter3Into(dst, v *volume.V3, radius int) {
+	if radius <= 0 {
+		copy(dst.Data, v.Data)
+		return
+	}
+	medianFilter3(dst, v, radius)
+}
+
 // MedianFilter3 applies a 3-D median filter with the given radius
 // (window edge = 2r+1), clamping at boundaries. Dipy's median_otsu applies
 // this smoothing before thresholding.
@@ -89,6 +100,11 @@ func MedianFilter3(v *volume.V3, radius int) *volume.V3 {
 		return v.Clone()
 	}
 	out := volume.New3(v.NX, v.NY, v.NZ)
+	medianFilter3(out, v, radius)
+	return out
+}
+
+func medianFilter3(out, v *volume.V3, radius int) {
 	win := make([]float64, 0, (2*radius+1)*(2*radius+1)*(2*radius+1))
 	for z := 0; z < v.NZ; z++ {
 		for y := 0; y < v.NY; y++ {
@@ -106,7 +122,6 @@ func MedianFilter3(v *volume.V3, radius int) *volume.V3 {
 			}
 		}
 	}
-	return out
 }
 
 func clamp(i, n int) int {
@@ -171,6 +186,23 @@ func NLMeans3(v *volume.V3, mask *volume.V3, opts NLMeansOpts) *volume.V3 {
 // at the next tile boundary once ctx is canceled, the partially written
 // volume is discarded, and (nil, ctx.Err()) is returned.
 func NLMeans3Ctx(ctx context.Context, v *volume.V3, mask *volume.V3, opts NLMeansOpts) (*volume.V3, error) {
+	out := volume.New3(v.NX, v.NY, v.NZ)
+	if err := NLMeans3IntoCtx(ctx, out, v, mask, opts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NLMeans3IntoCtx denoises v into dst, which must match v's shape and
+// not alias it. Existing contents of dst are overwritten (pass-through
+// voxels copy from v, exactly as NLMeans3's initial clone does), so dst
+// may come from an arena; output is bit-identical to NLMeans3 for any
+// worker count. On cancellation dst is partially written and must be
+// discarded or reused, never read.
+func NLMeans3IntoCtx(ctx context.Context, dst, v, mask *volume.V3, opts NLMeansOpts) error {
+	if !dst.SameShape(v) {
+		panic("imaging: NLMeans3IntoCtx shape mismatch")
+	}
 	opts = opts.withDefaults()
 	h := opts.H
 	if h <= 0 {
@@ -179,22 +211,48 @@ func NLMeans3Ctx(ctx context.Context, v *volume.V3, mask *volume.V3, opts NLMean
 			h = 1
 		}
 	}
-	out := v.Clone()
-	err := runTiles(ctx, v.NZ, opts.Workers, func(z0, z1 int) {
-		nlmeansSlab(v, mask, out, opts, h, z0, z1)
+	copy(dst.Data, v.Data)
+	return runTiles(ctx, v.NZ, opts.Workers, func(z0, z1 int) {
+		nlmeansSlab(v, mask, dst, 0, opts, h, z0, z1)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
-// nlmeansSlab denoises the z-planes [z0,z1) of v into out. It is the
-// body of the original sequential loop, unchanged except for the slab
-// bounds: per-voxel candidate sets, iteration order, and accumulation
-// order are identical, so any tile decomposition reproduces the
-// sequential result bit-for-bit.
-func nlmeansSlab(v, mask, out *volume.V3, opts NLMeansOpts, h float64, z0, z1 int) {
+// NLMeans3Stream is the stream-producing form of the kernel: it
+// returns a stream of denoised z-slab blocks of at most rows planes
+// each, computed lazily on opts.Workers goroutines with output buffers
+// drawn from arena. Every voxel is the same expression as NLMeans3's
+// (the input stays materialized; only the output is streamed), so a
+// Collect of the stream is bit-identical to NLMeans3 — but a consumer
+// that reduces each block and releases it never holds the full
+// denoised volume, which is how the reference pipelines fuse Step 2N
+// into Step 3N. Blocks arrive in ascending Z0 order; the consumer owns
+// each block and should Release it when done, or Drain the stream on
+// early exit.
+func NLMeans3Stream(ctx context.Context, v, mask *volume.V3, opts NLMeansOpts, arena *volume.Arena, rows int) volume.Stream {
+	opts = opts.withDefaults()
+	h := opts.H
+	if h <= 0 {
+		h = 0.7 * v.Summarize().Std
+		if h == 0 {
+			h = 1
+		}
+	}
+	plane := v.NX * v.NY
+	return volume.Map(ctx, volume.Slabs(v, rows), arena, opts.Workers, func(in volume.BlockVol, out *volume.V3) {
+		// Pass-through voxels copy the input, exactly as NLMeans3's
+		// up-front clone does; masked-in voxels are then overwritten.
+		copy(out.Data, v.Data[in.B.Z0*plane:in.B.Z1*plane])
+		nlmeansSlab(v, mask, out, in.B.Z0, opts, h, in.B.Z0, in.B.Z1)
+	})
+}
+
+// nlmeansSlab denoises the z-planes [z0,z1) of v into out, whose plane
+// z0 sits at out z-index z0-outZ0 (0 for a full-shape output, z0 for a
+// slab-shaped block buffer). It is the body of the original sequential
+// loop, unchanged except for the slab bounds: per-voxel candidate
+// sets, iteration order, and accumulation order are identical, so any
+// tile decomposition reproduces the sequential result bit-for-bit.
+func nlmeansSlab(v, mask, out *volume.V3, outZ0 int, opts NLMeansOpts, h float64, z0, z1 int) {
 	h2 := h * h
 	pr, sr := opts.PatchRadius, opts.SearchRadius
 	for z := z0; z < z1; z++ {
@@ -222,7 +280,7 @@ func nlmeansSlab(v, mask, out *volume.V3, opts NLMeansOpts, h float64, z0, z1 in
 					}
 				}
 				if wsum > 0 {
-					out.Set(x, y, z, vsum/wsum)
+					out.Set(x, y, z-outZ0, vsum/wsum)
 				}
 			}
 		}

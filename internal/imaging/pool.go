@@ -2,19 +2,18 @@ package imaging
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"imagebench/internal/volume"
 )
 
-// Tiled worker pool shared by the parallel kernel fast paths. Work is
-// split into z-slab tiles (volume.TileZ) and consumed by a bounded set
-// of goroutines pulling tiles off an atomic counter. Every voxel is
-// computed by exactly the same expression as the sequential loop and
-// each tile writes a disjoint output slab, so results are bit-identical
-// to the sequential path for any worker count and any tile size.
+// The kernels' tiled worker pool is a stage over the volume streaming
+// layer: work arrives as a pull-based stream of z-slab blocks
+// (volume.Tiles), a bounded worker set consumes it (volume.ForEach),
+// and scratch buffers come from the shared volume.Scratch arena. Every
+// voxel is computed by exactly the same expression as the sequential
+// loop and each tile writes a disjoint output slab, so results are
+// bit-identical to the sequential path for any worker count and any
+// tile size.
 
 // tileRows is the tile height in z-planes. One plane per tile keeps
 // load balancing fine-grained enough for masked kernels, where whole
@@ -25,14 +24,9 @@ const tileRows = 1
 // non-positive means GOMAXPROCS, and the pool never exceeds the tile
 // count (workers > tiles would idle).
 func resolveWorkers(workers, tiles int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = volume.ResolveWorkers(workers)
 	if workers > tiles {
 		workers = tiles
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	return workers
 }
@@ -45,59 +39,19 @@ func resolveWorkers(workers, tiles int) int {
 func runTiles(ctx context.Context, nz, workers int, fn func(z0, z1 int)) error {
 	tiles := volume.TileZ(nz, tileRows)
 	workers = resolveWorkers(workers, len(tiles))
-	if workers == 1 {
-		for _, tl := range tiles {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			fn(tl.Z0, tl.Z1)
-		}
-		return nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= len(tiles) {
-					return
-				}
-				fn(tiles[i].Z0, tiles[i].Z1)
-			}
-		}()
-	}
-	wg.Wait()
-	return ctx.Err()
+	return volume.ForEach(ctx, volume.Tiles(nz, tileRows), workers, func(bv volume.BlockVol) {
+		fn(bv.B.Z0, bv.B.Z1)
+	})
 }
 
-// volPool recycles intermediate volumes between kernel invocations:
-// the separable convolution ping-pongs through two full-size scratch
-// volumes per call, and reusing them cuts steady-state allocations of
-// the TensorFlow-model denoise path to the single output volume.
-var volPool sync.Pool
-
-// getScratch returns an nx×ny×nz volume whose contents are arbitrary —
-// callers must write every voxel before reading any. Volumes of a
-// different shape than the pooled one are allocated fresh.
+// getScratch returns an nx×ny×nz volume from the shared arena whose
+// contents are arbitrary — callers must write every voxel before
+// reading any.
 func getScratch(nx, ny, nz int) *volume.V3 {
-	if v, _ := volPool.Get().(*volume.V3); v != nil {
-		if v.NX == nx && v.NY == ny && v.NZ == nz {
-			return v
-		}
-		// Wrong shape: reuse the backing array when it is big enough.
-		if cap(v.Data) >= nx*ny*nz {
-			return &volume.V3{NX: nx, NY: ny, NZ: nz, Data: v.Data[:nx*ny*nz]}
-		}
-	}
-	return volume.New3(nx, ny, nz)
+	return volume.Scratch.Get(nx, ny, nz)
 }
 
-// putScratch returns a volume obtained from getScratch to the pool.
+// putScratch returns a volume obtained from getScratch to the arena.
 func putScratch(v *volume.V3) {
-	if v != nil {
-		volPool.Put(v)
-	}
+	volume.Scratch.Put(v)
 }

@@ -11,7 +11,13 @@ import (
 
 // decodeNIfTI parses a staged subject NIfTI object.
 func decodeNIfTI(obj objstore.Object) (*volume.V4, error) {
-	v4, err := nifti.Decode4(obj.Data)
+	return decodeNIfTIArena(obj, nil)
+}
+
+// decodeNIfTIArena is decodeNIfTI with the volumes drawn from arena,
+// for pipelines that recycle a subject's input once it is reduced.
+func decodeNIfTIArena(obj objstore.Object, arena *volume.Arena) (*volume.V4, error) {
+	v4, err := nifti.Decode4Arena(obj.Data, arena)
 	if err != nil {
 		return nil, fmt.Errorf("neuro: decoding %s: %w", obj.Key, err)
 	}

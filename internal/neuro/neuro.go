@@ -101,11 +101,22 @@ func SubjKey(subject int) string { return fmt.Sprintf("s%03d", subject) }
 var DenoiseOpts = imaging.NLMeansOpts{PatchRadius: 1, SearchRadius: 2}
 
 // Segment runs the three sub-steps of Step 1N on a subject's b0 volumes:
-// mean across volumes, median smoothing, Otsu threshold.
+// mean across volumes, median smoothing, Otsu threshold. The mean and
+// smoothed intermediates live in the shared scratch arena; only the
+// returned mask is a fresh allocation.
 func Segment(b0 []*volume.V3) *volume.V3 {
-	mean := volume.Mean3(b0)
-	smoothed := imaging.MedianFilter3(mean, 1)
-	return imaging.OtsuMask(smoothed)
+	if len(b0) == 0 {
+		panic("neuro: segment of no volumes")
+	}
+	ar := volume.Scratch
+	mean := ar.Get(b0[0].NX, b0[0].NY, b0[0].NZ)
+	volume.Mean3Into(mean, b0)
+	smoothed := ar.Get(mean.NX, mean.NY, mean.NZ)
+	imaging.MedianFilter3Into(smoothed, mean, 1)
+	ar.Put(mean)
+	mask := imaging.OtsuMask(smoothed)
+	ar.Put(smoothed)
+	return mask
 }
 
 // Denoise runs Step 2N on one volume under the mask.
@@ -122,19 +133,28 @@ func FitBlock(g *dmri.GradTable, vols []*volume.V3, mask *volume.V3) (*volume.V3
 
 // Reference runs the single-node reference implementation (the Python +
 // Dipy baseline in the paper) for every subject, reading NIfTI files from
-// the store.
+// the store. Subjects stream through one at a time: each subject's
+// input volumes come from the shared scratch arena and are recycled
+// before the next subject is decoded, so the working set is one
+// subject, not the dataset.
 func Reference(w *Workload) (*Result, error) {
 	res := &Result{Subjects: make(map[int]*SubjectResult)}
+	ar := volume.Scratch
 	for s := 0; s < w.Subjects; s++ {
 		obj, err := w.Store.Get(synth.NeuroKeyNIfTI(s))
 		if err != nil {
 			return nil, err
 		}
-		data, err := decodeNIfTI(obj)
+		data, err := decodeNIfTIArena(obj, ar)
 		if err != nil {
 			return nil, err
 		}
 		sr, err := ReferenceSubject(w.Grad, data)
+		// The subject result holds only the fresh mask and FA volumes,
+		// never the input, so the input can go back to the pool either way.
+		for _, v := range data.Vols {
+			ar.Put(v)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -142,22 +162,4 @@ func Reference(w *Workload) (*Result, error) {
 		res.Subjects[s] = sr
 	}
 	return res, nil
-}
-
-// ReferenceSubject runs the full pipeline on one subject, single-threaded.
-func ReferenceSubject(g *dmri.GradTable, data *volume.V4) (*SubjectResult, error) {
-	// Step 1N: segmentation.
-	b0 := data.Select(g.B0Mask(50))
-	mask := Segment(b0.Vols)
-	// Step 2N: denoising, volume by volume.
-	den := make([]*volume.V3, data.T())
-	for t, v := range data.Vols {
-		den[t] = Denoise(v, mask)
-	}
-	// Step 3N: model fitting over the whole brain.
-	fa, err := dmri.FitFA(g, volume.New4(den), mask)
-	if err != nil {
-		return nil, err
-	}
-	return &SubjectResult{Mask: mask, FA: fa}, nil
 }

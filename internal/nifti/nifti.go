@@ -177,6 +177,15 @@ func DecodeHeader(data []byte) (*Header, error) {
 // Decode4 parses a 3-D or 4-D NIfTI-1 file into a volume series (a 3-D file
 // yields a single-volume series).
 func Decode4(data []byte) (*volume.V4, error) {
+	return Decode4Arena(data, nil)
+}
+
+// Decode4Arena is Decode4 with the component volumes drawn from arena
+// (nil means plain allocations). Every voxel is overwritten, so pooled
+// buffers need no clearing; callers that release the volumes back to
+// the arena make repeated subject decodes allocation-free in steady
+// state.
+func Decode4Arena(data []byte, arena *volume.Arena) (*volume.V4, error) {
 	h, err := DecodeHeader(data)
 	if err != nil {
 		return nil, err
@@ -199,7 +208,7 @@ func Decode4(data []byte) (*volume.V4, error) {
 	vols := make([]*volume.V3, nt)
 	off := voxOffset
 	for t := 0; t < nt; t++ {
-		v := volume.New3(nx, ny, nz)
+		v := arena.Get(nx, ny, nz)
 		for i := 0; i < per; i++ {
 			var raw float64
 			switch h.Datatype {

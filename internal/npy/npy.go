@@ -27,24 +27,33 @@ func Encode(v *volume.V3) []byte {
 	pad := (64 - total%64) % 64
 	header += string(bytes.Repeat([]byte{' '}, pad)) + "\n"
 
-	var buf bytes.Buffer
-	buf.Write(magic)
+	// The output size is known exactly, so build it in place: one
+	// allocation instead of the log(n) doubling copies (and per-voxel
+	// Write calls) a bytes.Buffer would cost on this hot path.
+	out := make([]byte, 0, len(magic)+2+len(header)+len(v.Data)*8)
+	out = append(out, magic...)
 	var hlen [2]byte
 	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
-	buf.Write(hlen[:])
-	buf.WriteString(header)
-	b8 := make([]byte, 8)
+	out = append(out, hlen[:]...)
+	out = append(out, header...)
 	for _, x := range v.Data {
-		binary.LittleEndian.PutUint64(b8, math.Float64bits(x))
-		buf.Write(b8)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
 	}
-	return buf.Bytes()
+	return out
 }
 
 var shapeRe = regexp.MustCompile(`'shape':\s*\((\d+),\s*(\d+),\s*(\d+)\s*,?\s*\)`)
 
 // Decode parses a .npy file written by Encode back into a volume.
 func Decode(data []byte) (*volume.V3, error) {
+	return DecodeArena(data, nil)
+}
+
+// DecodeArena is Decode with the output volume drawn from arena (nil
+// means a plain allocation). Every voxel is overwritten, so a pooled
+// buffer needs no clearing; callers that release the volume back to
+// the arena make repeated decodes allocation-free in steady state.
+func DecodeArena(data []byte, arena *volume.Arena) (*volume.V3, error) {
 	if len(data) < len(magic)+2 || !bytes.Equal(data[:len(magic)], magic) {
 		return nil, fmt.Errorf("npy: bad magic")
 	}
@@ -67,7 +76,7 @@ func Decode(data []byte) (*volume.V3, error) {
 	if nx <= 0 || ny <= 0 || nz <= 0 {
 		return nil, fmt.Errorf("npy: bad shape %dx%dx%d", nx, ny, nz)
 	}
-	v := volume.New3(nx, ny, nz)
+	v := arena.Get(nx, ny, nz)
 	off := hdrStart + hlen
 	need := off + len(v.Data)*8
 	if len(data) < need {

@@ -141,6 +141,22 @@ func (j *Job) Result() (*core.Table, error) {
 	return nil, fmt.Errorf("runner: job %s still %s", j.id, j.status)
 }
 
+// ReleaseTable drops a done job's reference to its result table, so a
+// batch consumer that has already written the result out (the
+// streaming sweep artifact) returns the memory to the GC immediately
+// instead of holding every cell's table until eviction — O(workers)
+// live tables instead of O(cells). Subsequent Result calls on a
+// released job return (nil, nil); callers that may read a result twice
+// must not release it in between. Snapshot and the job's terminal
+// status are unaffected. No-op unless the job is done.
+func (j *Job) ReleaseTable() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusDone {
+		j.table = nil
+	}
+}
+
 // Snapshot returns the job's current state.
 func (j *Job) Snapshot() Info {
 	j.mu.Lock()

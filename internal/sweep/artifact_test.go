@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"imagebench/internal/core"
+	"imagebench/internal/runner"
+)
+
+// artifactFixture builds a representative cell set: a done cell with a
+// table (including a NaN cell, which marshals as null), a cache hit, a
+// failed cell with an error, and an unsupported one.
+func artifactFixture() []ArtifactCell {
+	tab := core.NewTable("t", "s", []string{"r"}, []string{"a", "b"})
+	tab.Set("r", "a", 1.25)
+	tab.Set("r", "b", math.NaN())
+	return []ArtifactCell{
+		{Experiment: "fig10f", Profile: "quick", Key: "k0", Status: "done", ElapsedSec: 0.25, Table: tab},
+		{Experiment: "fig10f", Profile: "quick", Key: "k1", Status: "done", CacheHit: true, ElapsedSec: 0},
+		{Experiment: "fig11", Profile: "quick", Key: "k2", Status: "failed", Error: "boom", ElapsedSec: 1.5},
+	}
+}
+
+// TestArtifactWriterMatchesMarshal is the byte-identity contract: the
+// streaming writer's output must equal json.MarshalIndent of the
+// materialized document plus a trailing newline — the exact bytes the
+// pre-streaming CLI wrote — for both populated and empty cell sets.
+func TestArtifactWriterMatchesMarshal(t *testing.T) {
+	spec := Spec{Experiments: []string{"fig10f", "fig11"}, Profiles: []string{"quick"}}
+	summary := Info{ID: "sw1", Created: "2026-01-01T00:00:00Z", Total: 3, Done: 2, Failed: 1, Hits: 1}
+	for _, tc := range []struct {
+		name  string
+		cells []ArtifactCell
+	}{
+		{"populated", artifactFixture()},
+		{"empty", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			aw := NewArtifactWriter(&buf)
+			for _, c := range tc.cells {
+				if err := aw.Cell(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := aw.Finish("sw1", spec, summary); err != nil {
+				t.Fatal(err)
+			}
+			doc := artifactDoc{Cells: tc.cells, ID: "sw1", Spec: spec, Summary: summary}
+			if doc.Cells == nil {
+				doc.Cells = []ArtifactCell{}
+			}
+			want, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, '\n')
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Fatalf("streamed artifact differs from one-shot marshal:\n--- streamed ---\n%s\n--- marshal ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestArtifactWriterFinishScrubsSummaryCells guards the summary shape:
+// the per-cell list is redundant with the cells array and must not be
+// duplicated into the summary object.
+func TestArtifactWriterFinishScrubsSummaryCells(t *testing.T) {
+	var buf bytes.Buffer
+	aw := NewArtifactWriter(&buf)
+	sum := Info{ID: "x", Total: 1, Cells: []CellInfo{{Key: "k"}}}
+	if err := aw.Finish("x", Spec{Experiments: []string{"e"}}, sum); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"cells"`+`: [`+"\n    {") {
+		t.Fatalf("summary leaked its cells list:\n%s", buf.String())
+	}
+	var doc artifactDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Summary.Cells != nil {
+		t.Fatal("summary.cells must be omitted from the artifact")
+	}
+}
+
+// TestStreamArtifactReleasesTables runs a real sweep end to end and
+// checks the O(workers) contract: the streamed artifact carries every
+// cell's table, and after streaming the jobs no longer retain them.
+func TestStreamArtifactReleasesTables(t *testing.T) {
+	sched := runner.New(runner.Options{Workers: 1})
+	defer sched.Close()
+	mgr, err := NewManager(sched, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Experiments: []string{"fig10a", "fig10b"},
+		Profiles:    []string{"quick"},
+	}
+	s, _, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	final, err := s.StreamArtifact(context.Background(), &buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Done != 2 || final.Failed != 0 {
+		t.Fatalf("sweep summary = %+v, want 2 done", final)
+	}
+	var doc artifactDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("streamed artifact is not valid JSON: %v", err)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("artifact has %d cells, want 2", len(doc.Cells))
+	}
+	for _, c := range doc.Cells {
+		if c.Table == nil {
+			t.Fatalf("cell %s streamed without its table", c.Key)
+		}
+	}
+	// With no cache attached, a released job has nothing to serve.
+	for _, c := range s.Cells {
+		if _, ok := s.Result(c, nil); ok {
+			t.Fatalf("cell %s still retains its table after streaming", c.Key)
+		}
+	}
+}

@@ -225,16 +225,23 @@ func (s *Sweep) Wait(ctx context.Context) error {
 }
 
 // Result returns one cell's table: from its job if it ran here, from
-// the cache if it was rehydrated. The boolean is false while the cell
-// is still pending or if it failed.
+// the cache if it was rehydrated or the job's table was released after
+// streaming. The boolean is false while the cell is still pending or
+// if it failed.
 func (s *Sweep) Result(c *Cell, cache *results.Cache) (*core.Table, bool) {
 	if c.job != nil {
-		if tab, err := c.job.Result(); err == nil {
+		tab, err := c.job.Result()
+		if err != nil {
+			return nil, false
+		}
+		if tab != nil {
 			return tab, true
 		}
+		// Done but released (ReleaseTable): fall through to the cache.
+	} else if !c.cached {
 		return nil, false
 	}
-	if c.cached && cache != nil {
+	if cache != nil {
 		if e, ok := cache.Peek(c.Key); ok {
 			return e.Table, true
 		}

@@ -63,16 +63,21 @@ type TrueSource struct {
 // per-visit dither of a few pixels, and injected cosmic rays — giving the
 // pre-processing, co-addition, and detection steps real work to do.
 func GenAstro(store *objstore.Store, c AstroConfig) ([]TrueSource, error) {
-	if c.Visits <= 0 || c.Sensors <= 0 || c.W <= 0 || c.H <= 0 {
-		return nil, fmt.Errorf("synth: invalid astro config %+v", c)
-	}
+	return StreamAstro(c, func(v, s int, e *skymap.Exposure) error {
+		store.Put(AstroKeyFITS(v, s), fits.EncodeExposure(e), PaperSensorBytes)
+		return nil
+	})
+}
+
+// AstroSources returns the fixed ground-truth catalog for a config:
+// sources on the sky, kept away from the outer border so that every
+// dithered visit still covers them. The catalog depends only on the
+// config, never on which visits are generated.
+func AstroSources(c AstroConfig) []TrueSource {
 	rng := rand.New(rand.NewSource(c.Seed))
 	cols := int(math.Ceil(math.Sqrt(float64(c.Sensors))))
 	skyW := cols * c.W
 	skyH := ((c.Sensors + cols - 1) / cols) * c.H
-
-	// Fixed sources on the sky, kept away from the outer border so that
-	// every dithered visit still covers them.
 	margin := 6.0
 	sources := make([]TrueSource, c.Sources)
 	for i := range sources {
@@ -82,6 +87,20 @@ func GenAstro(store *objstore.Store, c AstroConfig) ([]TrueSource, error) {
 			Flux: 800 + rng.Float64()*2400,
 		}
 	}
+	return sources
+}
+
+// StreamAstro generates exposures one at a time and hands each to fn
+// as it is rendered, so only one sensor image is live at once
+// regardless of c.Visits. fn must finish with e (or copy what it
+// keeps) before returning. Each visit seeds its own generator, so the
+// sequence of exposures is identical to what GenAstro stores.
+func StreamAstro(c AstroConfig, fn func(visit, sensor int, e *skymap.Exposure) error) ([]TrueSource, error) {
+	if c.Visits <= 0 || c.Sensors <= 0 || c.W <= 0 || c.H <= 0 {
+		return nil, fmt.Errorf("synth: invalid astro config %+v", c)
+	}
+	sources := AstroSources(c)
+	cols := int(math.Ceil(math.Sqrt(float64(c.Sensors))))
 
 	const psfSigma = 1.4
 	for v := 0; v < c.Visits; v++ {
@@ -95,7 +114,9 @@ func GenAstro(store *objstore.Store, c AstroConfig) ([]TrueSource, error) {
 			y0 := (s/cols)*c.H + ditherY
 			e := skymap.NewExposure(v, s, x0, y0, c.W, c.H)
 			renderSensor(e, sources, transparency, skyBG, psfSigma, vr)
-			store.Put(AstroKeyFITS(v, s), fits.EncodeExposure(e), PaperSensorBytes)
+			if err := fn(v, s, e); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return sources, nil

@@ -92,6 +92,23 @@ func (c NeuroConfig) GradTable() *dmri.GradTable {
 // band through the middle (so the fitted FA map has structure), and
 // additive Gaussian noise (so denoising is meaningful).
 func GenNeuro(store *objstore.Store, c NeuroConfig) (*dmri.GradTable, error) {
+	return StreamNeuro(c, func(s int, v4 *volume.V4) error {
+		store.Put(NeuroKeyNIfTI(s), nifti.Encode4(v4), c.SubjectModelBytes())
+		for t, v := range v4.Vols {
+			store.Put(NeuroKeyNPY(s, t), npy.Encode(v), PaperVolBytes)
+		}
+		return nil
+	})
+}
+
+// StreamNeuro generates subjects one at a time and hands each to fn as
+// it is produced, so only one subject's volumes are live at once
+// regardless of c.Subjects. The volumes come from the shared scratch
+// arena and are recycled after fn returns: fn must finish with v4 (or
+// copy what it keeps) before returning, and must not retain it.
+// Generation is per-subject deterministic, so the sequence of subjects
+// is identical to what GenNeuro stores.
+func StreamNeuro(c NeuroConfig, fn func(subject int, v4 *volume.V4) error) (*dmri.GradTable, error) {
 	if c.Subjects <= 0 || c.T <= c.B0 || c.B0 <= 0 {
 		return nil, fmt.Errorf("synth: invalid neuro config %+v", c)
 	}
@@ -100,17 +117,20 @@ func GenNeuro(store *objstore.Store, c NeuroConfig) (*dmri.GradTable, error) {
 		return nil, err
 	}
 	for s := 0; s < c.Subjects; s++ {
-		v4 := genSubject(c, g, s)
-		store.Put(NeuroKeyNIfTI(s), nifti.Encode4(v4), c.SubjectModelBytes())
-		for t, v := range v4.Vols {
-			store.Put(NeuroKeyNPY(s, t), npy.Encode(v), PaperVolBytes)
+		v4 := genSubject(c, g, s, volume.Scratch)
+		err := fn(s, v4)
+		for _, v := range v4.Vols {
+			volume.Scratch.Put(v)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	return g, nil
 }
 
-// genSubject builds one subject's 4-D series.
-func genSubject(c NeuroConfig, g *dmri.GradTable, subject int) *volume.V4 {
+// genSubject builds one subject's 4-D series in arena-backed volumes.
+func genSubject(c NeuroConfig, g *dmri.GradTable, subject int, arena *volume.Arena) *volume.V4 {
 	rng := rand.New(rand.NewSource(c.Seed + int64(subject)*7919))
 	cx, cy, cz := float64(c.NX-1)/2, float64(c.NY-1)/2, float64(c.NZ-1)/2
 	rx, ry, rz := float64(c.NX)*0.38, float64(c.NY)*0.38, float64(c.NZ)*0.38
@@ -118,7 +138,8 @@ func genSubject(c NeuroConfig, g *dmri.GradTable, subject int) *volume.V4 {
 
 	vols := make([]*volume.V3, c.T)
 	for t := range vols {
-		vols[t] = volume.New3(c.NX, c.NY, c.NZ)
+		// Every voxel is assigned below, so dirty pooled buffers are fine.
+		vols[t] = arena.Get(c.NX, c.NY, c.NZ)
 	}
 	for z := 0; z < c.NZ; z++ {
 		for y := 0; y < c.NY; y++ {

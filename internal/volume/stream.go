@@ -1,0 +1,286 @@
+package volume
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pull-based block streams: the composable streaming layer the compute
+// stack is built on. A Stream yields z-slab blocks of a conceptual
+// volume one at a time; stages (ForEach, Map) consume them on a bounded
+// worker pool with pooled scratch buffers; sinks (Collect, MeanOf)
+// reduce them back into a materialized result. The decomposition only
+// changes *when* memory exists — every block is computed by the same
+// expression as the materialized loop and written to disjoint output
+// ranges, so any composition is bit-identical to the one-shot form.
+
+// BlockVol is one z-slab in flight through a stream: the slab's
+// coordinates in the conceptual volume plus the backing data for planes
+// [B.Z0, B.Z1). V may be a zero-copy view into a larger volume (Slab)
+// or an arena-backed buffer a stage filled; Release returns it to its
+// arena, and is a no-op for views and plain allocations.
+type BlockVol struct {
+	B Block
+	V *V3
+
+	arena *Arena
+}
+
+// Release returns the block's buffer to the arena it came from. The
+// caller must not touch V afterwards. Safe to call on views and
+// zero-value blocks.
+func (bv *BlockVol) Release() {
+	if bv.arena != nil {
+		bv.arena.Put(bv.V)
+		bv.arena, bv.V = nil, nil
+	}
+}
+
+// Stream is a pull-based sequence of blocks. Next returns the next
+// block and true, or a zero block and false after the last one.
+// Streams are single-consumer: callers that fan out to a worker pool
+// must serialize Next (ForEach does).
+type Stream interface {
+	Next() (BlockVol, bool)
+}
+
+// sliceStream yields a fixed set of prepared blocks.
+type sliceStream struct {
+	blocks []BlockVol
+	next   int
+}
+
+func (s *sliceStream) Next() (BlockVol, bool) {
+	if s.next >= len(s.blocks) {
+		return BlockVol{}, false
+	}
+	bv := s.blocks[s.next]
+	s.next++
+	return bv, true
+}
+
+// Slab returns a zero-copy view of the z-slab [b.Z0,b.Z1): a V3 that
+// shares v's backing array. Mutating the view mutates v. A view must
+// never be Put into an arena while v is live.
+func (v *V3) Slab(b Block) *V3 {
+	plane := v.NX * v.NY
+	return &V3{NX: v.NX, NY: v.NY, NZ: b.Z1 - b.Z0, Data: v.Data[b.Z0*plane : b.Z1*plane : b.Z1*plane]}
+}
+
+// Slabs streams v as zero-copy tile views of at most rows z-planes
+// each. The blocks carry v's data; nothing is copied and Release is a
+// no-op.
+func Slabs(v *V3, rows int) Stream {
+	tiles := TileZ(v.NZ, rows)
+	blocks := make([]BlockVol, len(tiles))
+	for i, t := range tiles {
+		blocks[i] = BlockVol{B: t, V: v.Slab(t)}
+	}
+	return &sliceStream{blocks: blocks}
+}
+
+// Tiles streams bare block descriptors (V == nil) covering nz z-planes
+// in tiles of at most rows planes: the source for stages that index a
+// shared input themselves, like the imaging kernels' tiled writers.
+func Tiles(nz, rows int) Stream {
+	tiles := TileZ(nz, rows)
+	blocks := make([]BlockVol, len(tiles))
+	for i, t := range tiles {
+		blocks[i] = BlockVol{B: t}
+	}
+	return &sliceStream{blocks: blocks}
+}
+
+// ResolveWorkers maps a workers option to an effective pool size:
+// non-positive means GOMAXPROCS, anything else is itself.
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach is the parallel consumption stage: it pulls every block from
+// src and calls fn once per block on a pool of workers goroutines
+// (<=0 = GOMAXPROCS). Each block is delivered to exactly one call; fn
+// must confine its writes to per-block-disjoint state so that, like the
+// tiled kernels, the result is bit-identical for any worker count. It
+// returns ctx.Err() if the context is canceled; workers stop pulling at
+// the next block boundary, so a nonzero error means the downstream
+// state may be incomplete and must be discarded.
+func ForEach(ctx context.Context, src Stream, workers int, fn func(BlockVol)) error {
+	workers = ResolveWorkers(workers)
+	if workers == 1 {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			bv, ok := src.Next()
+			if !ok {
+				return nil
+			}
+			fn(bv)
+		}
+	}
+	var mu sync.Mutex // serializes Next: Stream is single-consumer
+	pull := func() (BlockVol, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return src.Next()
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				bv, ok := pull()
+				if !ok {
+					return
+				}
+				fn(bv)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Map is the transform stage: it pulls blocks from src and applies fn
+// to each on a worker pool, producing one output block per input block
+// in an arena-backed buffer of the same shape. fn receives the input
+// block and the output buffer (contents arbitrary — write every voxel)
+// and the input is released afterwards if it is arena-backed. The
+// returned stream yields output blocks in ascending Z0 order as they
+// complete, so a downstream Collect assembles exactly the volume the
+// materialized form would produce; the consumer owns each block and
+// should Release it when done. Map processes ahead of the consumer by
+// at most the worker count, so a pipeline's footprint is O(workers)
+// blocks regardless of stream length.
+func Map(ctx context.Context, src Stream, arena *Arena, workers int, fn func(in BlockVol, out *V3)) Stream {
+	workers = ResolveWorkers(workers)
+	out := make(chan BlockVol)
+	go func() {
+		defer close(out)
+		// Completed blocks are emitted in input order: a small reorder
+		// buffer keyed by sequence number keeps the sink sequential
+		// while the stage itself runs unordered.
+		var emitMu sync.Mutex
+		pending := make(map[int]BlockVol)
+		nextEmit := 0
+		emit := func(seq int, bv BlockVol) {
+			emitMu.Lock()
+			pending[seq] = bv
+			var ready []BlockVol
+			for {
+				b, ok := pending[nextEmit]
+				if !ok {
+					break
+				}
+				delete(pending, nextEmit)
+				nextEmit++
+				ready = append(ready, b)
+			}
+			emitMu.Unlock()
+			for _, b := range ready {
+				select {
+				case out <- b:
+				case <-ctx.Done():
+					b.Release()
+				}
+			}
+		}
+		var seq atomic.Int64
+		var mu sync.Mutex
+		pull := func() (BlockVol, int, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			bv, ok := src.Next()
+			if !ok {
+				return BlockVol{}, 0, false
+			}
+			return bv, int(seq.Add(1)) - 1, true
+		}
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					in, sq, ok := pull()
+					if !ok {
+						return
+					}
+					o := arena.Get(in.V.NX, in.V.NY, in.V.NZ)
+					fn(in, o)
+					in.Release()
+					emit(sq, BlockVol{B: in.B, V: o, arena: arena})
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	return &chanStream{ch: out}
+}
+
+// OnDrained wraps src so that fn runs exactly once, when src reports
+// exhaustion — the hook stages use to return scratch buffers their
+// blocks were computed from.
+func OnDrained(src Stream, fn func()) Stream {
+	return &drainHookStream{src: src, fn: fn}
+}
+
+type drainHookStream struct {
+	src Stream
+	fn  func()
+}
+
+func (s *drainHookStream) Next() (BlockVol, bool) {
+	bv, ok := s.src.Next()
+	if !ok && s.fn != nil {
+		s.fn()
+		s.fn = nil
+	}
+	return bv, ok
+}
+
+// chanStream adapts a channel of blocks to the Stream interface.
+type chanStream struct{ ch <-chan BlockVol }
+
+func (s *chanStream) Next() (BlockVol, bool) {
+	bv, ok := <-s.ch
+	return bv, ok
+}
+
+// Collect is the materializing sink: it drains src into a fresh
+// nx×ny×nz volume, copying each block into its z-slab and releasing
+// it. Blocks must tile [0,nz) disjointly.
+func Collect(nx, ny, nz int, src Stream) *V3 {
+	out := New3(nx, ny, nz)
+	for {
+		bv, ok := src.Next()
+		if !ok {
+			return out
+		}
+		InsertBlock(out, bv.B, bv.V)
+		bv.Release()
+	}
+}
+
+// Drain pulls and releases every remaining block of src: the cleanup
+// path when a pipeline aborts mid-stream, so arena-backed blocks are
+// not stranded.
+func Drain(src Stream) {
+	for {
+		bv, ok := src.Next()
+		if !ok {
+			return
+		}
+		bv.Release()
+	}
+}

@@ -1,0 +1,267 @@
+package volume
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func rampVolume(nx, ny, nz int) *V3 {
+	v := New3(nx, ny, nz)
+	for i := range v.Data {
+		v.Data[i] = float64(i) * 0.5
+	}
+	return v
+}
+
+func TestSlabsCoverAndAlias(t *testing.T) {
+	v := rampVolume(3, 4, 10)
+	src := Slabs(v, 3)
+	covered := 0
+	for {
+		bv, ok := src.Next()
+		if !ok {
+			break
+		}
+		if bv.V.NZ != bv.B.Z1-bv.B.Z0 {
+			t.Fatalf("slab %v has NZ=%d", bv.B, bv.V.NZ)
+		}
+		// The view aliases v: writing through it must write v.
+		bv.V.Set(0, 0, 0, -1)
+		if v.At(0, 0, bv.B.Z0) != -1 {
+			t.Fatalf("slab %v does not alias the source", bv.B)
+		}
+		v.Set(0, 0, bv.B.Z0, 0)
+		covered += bv.V.NZ
+		bv.Release() // no-op for views: must not panic or pool v's data
+	}
+	if covered != v.NZ {
+		t.Fatalf("slabs covered %d planes, want %d", covered, v.NZ)
+	}
+}
+
+func TestForEachDeliversExactlyOnce(t *testing.T) {
+	const nz = 23
+	for _, workers := range []int{1, 4, nz + 7} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var hits [nz]atomic.Int32
+			err := ForEach(context.Background(), Tiles(nz, 2), workers, func(bv BlockVol) {
+				for z := bv.B.Z0; z < bv.B.Z1; z++ {
+					hits[z].Add(1)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for z := range hits {
+				if n := hits[z].Load(); n != 1 {
+					t.Fatalf("plane %d delivered %d times", z, n)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := ForEach(ctx, Tiles(8, 1), 1, func(BlockVol) { calls++ })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times under a pre-canceled context", calls)
+	}
+}
+
+// TestMapCollectIdentity is the core streaming invariant: Map over
+// slabs followed by Collect must reproduce exactly the volume a direct
+// whole-volume transform produces, at any worker count, including
+// workers > number of tiles.
+func TestMapCollectIdentity(t *testing.T) {
+	v := rampVolume(5, 4, 17)
+	want := New3(v.NX, v.NY, v.NZ)
+	for i, x := range v.Data {
+		want.Data[i] = 3*x + 1
+	}
+	tiles := len(TileZ(v.NZ, 2))
+	for _, workers := range []int{1, 4, tiles + 5} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ar := NewArena()
+			out := Collect(v.NX, v.NY, v.NZ, Map(context.Background(), Slabs(v, 2), ar, workers,
+				func(in BlockVol, o *V3) {
+					for i, x := range in.V.Data {
+						o.Data[i] = 3*x + 1
+					}
+				}))
+			if d := MaxAbsDiff(out, want); d != 0 {
+				t.Fatalf("streamed transform differs from direct: max |Δ| = %g", d)
+			}
+			st := ar.Stats()
+			if st.Gets != int64(tiles) {
+				t.Fatalf("arena gets = %d, want %d (one per tile)", st.Gets, tiles)
+			}
+			if st.Puts != st.Gets {
+				t.Fatalf("arena leaked buffers: gets=%d puts=%d", st.Gets, st.Puts)
+			}
+		})
+	}
+}
+
+// TestMapEmitsInOrder pins the reorder buffer: downstream consumers see
+// ascending Z0 regardless of which worker finishes first.
+func TestMapEmitsInOrder(t *testing.T) {
+	v := rampVolume(2, 2, 32)
+	s := Map(context.Background(), Slabs(v, 1), NewArena(), 8, func(in BlockVol, o *V3) {
+		copy(o.Data, in.V.Data)
+	})
+	last := -1
+	for {
+		bv, ok := s.Next()
+		if !ok {
+			break
+		}
+		if bv.B.Z0 <= last {
+			t.Fatalf("block Z0=%d emitted after Z0=%d", bv.B.Z0, last)
+		}
+		last = bv.B.Z0
+		bv.Release()
+	}
+	if last != v.NZ-1 {
+		t.Fatalf("last block Z0=%d, want %d", last, v.NZ-1)
+	}
+}
+
+func TestOnDrainedRunsOnce(t *testing.T) {
+	runs := 0
+	s := OnDrained(Tiles(3, 1), func() { runs++ })
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("stream ended early at block %d", i)
+		}
+		if runs != 0 {
+			t.Fatal("drain hook ran before exhaustion")
+		}
+	}
+	for i := 0; i < 3; i++ { // repeated Next after exhaustion
+		if _, ok := s.Next(); ok {
+			t.Fatal("exhausted stream yielded a block")
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("drain hook ran %d times, want 1", runs)
+	}
+}
+
+func TestDrainReleasesRemaining(t *testing.T) {
+	ar := NewArena()
+	v := rampVolume(2, 2, 6)
+	s := Map(context.Background(), Slabs(v, 1), ar, 2, func(in BlockVol, o *V3) {
+		copy(o.Data, in.V.Data)
+	})
+	if _, ok := s.Next(); !ok { // consume one, abandon the rest
+		t.Fatal("empty stream")
+	}
+	Drain(s)
+	st := ar.Stats()
+	if st.Puts != st.Gets-1 { // the one un-Released block we kept
+		t.Fatalf("drain left buffers stranded: gets=%d puts=%d", st.Gets, st.Puts)
+	}
+}
+
+// TestSharedArenaConcurrentPipelines is the aliasing stress for the
+// process-wide scratch arena: many pipelines recycling buffers through
+// one arena concurrently must each still produce exactly their own
+// result (run under -race in CI).
+func TestSharedArenaConcurrentPipelines(t *testing.T) {
+	ar := NewArena()
+	const pipelines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, pipelines)
+	for p := 0; p < pipelines; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := New3(4, 3, 9)
+			for i := range v.Data {
+				v.Data[i] = float64(p*1000 + i)
+			}
+			out := Collect(v.NX, v.NY, v.NZ, Map(context.Background(), Slabs(v, 2), ar, 3,
+				func(in BlockVol, o *V3) {
+					for i, x := range in.V.Data {
+						o.Data[i] = x + 1
+					}
+				}))
+			for i := range v.Data {
+				if out.Data[i] != v.Data[i]+1 {
+					errs[p] = fmt.Errorf("pipeline %d voxel %d = %g, want %g (cross-pipeline scribble)",
+						p, i, out.Data[i], v.Data[i]+1)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestArenaReuseAndReshape(t *testing.T) {
+	ar := NewArena()
+	a := ar.Get(4, 4, 4)
+	for i := range a.Data {
+		a.Data[i] = 7
+	}
+	ar.Put(a)
+	// Same shape: the pooled buffer comes back dirty.
+	b := ar.Get(4, 4, 4)
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("same-shape Get did not reuse the pooled buffer")
+	}
+	ar.Put(b)
+	// Smaller shape: reshaped in place, no fresh allocation.
+	c := ar.Get(2, 2, 2)
+	if c.NX != 2 || c.NY != 2 || c.NZ != 2 || len(c.Data) != 8 {
+		t.Fatalf("reshaped volume has wrong geometry: %d×%d×%d len %d", c.NX, c.NY, c.NZ, len(c.Data))
+	}
+	if &c.Data[0] != &a.Data[0] {
+		t.Fatal("smaller Get did not reshape the pooled buffer")
+	}
+	ar.Put(c)
+	// GetZeroed must scrub the dirty pooled contents.
+	d := ar.GetZeroed(2, 2, 2)
+	for i, x := range d.Data {
+		if x != 0 {
+			t.Fatalf("GetZeroed voxel %d = %g", i, x)
+		}
+	}
+	st := ar.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (only the first Get allocates)", st.Misses)
+	}
+}
+
+func TestNilArenaDegradesToAllocation(t *testing.T) {
+	var ar *Arena
+	v := ar.Get(2, 3, 4)
+	if v.NX != 2 || v.NY != 3 || v.NZ != 4 {
+		t.Fatalf("nil-arena Get shape %d×%d×%d", v.NX, v.NY, v.NZ)
+	}
+	for _, x := range v.Data {
+		if x != 0 {
+			t.Fatal("nil-arena Get must be a plain zeroed allocation")
+		}
+	}
+	ar.Put(v) // no-op, must not panic
+	if st := ar.Stats(); st != (ArenaStats{}) {
+		t.Fatalf("nil-arena stats = %+v", st)
+	}
+	bv := BlockVol{}
+	bv.Release() // zero-value release is a no-op
+}

@@ -109,19 +109,33 @@ func Mean3(vols []*V3) *V3 {
 		panic("volume: mean of no volumes")
 	}
 	out := New3(vols[0].NX, vols[0].NY, vols[0].NZ)
+	Mean3Into(out, vols)
+	return out
+}
+
+// Mean3Into computes the per-voxel mean of vols into dst, which must
+// match their shape. Existing contents of dst are overwritten, so dst
+// may come from an arena. Accumulation order matches Mean3 exactly.
+func Mean3Into(dst *V3, vols []*V3) {
+	if len(vols) == 0 {
+		panic("volume: mean of no volumes")
+	}
+	if !dst.SameShape(vols[0]) {
+		panic("volume: shape mismatch in mean")
+	}
+	clear(dst.Data)
 	for _, v := range vols {
-		if !v.SameShape(out) {
+		if !v.SameShape(dst) {
 			panic("volume: shape mismatch in mean")
 		}
 		for i, x := range v.Data {
-			out.Data[i] += x
+			dst.Data[i] += x
 		}
 	}
 	inv := 1 / float64(len(vols))
-	for i := range out.Data {
-		out.Data[i] *= inv
+	for i := range dst.Data {
+		dst.Data[i] *= inv
 	}
-	return out
 }
 
 // ApplyMask zeroes voxels of v where mask is zero, in place. The mask uses
@@ -170,7 +184,15 @@ func (v *V4) Select(keep []bool) *V4 {
 	if len(keep) != v.T() {
 		panic("volume: select mask length mismatch")
 	}
-	var out []*V3
+	// Count first so the slice is allocated once at its exact size,
+	// instead of log(n) append growths per call on the ingest hot path.
+	n := 0
+	for _, k := range keep {
+		if k {
+			n++
+		}
+	}
+	out := make([]*V3, 0, n)
 	for i, k := range keep {
 		if k {
 			out = append(out, v.Vols[i])
