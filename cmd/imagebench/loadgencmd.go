@@ -28,7 +28,9 @@ func loadgenMain(args []string, stdout, stderr io.Writer) int {
 	requests := fs.Int("requests", 0, "per-agent request count; closed-loop, deterministic for a fixed -seed")
 	seed := fs.Int64("seed", 1, "base RNG seed (agent i draws from seed+i)")
 	zipf := fs.Float64("zipf", 1.01, "Zipf skew exponent over the experiment list, > 1; higher = hotter keys")
-	mixFlag := fs.String("mix", loadgen.DefaultMix().String(), "request-class weights submit/result/jobpoll/sweeppoll")
+	mixFlag := fs.String("mix", loadgen.DefaultMix().String(), "request-class weights submit/result/jobpoll/sweeppoll, with an\noptional fifth fedpoll weight polling a federation coordinator (needs -fed-url)")
+	fedURL := fs.String("fed-url", "", "federation coordinator base URL for the fedpoll class (see `imagebench fedsweep -serve`)")
+	fedSweep := fs.String("fed-sweep", "", "sweep ID for fedpoll's GET /v1/sweeps/{id}; empty polls the coordinator's sweep list")
 	experiments := fs.String("experiments", "fig10*,table1", "comma-separated experiment IDs or globs to draw from")
 	profile := fs.String("profile", "quick", "profile for submissions and result-key derivation")
 	out := fs.String("out", "", "write the JSON summary (schema-versioned, atomic) to this file")
@@ -74,6 +76,8 @@ func loadgenMain(args []string, stdout, stderr io.Writer) int {
 		Experiments: ids,
 		Profile:     *profile,
 		Mix:         mix,
+		FedURL:      *fedURL,
+		FedSweepID:  *fedSweep,
 	}
 	if *requests > 0 {
 		cfg.Requests = *requests

@@ -24,6 +24,12 @@
 //
 //	imagebench sweep -profiles quick -nodes 4,8 -out sweep.json 'fig10*' fig11
 //
+// Federated sweeps partition the same grid across a set of imagebenchd
+// workers, with work stealing, failover, and a crash-safe assignment
+// journal; the combined artifact is byte-identical to a single-node run:
+//
+//	imagebench fedsweep -workers http://a:8080,http://b:8080 -out sweep.json 'fig10*'
+//
 // Measured-performance runs (wall time, allocations, virtual seconds
 // per case) go through the bench harness, which diffs against a
 // committed baseline and exits nonzero on regression:
@@ -76,6 +82,10 @@ func parseSystems(flagValue string) ([]string, error) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		sweepMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fedsweep" {
+		fedsweepMain(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {

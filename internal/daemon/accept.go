@@ -1,0 +1,77 @@
+package daemon
+
+import (
+	"strconv"
+	"strings"
+)
+
+// acceptsPlainText reports whether the request's Accept header asks for
+// the text/plain rendering in preference to the default JSON one.
+//
+// Media ranges are parsed per RFC 9110 §12.5.1: each comma-separated
+// range may carry a q-value (default 1), and the quality assigned to a
+// concrete media type is that of the most specific matching range
+// (exact > type/* > */*). text/plain wins only when its quality is
+// positive and strictly greater than application/json's — ties keep
+// the server's default representation. So "text/plain" and
+// "text/plain;q=0.9, application/json;q=0.1" render text, while
+// "application/json, text/plain;q=0" stays JSON (the old substring
+// check served that client plain text).
+func acceptsPlainText(accept string) bool {
+	if strings.TrimSpace(accept) == "" {
+		return false
+	}
+	qPlain := acceptQuality(accept, "text", "plain")
+	qJSON := acceptQuality(accept, "application", "json")
+	return qPlain > 0 && qPlain > qJSON
+}
+
+// acceptQuality returns the effective q-value the Accept header assigns
+// to type/subtype, 0 when no range matches. Malformed ranges and
+// q-values are skipped rather than failing the whole header — Accept
+// is advisory, and the fallback is the default representation.
+func acceptQuality(accept, typ, subtype string) float64 {
+	bestSpec, q := -1, 0.0
+	for _, field := range strings.Split(accept, ",") {
+		parts := strings.Split(field, ";")
+		mr := strings.TrimSpace(parts[0])
+		slash := strings.IndexByte(mr, '/')
+		if slash < 0 {
+			continue
+		}
+		rt := strings.ToLower(mr[:slash])
+		rs := strings.ToLower(strings.TrimSpace(mr[slash+1:]))
+		// Specificity rank: exact media type beats a type/* wildcard
+		// beats */*; a range that matches neither is irrelevant here.
+		var spec int
+		switch {
+		case rt == typ && rs == subtype:
+			spec = 3
+		case rt == typ && rs == "*":
+			spec = 2
+		case rt == "*" && rs == "*":
+			spec = 1
+		default:
+			continue
+		}
+		fq := 1.0
+		for _, p := range parts[1:] {
+			v, ok := strings.CutPrefix(strings.TrimSpace(strings.ToLower(p)), "q=")
+			if !ok {
+				continue
+			}
+			if parsed, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && parsed >= 0 && parsed <= 1 {
+				fq = parsed
+			}
+			break // q terminates the range's weight; what follows is accept-ext
+		}
+		switch {
+		case spec > bestSpec:
+			bestSpec, q = spec, fq
+		case spec == bestSpec && fq > q:
+			// Duplicated equally-specific ranges: be liberal, keep the max.
+			q = fq
+		}
+	}
+	return q
+}

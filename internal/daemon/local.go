@@ -44,3 +44,14 @@ func (l *Local) Stop() {
 	l.srv.Shutdown(ctx)
 	l.Daemon.Close()
 }
+
+// Kill severs the daemon's HTTP surface immediately — listener and
+// every open connection dropped mid-request, nothing drained. This is
+// the network-level equivalent of kill -9 for an in-process worker:
+// peers see connection resets exactly as they would from a dead
+// process. The daemon's goroutines are deliberately left running (a
+// kill -9'd process computes right up to the signal too); their work
+// is simply unreachable.
+func (l *Local) Kill() {
+	l.srv.Close()
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"time"
 
 	"imagebench/internal/core"
@@ -41,6 +40,7 @@ func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Mana
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results", s.handleResultKeys)
+	mux.HandleFunc("POST /v1/results", s.handleResultIngest)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
@@ -49,13 +49,21 @@ func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Mana
 }
 
 // writeJSON emits v with indentation; these are operator-facing
-// endpoints, so readability beats byte count.
+// endpoints, so readability beats byte count. Encoding happens before
+// the status line is written: an unmarshalable value must become a 500,
+// not a 200 with a truncated body that a coordinator would try to
+// parse.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// apiError is a plain string struct, so this inner marshal
+		// cannot itself fail.
+		status = http.StatusInternalServerError
+		b, _ = json.MarshalIndent(apiError{Error: fmt.Sprintf("encode response: %v", err)}, "", "  ")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(b, '\n'))
 }
 
 type apiError struct {
@@ -179,12 +187,17 @@ func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
 
 // submitRequest is the POST /v1/jobs body. Experiments lists IDs, or
 // the single element "all" for the whole registry; profile is "quick"
-// or "full" (default "quick"). With wait=true the response is delayed
-// until every job terminates, which makes one-shot curl runs trivial.
+// or "full" (default "quick"). Overrides, when present, derive a
+// profile variant (core.Profile.Apply) — the form a federation
+// coordinator submits individual sweep cells in, since derived
+// profiles like "quick+nodes=4" have no standalone name. With
+// wait=true the response is delayed until every job terminates, which
+// makes one-shot curl runs trivial.
 type submitRequest struct {
-	Experiments []string `json:"experiments"`
-	Profile     string   `json:"profile"`
-	Wait        bool     `json:"wait"`
+	Experiments []string        `json:"experiments"`
+	Profile     string          `json:"profile"`
+	Overrides   *core.Overrides `json:"overrides,omitempty"`
+	Wait        bool            `json:"wait"`
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +217,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Overrides != nil {
+		if err := req.Overrides.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "overrides: %v", err)
+			return
+		}
+		profile = profile.Apply(*req.Overrides)
+	}
 	ids := req.Experiments
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = nil
@@ -212,17 +232,31 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Validate every ID before submitting any: a bad ID midway through
+	// the loop must not leave the earlier experiments silently running
+	// with the client told only "unknown experiment".
+	for _, id := range ids {
+		if _, err := core.Lookup(id); err != nil {
+			writeError(w, http.StatusBadRequest, "%v (nothing submitted)", err)
+			return
+		}
+	}
+
 	jobs := make([]*runner.Job, 0, len(ids))
 	for _, id := range ids {
 		j, err := s.sched.Submit(id, profile)
 		if err != nil {
 			status := http.StatusBadRequest
-			if errors.Is(err, runner.ErrQueueFull) {
-				status = http.StatusServiceUnavailable
-			} else if errors.Is(err, runner.ErrClosed) {
+			if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrClosed) {
 				status = http.StatusServiceUnavailable
 			}
-			writeError(w, status, "submit %s: %v", id, err)
+			// Jobs accepted before the failure keep running; the client
+			// must learn their IDs or it can never poll, wait on, or
+			// account for the partial batch.
+			writeJSON(w, status, map[string]any{
+				"jobs":  snapshotJobs(jobs),
+				"error": fmt.Sprintf("submit %s: %v (%d of %d jobs accepted)", id, err, len(jobs), len(ids)),
+			})
 			return
 		}
 		jobs = append(jobs, j)
@@ -240,20 +274,21 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		status = http.StatusOK
 	}
+	writeJSON(w, status, map[string]any{"jobs": snapshotJobs(jobs)})
+}
+
+// snapshotJobs collects the Info snapshots of jobs, never nil (so the
+// JSON field is [] rather than null).
+func snapshotJobs(jobs []*runner.Job) []runner.Info {
 	infos := make([]runner.Info, 0, len(jobs))
 	for _, j := range jobs {
 		infos = append(infos, j.Snapshot())
 	}
-	writeJSON(w, status, map[string]any{"jobs": infos})
+	return infos
 }
 
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := s.sched.Jobs()
-	infos := make([]runner.Info, 0, len(jobs))
-	for _, j := range jobs {
-		infos = append(infos, j.Snapshot())
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": snapshotJobs(s.sched.Jobs())})
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -277,6 +312,46 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleResultKeys(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"keys": s.cache.Keys()})
+}
+
+// maxIngestBytes caps POST /v1/results bodies. A replicated entry
+// carries a full result table, so the cap is larger than the job-spec
+// cap but still far above any real table.
+const maxIngestBytes = 8 << 20
+
+// handleResultIngest accepts a complete results.Entry and installs it
+// in the local cache — the federation coordinator's replication path,
+// by which a table computed on one worker becomes servable from every
+// worker. The cache is content-addressed, so the entry's key is
+// recomputed from its experiment and profile and must match: accepting
+// a mismatched key would poison every later lookup of that key.
+func (s *server) handleResultIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var entry results.Entry
+	if err := dec.Decode(&entry); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxIngestBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if entry.Table == nil {
+		writeError(w, http.StatusBadRequest, "entry has no table")
+		return
+	}
+	if want := results.Key(entry.Experiment, entry.Profile); entry.Key != want {
+		writeError(w, http.StatusBadRequest, "key %.12s does not match content (want %.12s)", entry.Key, want)
+		return
+	}
+	if err := s.cache.Put(&entry); err != nil {
+		writeError(w, http.StatusInternalServerError, "store entry: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"key": entry.Key})
 }
 
 // sweepRequest is the POST /v1/sweeps body: a sweep spec plus wait.
@@ -347,7 +422,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no cached result for key %q", key)
 		return
 	}
-	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+	if acceptsPlainText(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "# %s  (profile %s, key %s)\n%s",
 			entry.Experiment, entry.Profile.Name, entry.Key, entry.Table.Render())

@@ -1,0 +1,483 @@
+package fed
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/obs"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers are the base URLs of the imagebenchd daemons to federate
+	// over, e.g. "http://10.0.0.1:7080". At least one is required.
+	Workers []string
+	// PerWorker is the number of cells kept in flight on each worker
+	// concurrently; 0 means 2. Higher values pipeline the per-cell HTTP
+	// round trip but let more work strand on a killed worker.
+	PerWorker int
+	// JournalPath, when non-empty, is the coordinator's append-only
+	// assignment journal. A restarted coordinator replays it and
+	// resubmits only cells that never reached done.
+	JournalPath string
+	// Client is the HTTP client used for all worker traffic; nil means
+	// a dedicated client with no overall timeout (per-cell waits are
+	// bounded by the workers' own write timeouts).
+	Client *http.Client
+	// Metrics, when non-nil, receives the per-worker counters.
+	Metrics *obs.FedMetrics
+	// Logf, when non-nil, receives progress lines (worker deaths,
+	// steals, resume decisions).
+	Logf func(format string, args ...any)
+}
+
+// cellState tracks one cell through the federation: queued on a
+// worker, running, and finally done (with its fetched entry) or
+// failed. All fields are guarded by Coordinator.mu.
+type cellState struct {
+	cell     *sweep.Cell
+	worker   string // current assignee
+	running  bool
+	done     bool
+	cacheHit bool // satisfied without execution (resume fetch)
+	err      string
+	entry    *results.Entry
+}
+
+// Coordinator partitions a sweep's cell grid across workers, steals
+// work back from stragglers, and journals every assignment so a
+// restart resubmits only unfinished cells.
+type Coordinator struct {
+	cfg     Config
+	client  *http.Client
+	journal *Journal
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	sweepID    string
+	spec       sweep.Spec
+	cells      []*sweep.Cell
+	states     map[string]*cellState
+	queues     map[string][]*cellState
+	dead       map[string]bool
+	started    time.Time
+	journalErr error // first journal append failure, reported by Run
+}
+
+// New validates cfg and opens the assignment journal (if configured).
+// Call Close when done with the coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fed: no workers configured")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		if w == "" {
+			return nil, fmt.Errorf("fed: empty worker URL")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fed: duplicate worker %s", w)
+		}
+		seen[w] = true
+	}
+	if cfg.PerWorker <= 0 {
+		cfg.PerWorker = 2
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if cfg.JournalPath != "" {
+		j, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+	}
+	return c, nil
+}
+
+// Close closes the assignment journal. It does not interrupt a running
+// Run; cancel its context for that.
+func (c *Coordinator) Close() error {
+	if c.journal != nil {
+		return c.journal.Close()
+	}
+	return nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// record appends to the assignment journal, remembering the first
+// failure: the sweep keeps executing (availability over durability),
+// and Run surfaces the degraded exactly-once guarantee at the end.
+func (c *Coordinator) record(r Record) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.Record(r); err != nil && c.journalErr == nil {
+		c.journalErr = err
+	}
+}
+
+// Result is a completed federated sweep.
+type Result struct {
+	SweepID string
+	Spec    sweep.Spec
+	Cells   []*sweep.Cell
+	// Entries holds every finished cell's fetched entry, by result key.
+	Entries map[string]*results.Entry
+	// Failed maps the keys of cells that terminally failed to their
+	// errors. Empty on a fully successful sweep.
+	Failed map[string]string
+}
+
+// WriteArtifact writes the canonical combined artifact: byte-identical
+// to a single-node canonical run of the same grid.
+func (r *Result) WriteArtifact(w io.Writer) error {
+	return sweep.WriteCanonicalArtifact(w, r.SweepID, r.Spec, r.Cells, func(c *sweep.Cell) *core.Table {
+		if e := r.Entries[c.Key]; e != nil {
+			return e.Table
+		}
+		return nil
+	})
+}
+
+// Run executes the sweep across the configured workers and blocks
+// until every cell is terminal or ctx is canceled. The returned error
+// covers coordinator-level problems (spec expansion, context
+// cancellation, journal write failures); per-cell failures are
+// reported in Result.Failed.
+func (c *Coordinator) Run(ctx context.Context, spec sweep.Spec) (*Result, error) {
+	cells, err := sweep.Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	sid := sweep.GridID(cells)
+
+	// Resume: cells the journal already proved done are not re-run if
+	// any worker still serves their table.
+	var doneBefore map[string]bool
+	if c.cfg.JournalPath != "" {
+		recs, err := ReadJournal(c.cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		doneBefore = DoneKeys(recs, sid)
+	}
+
+	c.mu.Lock()
+	c.sweepID, c.spec, c.cells = sid, spec, cells
+	c.started = time.Now()
+	c.states = make(map[string]*cellState, len(cells))
+	c.queues = make(map[string][]*cellState, len(c.cfg.Workers))
+	c.dead = make(map[string]bool)
+	for _, w := range c.cfg.Workers {
+		c.queues[w] = nil
+	}
+	for _, cell := range cells {
+		c.states[cell.Key] = &cellState{cell: cell}
+	}
+	c.mu.Unlock()
+
+	c.record(Record{Op: OpSpec, Sweep: sid, Spec: &spec})
+
+	// Opportunistic resume fetch, outside the lock: journal-done cells
+	// whose table any worker still serves are finished without
+	// re-execution. A table no worker can produce anymore falls back to
+	// a normal run — the journal optimizes, the cache decides.
+	resumed := 0
+	for _, cell := range cells {
+		if !doneBefore[cell.Key] {
+			continue
+		}
+		if entry := c.probeEntry(ctx, cell.Key); entry != nil {
+			st := c.states[cell.Key]
+			c.mu.Lock()
+			st.done, st.cacheHit, st.entry = true, true, entry
+			c.mu.Unlock()
+			resumed++
+		}
+	}
+	if resumed > 0 {
+		c.logf("fed: resumed %d of %d cells from the journal", resumed, len(cells))
+	}
+
+	// Initial partition: remaining cells round-robin across workers in
+	// expansion order, so adjacent grid points land on different
+	// workers and a straggler holds a spread of the grid, not a stripe.
+	c.mu.Lock()
+	i := 0
+	for _, cell := range cells {
+		st := c.states[cell.Key]
+		if st.done {
+			continue
+		}
+		w := c.cfg.Workers[i%len(c.cfg.Workers)]
+		i++
+		st.worker = w
+		c.queues[w] = append(c.queues[w], st)
+		c.record(Record{Op: OpAssign, Key: cell.Key, Worker: w})
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.Assigned.With(w).Inc()
+		}
+	}
+	c.mu.Unlock()
+
+	// Wake blocked executors if the context dies.
+	stopWake := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stopWake()
+
+	var wg sync.WaitGroup
+	for _, w := range c.cfg.Workers {
+		for s := 0; s < c.cfg.PerWorker; s++ {
+			wg.Add(1)
+			go func(worker string) {
+				defer wg.Done()
+				for {
+					st := c.next(ctx, worker)
+					if st == nil {
+						return
+					}
+					c.execute(ctx, worker, st)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{SweepID: sid, Spec: spec, Cells: cells,
+		Entries: make(map[string]*results.Entry), Failed: make(map[string]string)}
+	c.mu.Lock()
+	for key, st := range c.states {
+		switch {
+		case st.done:
+			res.Entries[key] = st.entry
+		default:
+			res.Failed[key] = st.err
+		}
+	}
+	jerr := c.journalErr
+	c.mu.Unlock()
+	if jerr != nil {
+		return res, fmt.Errorf("fed: sweep completed but journal writes failed (restart will re-run cells): %w", jerr)
+	}
+	return res, nil
+}
+
+// next returns the worker's next cell: its own queue first, then a
+// steal from the slowest live peer (the longest remaining queue,
+// popped from the tail — the victim keeps working its head). When
+// nothing is available but cells are still in flight it blocks, since
+// any in-flight cell may yet be re-queued by a worker death. It
+// returns nil when the worker should exit: dead, canceled, or every
+// cell terminal.
+func (c *Coordinator) next(ctx context.Context, worker string) *cellState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if ctx.Err() != nil || c.dead[worker] || c.allTerminalLocked() {
+			return nil
+		}
+		if q := c.queues[worker]; len(q) > 0 {
+			st := q[0]
+			c.queues[worker] = q[1:]
+			st.running = true
+			return st
+		}
+		if st := c.stealLocked(worker); st != nil {
+			return st
+		}
+		c.cond.Wait()
+	}
+}
+
+// stealLocked pulls the tail cell of the longest live peer queue;
+// c.mu must be held. Returns nil when no peer has queued work.
+func (c *Coordinator) stealLocked(thief string) *cellState {
+	victim, max := "", 0
+	for w, q := range c.queues {
+		if w == thief || c.dead[w] {
+			continue
+		}
+		if len(q) > max {
+			victim, max = w, len(q)
+		}
+	}
+	if victim == "" {
+		return nil
+	}
+	q := c.queues[victim]
+	st := q[len(q)-1]
+	c.queues[victim] = q[:len(q)-1]
+	st.worker = thief
+	st.running = true
+	c.record(Record{Op: OpSteal, Key: st.cell.Key, Worker: thief, From: victim})
+	c.record(Record{Op: OpAssign, Key: st.cell.Key, Worker: thief})
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Stolen.With(victim).Inc()
+		c.cfg.Metrics.Assigned.With(thief).Inc()
+	}
+	c.logf("fed: %s stole %s/%s from %s (%d cells remained)",
+		thief, st.cell.Experiment, st.cell.Profile.Name, victim, max)
+	return st
+}
+
+// allTerminalLocked reports whether every cell is done or failed;
+// c.mu must be held.
+func (c *Coordinator) allTerminalLocked() bool {
+	for _, st := range c.states {
+		if !st.done && st.err == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// execute runs one cell on worker: submit with wait=true, fetch the
+// finished table, journal done, and replicate the entry to every other
+// live worker. A transport failure declares the worker down and
+// re-queues the cell on the survivors.
+func (c *Coordinator) execute(ctx context.Context, worker string, st *cellState) {
+	cell := st.cell
+	info, err := c.submitCell(ctx, worker, cell)
+	if err != nil {
+		if isTransport(err) {
+			c.workerDown(worker, st)
+		} else {
+			c.failCell(worker, st, err.Error())
+		}
+		return
+	}
+	if info.Status != runner.StatusDone {
+		c.failCell(worker, st, fmt.Sprintf("job %s: %s", info.Status, info.Error))
+		return
+	}
+	if info.ResultKey != cell.Key {
+		// The worker derived a different key for the same (experiment,
+		// profile): registry or key-scheme drift. Its table would be
+		// filed under the wrong address — fail loudly instead.
+		c.failCell(worker, st, fmt.Sprintf("worker computed key %.12s, coordinator expected %.12s", info.ResultKey, cell.Key))
+		return
+	}
+	entry, err := c.fetchEntry(ctx, worker, cell.Key)
+	if err != nil {
+		if isTransport(err) {
+			c.workerDown(worker, st)
+		} else {
+			c.failCell(worker, st, err.Error())
+		}
+		return
+	}
+	if entry == nil {
+		c.failCell(worker, st, "worker reported done but serves no result")
+		return
+	}
+
+	c.mu.Lock()
+	st.running, st.done, st.entry = false, true, entry
+	c.record(Record{Op: OpDone, Key: cell.Key, Worker: worker})
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Done.With(worker).Inc()
+	}
+	peers := c.liveWorkersLocked()
+	c.mu.Unlock()
+	c.cond.Broadcast()
+
+	// Replicate so any worker can serve any key. The source already
+	// has it; push to everyone else still alive.
+	for _, peer := range peers {
+		if peer == worker {
+			continue
+		}
+		if err := c.replicate(ctx, peer, entry); err != nil {
+			c.workerDown(peer, nil)
+		}
+	}
+}
+
+// failCell marks a cell terminally failed.
+func (c *Coordinator) failCell(worker string, st *cellState, msg string) {
+	c.mu.Lock()
+	st.running = false
+	st.err = msg
+	c.record(Record{Op: OpFail, Key: st.cell.Key, Worker: worker, Error: msg})
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.logf("fed: cell %s/%s failed on %s: %s", st.cell.Experiment, st.cell.Profile.Name, worker, msg)
+}
+
+// workerDown declares a worker dead after a transport failure and
+// redistributes its remaining queue — plus the in-flight cell that
+// exposed the failure, if any — across the survivors. With no
+// survivors the stranded cells fail terminally.
+func (c *Coordinator) workerDown(worker string, inflight *cellState) {
+	c.mu.Lock()
+	if !c.dead[worker] {
+		c.dead[worker] = true
+		c.record(Record{Op: OpWorkerDown, Worker: worker})
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.WorkerFailures.With(worker).Inc()
+		}
+		c.logf("fed: worker %s down, redistributing %d queued cells", worker, len(c.queues[worker]))
+	}
+	orphans := c.queues[worker]
+	c.queues[worker] = nil
+	if inflight != nil {
+		inflight.running = false
+		orphans = append(orphans, inflight)
+	}
+	live := c.liveWorkersLocked()
+	for i, st := range orphans {
+		if st.done || st.err != "" {
+			continue
+		}
+		if len(live) == 0 {
+			st.err = "no live workers"
+			c.record(Record{Op: OpFail, Key: st.cell.Key, Worker: worker, Error: st.err})
+			continue
+		}
+		w := live[i%len(live)]
+		st.worker = w
+		c.queues[w] = append(c.queues[w], st)
+		c.record(Record{Op: OpAssign, Key: st.cell.Key, Worker: w})
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.Assigned.With(w).Inc()
+		}
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// liveWorkersLocked returns the workers not declared dead, in config
+// order; c.mu must be held.
+func (c *Coordinator) liveWorkersLocked() []string {
+	var live []string
+	for _, w := range c.cfg.Workers {
+		if !c.dead[w] {
+			live = append(live, w)
+		}
+	}
+	return live
+}

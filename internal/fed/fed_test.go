@@ -1,0 +1,447 @@
+package fed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/daemon"
+	"imagebench/internal/obs"
+	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
+)
+
+var registerFedOnce sync.Once
+
+// registerFedFakes registers six fast deterministic experiments: the
+// result depends only on the derived profile, so any worker (or a
+// single-node run) computes byte-identical tables for the same cell.
+func registerFedFakes() {
+	registerFedOnce.Do(func() {
+		for _, id := range []string{"zz-fed-a", "zz-fed-b", "zz-fed-c", "zz-fed-d", "zz-fed-e", "zz-fed-f"} {
+			id := id
+			core.Register(&core.Experiment{
+				ID: id, Title: "fake fed " + id, Paper: "n/a",
+				Run: func(ctx context.Context, p core.Profile) (*core.Table, error) {
+					time.Sleep(5 * time.Millisecond) // long enough to kill a worker mid-sweep
+					t := core.NewTable("fed "+id, "virtual s", []string{"r"}, []string{"c"})
+					t.Set("r", "c", float64(p.ClusterNodes[0]))
+					return t, nil
+				},
+				Check: func(*core.Table) error { return nil },
+			})
+		}
+	})
+}
+
+// startWorkers boots n in-process worker daemons.
+func startWorkers(t *testing.T, n int) []*daemon.Local {
+	t.Helper()
+	registerFedFakes()
+	workers := make([]*daemon.Local, n)
+	for i := range workers {
+		w, err := daemon.StartLocal(daemon.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		t.Cleanup(w.Stop)
+	}
+	return workers
+}
+
+func workerURLs(workers []*daemon.Local) []string {
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.BaseURL
+	}
+	return urls
+}
+
+// nodeOverrides builds n single-point ClusterNodes override axes.
+func nodeOverrides(n int) []core.Overrides {
+	out := make([]core.Overrides, n)
+	for i := range out {
+		out[i] = core.Overrides{ClusterNodes: []int{i + 1}}
+	}
+	return out
+}
+
+// singleNodeCanonical runs the same spec through an in-process sweep
+// manager (no federation) and returns the canonical artifact bytes.
+func singleNodeCanonical(t *testing.T, spec sweep.Spec) []byte {
+	t.Helper()
+	d, err := daemon.New(daemon.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s, _, err := d.Sweeps.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = sweep.WriteCanonicalArtifact(&buf, s.ID, spec, s.Cells, func(c *sweep.Cell) *core.Table {
+		tab, _ := s.Result(c, d.Cache)
+		return tab
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestJournalRoundTripAndDoneKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "assign.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sweep.Spec{Experiments: []string{"zz-fed-a"}}
+	recs := []Record{
+		{Op: OpSpec, Sweep: "sw-aaa", Spec: &spec},
+		{Op: OpAssign, Key: "k1", Worker: "w1"},
+		{Op: OpAssign, Key: "k2", Worker: "w2"},
+		{Op: OpSteal, Key: "k2", Worker: "w1", From: "w2"},
+		{Op: OpDone, Key: "k1", Worker: "w1"},
+		{Op: OpFail, Key: "k2", Worker: "w1", Error: "boom"},
+		{Op: OpWorkerDown, Worker: "w2"},
+	}
+	for _, r := range recs {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Op != recs[i].Op || r.Key != recs[i].Key || r.Worker != recs[i].Worker || r.Time == "" {
+			t.Errorf("record %d = %+v", i, r)
+		}
+	}
+	done := DoneKeys(got, "sw-aaa")
+	// k1 is done; k2 failed (stays pending, retried on restart).
+	if !done["k1"] || done["k2"] || len(done) != 1 {
+		t.Errorf("DoneKeys = %v, want only k1", done)
+	}
+	// Records scoped to a different sweep are invisible.
+	if d := DoneKeys(got, "sw-bbb"); len(d) != 0 {
+		t.Errorf("DoneKeys for foreign sweep = %v, want empty", d)
+	}
+}
+
+func TestFederatedSweepRunsAllCells(t *testing.T) {
+	workers := startWorkers(t, 2)
+	reg := obs.NewRegistry()
+	fm := obs.NewFedMetrics(reg)
+	coord, err := New(Config{Workers: workerURLs(workers), Metrics: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	spec := sweep.Spec{Experiments: []string{"zz-fed-a", "zz-fed-b", "zz-fed-c"}, Overrides: nodeOverrides(2)}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := coord.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed cells: %v", res.Failed)
+	}
+	if len(res.Entries) != 6 {
+		t.Fatalf("got %d entries, want 6", len(res.Entries))
+	}
+	for key, e := range res.Entries {
+		if e == nil || e.Table == nil || e.Key != key {
+			t.Fatalf("entry %s = %+v", key, e)
+		}
+	}
+	// Replication: every worker serves every key.
+	for i, w := range workers {
+		if got := len(w.Cache.Keys()); got != 6 {
+			t.Errorf("worker %d caches %d keys after replication, want 6", i, got)
+		}
+	}
+	// Per-worker counters on /metrics: all 6 assignments and
+	// completions accounted, and replication fanned out.
+	var assigned, done, replicated float64
+	for _, u := range workerURLs(workers) {
+		assigned += fm.Assigned.With(u).Value()
+		done += fm.Done.With(u).Value()
+		replicated += fm.Replications.With(u).Value()
+	}
+	if assigned < 6 || done != 6 || replicated != 6 {
+		t.Errorf("counters: assigned=%v done=%v replicated=%v, want >=6 / 6 / 6", assigned, done, replicated)
+	}
+	// The federated artifact matches a single-node run byte for byte.
+	var fedArt bytes.Buffer
+	if err := res.WriteArtifact(&fedArt); err != nil {
+		t.Fatal(err)
+	}
+	if single := singleNodeCanonical(t, spec); !bytes.Equal(fedArt.Bytes(), single) {
+		t.Errorf("federated artifact (%d bytes) differs from single-node artifact (%d bytes)",
+			fedArt.Len(), len(single))
+	}
+}
+
+// TestFederationSmokeKillWorker is the acceptance smoke: coordinator +
+// 3 in-process workers, a 60-cell sweep, one worker killed (-9 at the
+// network layer) mid-flight. The killed worker's cells must migrate to
+// the survivors and the combined artifact must be byte-identical to a
+// single-node run of the same spec.
+func TestFederationSmokeKillWorker(t *testing.T) {
+	workers := startWorkers(t, 3)
+	reg := obs.NewRegistry()
+	fm := obs.NewFedMetrics(reg)
+	journal := filepath.Join(t.TempDir(), "assign.jsonl")
+	coord, err := New(Config{Workers: workerURLs(workers), Metrics: fm, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// 6 experiments × 10 cluster sizes = 60 cells.
+	spec := sweep.Spec{Experiments: []string{"zz-fed-*"}, Overrides: nodeOverrides(10)}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	runC := make(chan outcome, 1)
+	go func() {
+		res, err := coord.Run(ctx, spec)
+		runC <- outcome{res, err}
+	}()
+
+	// Kill worker 0 once the sweep is demonstrably mid-flight: some
+	// cells done, many not.
+	killed := false
+	deadline := time.Now().Add(time.Minute)
+	for !killed {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never reached mid-flight")
+		}
+		info, ok := coord.SweepInfo(false)
+		if ok && info.Done >= 5 {
+			if info.Done > 50 {
+				t.Fatalf("sweep nearly finished (done=%d) before the kill; slow the fakes down", info.Done)
+			}
+			workers[0].Kill()
+			killed = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	out := <-runC
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if len(out.res.Failed) != 0 {
+		t.Fatalf("failed cells after worker kill: %v", out.res.Failed)
+	}
+	if len(out.res.Entries) != 60 {
+		t.Fatalf("got %d entries, want 60", len(out.res.Entries))
+	}
+
+	// The kill was observed and the dead worker's cells migrated: the
+	// survivors were assigned more than their initial 2/3 share.
+	if v := fm.WorkerFailures.With(workers[0].BaseURL).Value(); v < 1 {
+		t.Errorf("worker 0 kill not recorded: failures=%v", v)
+	}
+	survivors := fm.Assigned.With(workers[1].BaseURL).Value() + fm.Assigned.With(workers[2].BaseURL).Value()
+	if survivors <= 40 {
+		t.Errorf("survivors were assigned %v cells total, want > 40 (their initial share)", survivors)
+	}
+	// Every surviving worker can serve every key (replication held up).
+	for i, w := range workers[1:] {
+		if got := len(w.Cache.Keys()); got != 60 {
+			t.Errorf("survivor %d caches %d keys, want 60", i+1, got)
+		}
+	}
+
+	// Byte-identical to the single-node run.
+	var fedArt bytes.Buffer
+	if err := out.res.WriteArtifact(&fedArt); err != nil {
+		t.Fatal(err)
+	}
+	single := singleNodeCanonical(t, spec)
+	if !bytes.Equal(fedArt.Bytes(), single) {
+		t.Fatalf("federated artifact (%d bytes) differs from single-node artifact (%d bytes)",
+			fedArt.Len(), len(single))
+	}
+
+	// The journal recorded the death and the migration.
+	recs, err := ReadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDown, sawDone bool
+	for _, r := range recs {
+		if r.Op == OpWorkerDown && r.Worker == workers[0].BaseURL {
+			sawDown = true
+		}
+		if r.Op == OpDone {
+			sawDone = true
+		}
+	}
+	if !sawDown || !sawDone {
+		t.Errorf("journal missing worker-down (%v) or done (%v) records", sawDown, sawDone)
+	}
+}
+
+// TestCoordinatorResume proves journal-backed exactly-once: a second
+// coordinator over the same journal re-runs nothing — every cell is
+// satisfied from the journal's done set and the workers' caches.
+func TestCoordinatorResume(t *testing.T) {
+	workers := startWorkers(t, 2)
+	journal := filepath.Join(t.TempDir(), "assign.jsonl")
+	spec := sweep.Spec{Experiments: []string{"zz-fed-a", "zz-fed-b"}, Overrides: nodeOverrides(3)}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	first, err := New(Config{Workers: workerURLs(workers), JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := first.Run(ctx, spec)
+	first.Close()
+	if err != nil || len(res.Failed) != 0 {
+		t.Fatalf("first run: err=%v failed=%v", err, res.Failed)
+	}
+
+	// Worker-side execution counts before the resume.
+	before := make([]int64, len(workers))
+	for i, w := range workers {
+		before[i] = w.Sched.Stats().Submitted
+	}
+
+	second, err := New(Config{Workers: workerURLs(workers), JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	res2, err := second.Run(ctx, spec)
+	if err != nil || len(res2.Failed) != 0 {
+		t.Fatalf("resumed run: err=%v failed=%v", err, res2.Failed)
+	}
+	if len(res2.Entries) != 6 {
+		t.Fatalf("resumed run returned %d entries, want 6", len(res2.Entries))
+	}
+	info, ok := second.SweepInfo(false)
+	if !ok || info.Hits != 6 || info.Done != 6 {
+		t.Errorf("resumed sweep info = %+v, want all 6 cells as journal/cache hits", info)
+	}
+	for i, w := range workers {
+		if got := w.Sched.Stats().Submitted; got != before[i] {
+			t.Errorf("worker %d executed %d new jobs during resume, want 0", i, got-before[i])
+		}
+	}
+}
+
+// TestServeHandler drives the coordinator's -serve surface: the same
+// GET /v1/sweeps/{id} shape a worker daemon exposes.
+func TestServeHandler(t *testing.T) {
+	workers := startWorkers(t, 2)
+	reg := obs.NewRegistry()
+	fm := obs.NewFedMetrics(reg)
+	coord, err := New(Config{Workers: workerURLs(workers), Metrics: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ts := httptest.NewServer(coord.Handler(reg))
+	defer ts.Close()
+
+	// Before any sweep: list is empty, get is 404.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/sw-000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep = %d, want 404", resp.StatusCode)
+	}
+
+	spec := sweep.Spec{Experiments: []string{"zz-fed-a"}, Overrides: nodeOverrides(2)}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := coord.Run(ctx, spec)
+	if err != nil || len(res.Failed) != 0 {
+		t.Fatalf("run: err=%v failed=%v", err, res.Failed)
+	}
+
+	var info sweep.Info
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + res.SweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep fetch = %d", resp.StatusCode)
+	}
+	if info.ID != res.SweepID || info.Total != 2 || info.Done != 2 || !info.Finished() {
+		t.Errorf("served info = %+v, want 2/2 done", info)
+	}
+	if len(info.Cells) != 2 || info.Cells[0].Status != runner.StatusDone {
+		t.Errorf("served cells = %+v", info.Cells)
+	}
+
+	// /metrics exposes the per-worker federation counters.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := copyBody(&sb, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "imagebench_fed_cells_done_total") {
+		t.Error("metrics output missing imagebench_fed_cells_done_total")
+	}
+}
+
+func copyBody(sb *strings.Builder, resp *http.Response) (int64, error) {
+	defer resp.Body.Close()
+	buf := make([]byte, 64<<10)
+	var n int64
+	for {
+		k, err := resp.Body.Read(buf)
+		sb.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}

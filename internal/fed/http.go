@@ -1,0 +1,268 @@
+package fed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/obs"
+	"imagebench/internal/results"
+	"imagebench/internal/runner"
+	"imagebench/internal/sweep"
+)
+
+// transportError marks a failure to reach a worker at all — connection
+// refused, reset mid-request, unreadable response. It is the signal
+// that declares a worker down, as distinct from a worker that answered
+// with an application error (which fails the cell, not the worker).
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+func isTransport(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// jobRequest mirrors the daemon's POST /v1/jobs body: one experiment,
+// the cell's base profile, and its override set (so the worker derives
+// the exact same profile — and therefore the exact same result key —
+// the coordinator expanded).
+type jobRequest struct {
+	Experiments []string        `json:"experiments"`
+	Profile     string          `json:"profile"`
+	Overrides   *core.Overrides `json:"overrides,omitempty"`
+	Wait        bool            `json:"wait"`
+}
+
+type jobResponse struct {
+	Jobs  []runner.Info `json:"jobs"`
+	Error string        `json:"error"`
+}
+
+// submitCell runs one cell to completion on worker via POST /v1/jobs
+// wait=true. Transport failures come back as *transportError; any
+// other error is cell-level. A 503 (worker queue momentarily full) is
+// retried with backoff — the worker is alive, just saturated.
+func (c *Coordinator) submitCell(ctx context.Context, worker string, cell *sweep.Cell) (runner.Info, error) {
+	req := jobRequest{Experiments: []string{cell.Experiment}, Profile: cell.Base, Wait: true}
+	if !cell.Override.IsZero() {
+		o := cell.Override
+		req.Overrides = &o
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return runner.Info{}, fmt.Errorf("encode job request: %w", err)
+	}
+	const maxRetries = 10
+	for attempt := 0; ; attempt++ {
+		status, resp, err := c.post(ctx, worker+"/v1/jobs", body)
+		if err != nil {
+			return runner.Info{}, err // already a *transportError
+		}
+		if status == http.StatusServiceUnavailable && attempt < maxRetries {
+			select {
+			case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return runner.Info{}, &transportError{err: ctx.Err()}
+			}
+		}
+		var jr jobResponse
+		if err := json.Unmarshal(resp, &jr); err != nil {
+			return runner.Info{}, fmt.Errorf("worker answered %d with unparseable body: %.200s", status, resp)
+		}
+		if status != http.StatusOK {
+			return runner.Info{}, fmt.Errorf("worker answered %d: %s", status, jr.Error)
+		}
+		if len(jr.Jobs) != 1 {
+			return runner.Info{}, fmt.Errorf("worker returned %d jobs for one cell", len(jr.Jobs))
+		}
+		return jr.Jobs[0], nil
+	}
+}
+
+// fetchEntry retrieves a finished cell's full entry from worker.
+// A missing key is (nil, nil).
+func (c *Coordinator) fetchEntry(ctx context.Context, worker, key string) (*results.Entry, error) {
+	status, resp, err := c.get(ctx, worker+"/v1/results/"+key)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNotFound {
+		return nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("worker answered %d fetching %.12s", status, key)
+	}
+	var entry results.Entry
+	if err := json.Unmarshal(resp, &entry); err != nil || entry.Table == nil {
+		return nil, fmt.Errorf("worker served unparseable entry for %.12s", key)
+	}
+	return &entry, nil
+}
+
+// probeEntry tries every live worker for a key during resume. Errors
+// are swallowed: the probe is opportunistic, and a cell it cannot
+// satisfy just runs normally.
+func (c *Coordinator) probeEntry(ctx context.Context, key string) *results.Entry {
+	c.mu.Lock()
+	live := c.liveWorkersLocked()
+	c.mu.Unlock()
+	for _, w := range live {
+		if entry, err := c.fetchEntry(ctx, w, key); err == nil && entry != nil {
+			return entry
+		}
+	}
+	return nil
+}
+
+// replicate pushes a finished entry to peer via POST /v1/results.
+// Only transport failures are returned (they declare the peer down); a
+// peer that answers with an error keeps running, it just missed this
+// entry — reads fall back to whichever worker computed it.
+func (c *Coordinator) replicate(ctx context.Context, peer string, entry *results.Entry) error {
+	body, err := json.Marshal(entry)
+	if err != nil {
+		return nil // unserializable entry: nothing transport-related
+	}
+	status, _, err := c.post(ctx, peer+"/v1/results", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated {
+		c.logf("fed: replicate %.12s to %s: status %d", entry.Key, peer, status)
+		return nil
+	}
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Replications.With(peer).Inc()
+	}
+	return nil
+}
+
+// post issues a JSON POST; the returned error is always a
+// *transportError (HTTP-level failures come back as a status).
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, &transportError{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+func (c *Coordinator) get(ctx context.Context, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, &transportError{err: err}
+	}
+	return c.do(req)
+}
+
+func (c *Coordinator) do(req *http.Request) (int, []byte, error) {
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, &transportError{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, &transportError{err: err}
+	}
+	return resp.StatusCode, body, nil
+}
+
+// SweepInfo snapshots the coordinator's sweep in the same shape a
+// worker daemon serves for GET /v1/sweeps/{id}; ok is false before Run
+// has expanded a spec.
+func (c *Coordinator) SweepInfo(withCells bool) (sweep.Info, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sweepID == "" {
+		return sweep.Info{}, false
+	}
+	info := sweep.Info{
+		ID:      c.sweepID,
+		Created: c.started.UTC().Format(time.RFC3339Nano),
+		Total:   len(c.cells),
+	}
+	for _, cell := range c.cells {
+		st := c.states[cell.Key]
+		ci := sweep.CellInfo{Experiment: cell.Experiment, Profile: cell.Profile.Name, Key: cell.Key}
+		switch {
+		case st.done:
+			ci.Status, ci.CacheHit = runner.StatusDone, st.cacheHit
+			info.Done++
+			if st.cacheHit {
+				info.Hits++
+			}
+		case st.err != "":
+			ci.Status, ci.Error = runner.StatusFailed, st.err
+			info.Failed++
+		case st.running:
+			ci.Status = runner.StatusRunning
+			info.Running++
+		default:
+			ci.Status = runner.StatusQueued
+			info.Queued++
+		}
+		if withCells {
+			info.Cells = append(info.Cells, ci)
+		}
+	}
+	return info, true
+}
+
+// Handler serves the coordinator's observation surface: /healthz,
+// /metrics (when reg is non-nil), and the sweep in the same
+// GET /v1/sweeps and GET /v1/sweeps/{id} shapes a worker daemon
+// exposes — a dashboard pointed at a worker works unchanged against
+// the coordinator.
+func (c *Coordinator) Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fedWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			fedWriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "metrics registry not configured"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		infos := []sweep.Info{}
+		if info, ok := c.SweepInfo(false); ok {
+			infos = append(infos, info)
+		}
+		fedWriteJSON(w, http.StatusOK, map[string]any{"sweeps": infos})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := c.SweepInfo(true)
+		if !ok || info.ID != r.PathValue("id") {
+			fedWriteJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown sweep %q", r.PathValue("id"))})
+			return
+		}
+		fedWriteJSON(w, http.StatusOK, info)
+	})
+	return mux
+}
+
+func fedWriteJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "encode response", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,159 @@
+// Package jsonl is the append-only JSON-lines file primitive behind
+// the repo's crash-safe journals: the scheduler's job journal
+// (internal/runner) and the federation coordinator's assignment
+// journal (internal/fed). It owns exactly the mechanics both share —
+// single-write appends of complete lines, torn-tail repair on open,
+// and a reader that tolerates one unparseable final line — while each
+// journal keeps its own record schema and replay semantics.
+//
+// Crash-safety model: each record is written as a single write(2) of a
+// complete line to an O_APPEND descriptor, so concurrent writers never
+// interleave mid-line and a crash can only tear the final line. The
+// reader tolerates exactly that: an unparseable trailing line is
+// ignored, anything torn earlier is reported as corruption.
+package jsonl
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is an append-only line file. Append is safe for concurrent use.
+type File struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if needed) the file at path for appending. If
+// the previous process crashed mid-write, the file ends in a torn
+// partial line; that fragment is truncated away first — the record
+// never durably existed, and appending after it would merge two
+// records into one malformed mid-file line, turning a tolerated torn
+// tail into corruption that poisons every later recovery.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jsonl: open %s: %w", path, err)
+	}
+	if err := truncateTornTail(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jsonl: repair %s: %w", path, err)
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// truncateTornTail drops everything after the file's last newline.
+func truncateTornTail(f *os.File) error {
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		return err
+	}
+	if end == 0 {
+		return nil
+	}
+	// Scan backwards in chunks for the last newline.
+	const chunk = 4096
+	pos := end
+	for pos > 0 {
+		n := int64(chunk)
+		if pos < n {
+			n = pos
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, pos-n); err != nil {
+			return err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(pos - n + i + 1)
+			}
+		}
+		pos -= n
+	}
+	return f.Truncate(0) // no newline at all: the whole file is one torn line
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Append writes line plus a trailing newline as one Write call, so a
+// crash cannot interleave two records. A failed or short write (disk
+// full) is rolled back by truncating to the pre-write offset —
+// otherwise the stranded fragment would sit mid-file and merge with
+// the next successful append into one malformed line that poisons
+// every later recovery.
+func (f *File) Append(line []byte) error {
+	b := make([]byte, 0, len(line)+1)
+	b = append(b, line...)
+	b = append(b, '\n')
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f == nil {
+		return fmt.Errorf("jsonl: %s is closed", f.path)
+	}
+	end, serr := f.f.Seek(0, 2) // f.mu serializes writers, so this is the write offset
+	if _, err := f.f.Write(b); err != nil {
+		if serr == nil {
+			f.f.Truncate(end)
+		}
+		return err
+	}
+	return nil
+}
+
+// Close closes the underlying file; further Appends fail.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f == nil {
+		return nil
+	}
+	err := f.f.Close()
+	f.f = nil
+	return err
+}
+
+// Read parses the file at path line by line with parse, which reports
+// whether the line decoded as a valid record. A missing file is empty.
+// One failed line is tolerated only as the file's final line (the torn
+// tail of a crash); a second bad line, or anything after a bad line,
+// is corruption and is reported with its line number. Empty lines are
+// skipped.
+func Read(path string, parse func(line []byte) bool) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jsonl: read %s: %w", path, err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo, badLine := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !parse(line) {
+			if badLine != 0 {
+				return fmt.Errorf("jsonl: %s: malformed records at lines %d and %d", path, badLine, lineNo)
+			}
+			badLine = lineNo
+			continue
+		}
+		if badLine != 0 {
+			return fmt.Errorf("jsonl: %s: malformed record at line %d", path, badLine)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jsonl: read %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package jsonl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) []string {
+	t.Helper()
+	var lines []string
+	err := Read(path, func(line []byte) bool {
+		lines = append(lines, string(line))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return lines
+}
+
+func TestAppendAndRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{`{"a":1}`, `{"a":2}`} {
+		if err := f.Append([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("x")); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	got := readAll(t, path)
+	if len(got) != 2 || got[0] != `{"a":1}` || got[1] != `{"a":2}` {
+		t.Fatalf("round trip: %q", got)
+	}
+}
+
+func TestMissingFileIsEmpty(t *testing.T) {
+	if got := readAll(t, filepath.Join(t.TempDir(), "nope.jsonl")); len(got) != 0 {
+		t.Fatalf("missing file yielded %q", got)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"a\":1}\n{\"torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn fragment is gone, so this append starts a fresh line
+	// instead of merging with it.
+	if err := f.Append([]byte(`{"a":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got := readAll(t, path)
+	if len(got) != 2 || got[1] != `{"a":2}` {
+		t.Fatalf("after torn-tail repair: %q", got)
+	}
+}
+
+func TestReadToleratesOnlyFinalBadLine(t *testing.T) {
+	dir := t.TempDir()
+	tail := filepath.Join(dir, "tail.jsonl")
+	os.WriteFile(tail, []byte("ok\nbad"), 0o644)
+	var kept []string
+	err := Read(tail, func(line []byte) bool {
+		if strings.HasPrefix(string(line), "bad") {
+			return false
+		}
+		kept = append(kept, string(line))
+		return true
+	})
+	if err != nil || len(kept) != 1 {
+		t.Fatalf("final bad line not tolerated: err=%v kept=%q", err, kept)
+	}
+
+	mid := filepath.Join(dir, "mid.jsonl")
+	os.WriteFile(mid, []byte("ok\nbad\nok\n"), 0o644)
+	err = Read(mid, func(line []byte) bool { return string(line) == "ok" })
+	if err == nil {
+		t.Fatal("mid-file bad line went unreported")
+	}
+
+	two := filepath.Join(dir, "two.jsonl")
+	os.WriteFile(two, []byte("bad\nbad\n"), 0o644)
+	err = Read(two, func(line []byte) bool { return false })
+	if err == nil {
+		t.Fatal("two bad lines went unreported")
+	}
+}

@@ -36,46 +36,61 @@ import (
 	"imagebench/internal/results"
 )
 
-// The request classes, in report order. Submits create work; the three
-// read classes model dashboards and pollers riding on the same daemon.
+// The request classes, in report order. Submits create work; the read
+// classes model dashboards and pollers riding on the same daemon (or,
+// for fedpoll, on a federation coordinator).
 const (
 	ClassSubmit    = "submit"    // POST /v1/jobs
 	ClassResult    = "result"    // GET /v1/results/{key}
 	ClassJobPoll   = "jobpoll"   // GET /v1/jobs/{id} (or the job list)
 	ClassSweepPoll = "sweeppoll" // GET /v1/sweeps
+	ClassFedPoll   = "fedpoll"   // GET {FedURL}/v1/sweeps/{id} on a coordinator
 )
 
-var classes = []string{ClassSubmit, ClassResult, ClassJobPoll, ClassSweepPoll}
+var classes = []string{ClassSubmit, ClassResult, ClassJobPoll, ClassSweepPoll, ClassFedPoll}
 
 // Mix weights the request classes. Zero-valued weights drop the class.
+// FedPoll defaults to zero everywhere (including DefaultMix), and a
+// zero weight adds no rng draws, so existing seeded runs keep their
+// exact request sequences.
 type Mix struct {
 	Submit    int `json:"submit"`
 	Result    int `json:"result"`
 	JobPoll   int `json:"jobpoll"`
 	SweepPoll int `json:"sweeppoll"`
+	FedPoll   int `json:"fedpoll,omitempty"`
 }
 
 // DefaultMix is submit-heavy but read-dominated in aggregate, shaped
 // like a small fleet of clients each submitting and then watching.
 func DefaultMix() Mix { return Mix{Submit: 4, Result: 3, JobPoll: 2, SweepPoll: 1} }
 
-func (m Mix) weights() [4]int { return [4]int{m.Submit, m.Result, m.JobPoll, m.SweepPoll} }
+func (m Mix) weights() [5]int {
+	return [5]int{m.Submit, m.Result, m.JobPoll, m.SweepPoll, m.FedPoll}
+}
 
-func (m Mix) total() int { return m.Submit + m.Result + m.JobPoll + m.SweepPoll }
+func (m Mix) total() int { return m.Submit + m.Result + m.JobPoll + m.SweepPoll + m.FedPoll }
 
-// String renders the mix as submit/result/jobpoll/sweeppoll weights.
+// String renders the mix as submit/result/jobpoll/sweeppoll weights,
+// with a fifth fedpoll weight only when one is set — so summaries from
+// non-federated runs are unchanged.
 func (m Mix) String() string {
+	if m.FedPoll > 0 {
+		return fmt.Sprintf("%d/%d/%d/%d/%d", m.Submit, m.Result, m.JobPoll, m.SweepPoll, m.FedPoll)
+	}
 	return fmt.Sprintf("%d/%d/%d/%d", m.Submit, m.Result, m.JobPoll, m.SweepPoll)
 }
 
-// ParseMix parses "4/3/2/1" (submit/result/jobpoll/sweeppoll).
+// ParseMix parses "4/3/2/1" (submit/result/jobpoll/sweeppoll) or
+// "4/3/2/1/2" with a fifth fedpoll weight.
 func ParseMix(s string) (Mix, error) {
 	var m Mix
 	parts := strings.Split(s, "/")
-	if len(parts) != 4 {
-		return m, fmt.Errorf("mix %q: want 4 weights submit/result/jobpoll/sweeppoll", s)
+	if len(parts) != 4 && len(parts) != 5 {
+		return m, fmt.Errorf("mix %q: want 4 or 5 weights submit/result/jobpoll/sweeppoll[/fedpoll]", s)
 	}
-	fields := []*int{&m.Submit, &m.Result, &m.JobPoll, &m.SweepPoll}
+	fields := []*int{&m.Submit, &m.Result, &m.JobPoll, &m.SweepPoll, &m.FedPoll}
+	fields = fields[:len(parts)]
 	for i, p := range parts {
 		if _, err := fmt.Sscanf(p, "%d", fields[i]); err != nil || *fields[i] < 0 {
 			return m, fmt.Errorf("mix %q: bad weight %q", s, p)
@@ -111,6 +126,12 @@ type Config struct {
 	Profile string
 	// Mix weights the request classes; zero value means DefaultMix.
 	Mix Mix
+	// FedURL is the federation coordinator's base URL, required when
+	// Mix.FedPoll is set; the fedpoll class polls it instead of BaseURL.
+	FedURL string
+	// FedSweepID targets GET /v1/sweeps/{id} on the coordinator; empty
+	// polls the coordinator's sweep list.
+	FedSweepID string
 	// DrainTimeout bounds the post-run wait for in-flight jobs to
 	// settle before the daemon counters are scraped (default 30s).
 	DrainTimeout time.Duration
@@ -182,10 +203,10 @@ type Summary struct {
 // on the hot path, merged once at the end. (Latency observations go to
 // the shared sharded histograms, which are contention-free by design.)
 type agentTallies struct {
-	requests  [4]int64
-	errors5xx [4]int64
-	transport [4]int64
-	status    [4]map[int]int64
+	requests  [5]int64
+	errors5xx [5]int64
+	transport [5]int64
+	status    [5]map[int]int64
 }
 
 // Run fires the configured load and returns its summary. Request-level
@@ -219,6 +240,9 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	}
 	if cfg.Mix.total() == 0 {
 		cfg.Mix = DefaultMix()
+	}
+	if cfg.Mix.FedPoll > 0 && cfg.FedURL == "" {
+		return nil, fmt.Errorf("loadgen: Mix.FedPoll is set but FedURL is empty")
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
@@ -291,12 +315,16 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				cs.StatusCounts[fmt.Sprintf("%d", code)] += n
 			}
 		}
-		snap := hists[ci].Snapshot()
 		cs.TPS = float64(cs.Requests) / wall.Seconds()
-		cs.MeanMs = 1000 * snap.Mean()
-		cs.P50Ms = 1000 * snap.Quantile(0.50)
-		cs.P95Ms = 1000 * snap.Quantile(0.95)
-		cs.P99Ms = 1000 * snap.Quantile(0.99)
+		// Quantiles over an empty histogram are NaN, which is not
+		// marshalable JSON — a class with no traffic reports zeros.
+		if cs.Requests > 0 {
+			snap := hists[ci].Snapshot()
+			cs.MeanMs = 1000 * snap.Mean()
+			cs.P50Ms = 1000 * snap.Quantile(0.50)
+			cs.P95Ms = 1000 * snap.Quantile(0.95)
+			cs.P99Ms = 1000 * snap.Quantile(0.99)
+		}
 		sum.TotalRequests += cs.Requests
 		sum.Classes[c] = cs
 	}
@@ -364,6 +392,12 @@ func runAgent(ctx context.Context, cfg *Config, client *http.Client,
 			}
 		case ClassSweepPoll:
 			method, url = http.MethodGet, cfg.BaseURL+"/v1/sweeps"
+		case ClassFedPoll:
+			if cfg.FedSweepID != "" {
+				method, url = http.MethodGet, cfg.FedURL+"/v1/sweeps/"+cfg.FedSweepID
+			} else {
+				method, url = http.MethodGet, cfg.FedURL+"/v1/sweeps"
+			}
 		}
 
 		req, err := http.NewRequestWithContext(ctx, method, url, strings.NewReader(body))

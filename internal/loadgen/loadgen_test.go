@@ -3,8 +3,11 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -168,9 +171,63 @@ func TestParseMix(t *testing.T) {
 	if m.String() != "4/3/2/1" {
 		t.Errorf("round trip: %s", m.String())
 	}
-	for _, bad := range []string{"", "1/2/3", "1/2/3/x", "-1/2/3/4", "0/0/0/0"} {
+	m, err = ParseMix("4/3/2/1/5")
+	if err != nil || m.FedPoll != 5 {
+		t.Fatalf("ParseMix(4/3/2/1/5) = %+v, %v", m, err)
+	}
+	if m.String() != "4/3/2/1/5" {
+		t.Errorf("5-weight round trip: %s", m.String())
+	}
+	for _, bad := range []string{"", "1/2/3", "1/2/3/4/5/6", "1/2/3/x", "-1/2/3/4", "0/0/0/0", "0/0/0/0/0"} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)
 		}
+	}
+}
+
+// The fedpoll class polls a federation coordinator, not the worker
+// daemon, and requires a coordinator URL up front.
+func TestFedPollClass(t *testing.T) {
+	var polls atomic.Int64
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != "/v1/sweeps/sw-feedfeedfeed" {
+			t.Errorf("coordinator saw %s %s", r.Method, r.URL.Path)
+		}
+		polls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"id":"sw-feedfeedfeed","total":4,"done":4}`)
+	}))
+	defer coord.Close()
+
+	cfg := baseConfig()
+	cfg.Experiments = lgExperiments()
+	cfg.Requests = 20
+	cfg.Agents = 4
+	cfg.Mix = Mix{Submit: 1, Result: 1, JobPoll: 1, SweepPoll: 1, FedPoll: 4}
+	cfg.FedURL = coord.URL
+	cfg.FedSweepID = "sw-feedfeedfeed"
+
+	sum := runOnFreshDaemon(t, cfg)
+	fp := sum.Classes[ClassFedPoll]
+	if fp == nil || fp.Requests == 0 {
+		t.Fatalf("fedpoll class made no requests: %+v", sum.Classes)
+	}
+	if fp.Requests != polls.Load() {
+		t.Errorf("loadgen counted %d fedpolls, coordinator saw %d", fp.Requests, polls.Load())
+	}
+	if fp.Errors5xx != 0 || fp.TransportErrors != 0 {
+		t.Errorf("fedpoll errors: 5xx=%d transport=%d", fp.Errors5xx, fp.TransportErrors)
+	}
+	if sum.Mix != "1/1/1/1/4" {
+		t.Errorf("summary mix = %q, want 1/1/1/1/4", sum.Mix)
+	}
+
+	// Without a coordinator URL the weighted mix is rejected up front.
+	cfg.FedURL = ""
+	if _, err := Run(context.Background(), Config{
+		BaseURL: "http://127.0.0.1:1", Agents: 1, Requests: 1,
+		Experiments: lgExperiments(), Mix: cfg.Mix,
+	}); err == nil {
+		t.Error("FedPoll weight without FedURL accepted")
 	}
 }

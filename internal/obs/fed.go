@@ -1,0 +1,41 @@
+package obs
+
+// FedMetrics are the federation coordinator's per-worker counters,
+// exported on the coordinator's /metrics. Every family is labeled by
+// worker (the worker's base URL) so a straggling or flapping worker is
+// visible as its own series: assignments that pile up on one worker,
+// steals that drain it, replications fanning results back out, and the
+// transport failures that precede a worker being declared down.
+type FedMetrics struct {
+	// Assigned counts cells handed to a worker, initial partition and
+	// reassignments after a worker death alike.
+	Assigned *CounterVec
+	// Stolen counts cells an idle worker pulled from the labeled
+	// worker's remaining queue (the label is the victim; the thief is
+	// visible through its Assigned series).
+	Stolen *CounterVec
+	// Done counts cells the worker completed successfully.
+	Done *CounterVec
+	// Replications counts finished-cell tables pushed to the labeled
+	// worker via POST /v1/results.
+	Replications *CounterVec
+	// WorkerFailures counts transport-level failures talking to the
+	// worker; the first one marks it down.
+	WorkerFailures *CounterVec
+}
+
+// NewFedMetrics registers the federation counter families on r.
+func NewFedMetrics(r *Registry) *FedMetrics {
+	return &FedMetrics{
+		Assigned: r.NewCounterVec("imagebench_fed_cells_assigned_total",
+			"Sweep cells assigned to a worker (including reassignment after failure).", "worker"),
+		Stolen: r.NewCounterVec("imagebench_fed_cells_stolen_total",
+			"Sweep cells stolen from a worker's remaining queue by an idle peer.", "worker"),
+		Done: r.NewCounterVec("imagebench_fed_cells_done_total",
+			"Sweep cells completed by a worker.", "worker"),
+		Replications: r.NewCounterVec("imagebench_fed_replications_total",
+			"Finished-cell results replicated to a worker via POST /v1/results.", "worker"),
+		WorkerFailures: r.NewCounterVec("imagebench_fed_worker_failures_total",
+			"Transport failures talking to a worker.", "worker"),
+	}
+}

@@ -1,16 +1,14 @@
 package runner
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
-	"sync"
 	"time"
 
 	"imagebench/internal/core"
 	"imagebench/internal/fsatomic"
+	"imagebench/internal/jsonl"
 )
 
 // The job journal makes the scheduler's work queue crash-safe: every
@@ -21,11 +19,10 @@ import (
 // the result cache (internal/results) already holds their tables on
 // disk and a resubmission becomes an instant cache hit.
 //
-// Crash-safety model: each record is written as a single write(2) of a
-// complete line to an O_APPEND descriptor, so concurrent writers never
-// interleave mid-line and a crash can only tear the final line. The
-// reader tolerates exactly that: an unparseable trailing line is
-// ignored, anything torn earlier is reported as corruption.
+// The append/repair/read mechanics (single-write lines, torn-tail
+// truncation on open, one tolerated bad trailing line) live in
+// internal/jsonl, shared with the federation coordinator's assignment
+// journal; this file owns the record schema and the replay semantics.
 
 // Op is the journal record type.
 type Op string
@@ -65,69 +62,23 @@ type Journal interface {
 
 // FileJournal is the append-only JSONL Journal used by imagebenchd.
 type FileJournal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	f *jsonl.File
 }
 
 // OpenJournal opens (creating if needed) the journal at path for
-// appending. If the previous process crashed mid-write, the file ends
-// in a torn partial line; that fragment is truncated away first — the
-// record never durably existed, and appending after it would merge two
-// records into one malformed mid-file line, turning a tolerated torn
-// tail into corruption that poisons every later recovery.
+// appending, repairing a torn trailing line left by a crash.
 func OpenJournal(path string) (*FileJournal, error) {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := jsonl.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("runner: open journal %s: %w", path, err)
+		return nil, fmt.Errorf("runner: open journal: %w", err)
 	}
-	if err := truncateTornTail(f); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("runner: repair journal %s: %w", path, err)
-	}
-	return &FileJournal{f: f, path: path}, nil
-}
-
-// truncateTornTail drops everything after the file's last newline.
-func truncateTornTail(f *os.File) error {
-	end, err := f.Seek(0, 2)
-	if err != nil {
-		return err
-	}
-	if end == 0 {
-		return nil
-	}
-	// Scan backwards in chunks for the last newline.
-	const chunk = 4096
-	pos := end
-	for pos > 0 {
-		n := int64(chunk)
-		if pos < n {
-			n = pos
-		}
-		buf := make([]byte, n)
-		if _, err := f.ReadAt(buf, pos-n); err != nil {
-			return err
-		}
-		for i := n - 1; i >= 0; i-- {
-			if buf[i] == '\n' {
-				return f.Truncate(pos - n + i + 1)
-			}
-		}
-		pos -= n
-	}
-	return f.Truncate(0) // no newline at all: the whole file is one torn line
+	return &FileJournal{f: f}, nil
 }
 
 // Path returns the journal's file path.
-func (j *FileJournal) Path() string { return j.path }
+func (j *FileJournal) Path() string { return j.f.Path() }
 
-// Record appends one line. The line is assembled in memory and written
-// with a single Write call so a crash cannot interleave two records. A
-// failed or short write (disk full) is rolled back by truncating to the
-// pre-write offset — otherwise the stranded fragment would sit mid-file
-// and merge with the next successful append into one malformed line
-// that poisons every later recovery.
+// Record appends one line via a single write (see jsonl.File.Append).
 func (j *FileJournal) Record(r Record) error {
 	if r.Time == "" {
 		r.Time = time.Now().UTC().Format(time.RFC3339Nano)
@@ -136,76 +87,28 @@ func (j *FileJournal) Record(r Record) error {
 	if err != nil {
 		return fmt.Errorf("runner: encode journal record: %w", err)
 	}
-	b = append(b, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return fmt.Errorf("runner: journal %s is closed", j.path)
-	}
-	end, serr := j.f.Seek(0, 2) // j.mu serializes writers, so this is the write offset
-	if _, err := j.f.Write(b); err != nil {
-		if serr == nil {
-			j.f.Truncate(end)
-		}
-		return err
-	}
-	return nil
+	return j.f.Append(b)
 }
 
 // Close closes the underlying file; further Records fail.
-func (j *FileJournal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
-	}
-	err := j.f.Close()
-	j.f = nil
-	return err
-}
+func (j *FileJournal) Close() error { return j.f.Close() }
 
 // ReadJournal parses every record in the journal at path. A missing
 // file is an empty journal. A final line that does not parse is the
 // torn tail of a crash and is skipped; a malformed line anywhere else
 // is corruption and is reported.
 func ReadJournal(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("runner: read journal %s: %w", path, err)
-	}
-	defer f.Close()
-
 	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo, badLine := 0, 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	err := jsonl.Read(path, func(line []byte) bool {
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil || r.Op == "" {
-			// Tolerated only as the file's final line (the torn tail of
-			// a crash); a second bad line, or anything after a bad line,
-			// is corruption.
-			if badLine != 0 {
-				return nil, fmt.Errorf("runner: journal %s: malformed records at lines %d and %d", path, badLine, lineNo)
-			}
-			badLine = lineNo
-			continue
-		}
-		if badLine != 0 {
-			return nil, fmt.Errorf("runner: journal %s: malformed record at line %d", path, badLine)
+			return false
 		}
 		recs = append(recs, r)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("runner: read journal %s: %w", path, err)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: read journal: %w", err)
 	}
 	return recs, nil
 }

@@ -155,6 +155,44 @@ func (s *Sweep) StreamArtifact(ctx context.Context, w io.Writer, cache *results.
 	return final, nil
 }
 
+// WriteCanonicalArtifact writes the deterministic form of the combined
+// artifact for an expanded cell set: the same document shape as
+// StreamArtifact, with every volatile field zeroed — elapsed seconds,
+// cache-hit provenance, creation time — so two runs of the same grid
+// produce byte-identical artifacts no matter where or when the cells
+// executed. This is the federation acceptance check: a sweep scattered
+// across workers (some of them killed mid-flight) must reduce to
+// exactly the bytes a single-node run produces.
+//
+// lookup supplies each cell's table; a cell whose table cannot be
+// produced is recorded as failed. Cells are written in the given order,
+// which Expand makes deterministic for a given spec.
+func WriteCanonicalArtifact(w io.Writer, id string, spec Spec, cells []*Cell, lookup func(*Cell) *core.Table) error {
+	aw := NewArtifactWriter(w)
+	sum := Info{ID: id, Total: len(cells)}
+	for _, c := range cells {
+		ac := ArtifactCell{
+			Experiment: c.Experiment, Profile: c.Profile.Name, Key: c.Key,
+			Status: string(runner.StatusDone),
+		}
+		if tab := lookup(c); tab != nil {
+			ac.Table = tab
+			sum.Done++
+		} else {
+			ac.Status = string(runner.StatusFailed)
+			ac.Error = "no result table"
+			sum.Failed++
+		}
+		if err := aw.Cell(ac); err != nil {
+			return fmt.Errorf("sweep: writing canonical artifact cell %s: %w", c.Key, err)
+		}
+	}
+	if err := aw.Finish(id, spec, sum); err != nil {
+		return fmt.Errorf("sweep: writing canonical artifact summary: %w", err)
+	}
+	return nil
+}
+
 // cellInfo snapshots one cell (the per-cell body of Info).
 func (s *Sweep) cellInfo(c *Cell) CellInfo {
 	ci := CellInfo{Experiment: c.Experiment, Profile: c.Profile.Name, Key: c.Key}
@@ -164,9 +202,20 @@ func (s *Sweep) cellInfo(c *Cell) CellInfo {
 		ci.Status, ci.CacheHit, ci.Error, ci.ElapsedSec = js.Status, js.CacheHit, js.Error, js.ElapsedSec
 		ci.Unsupported = js.Unsupported
 	case c.cached:
+		// Completed before this process started; rehydrated from the
+		// result cache during recovery, nothing re-executed.
 		ci.Status, ci.CacheHit = runner.StatusDone, true
 	default:
-		ci.Status = runner.StatusQueued
+		// Neither a job nor a cache entry backs this cell: it was lost in
+		// the recovery window between the rehydration scan and resubmit
+		// (the cache entry evicted in between). Nothing will ever change
+		// its state, so it is terminal — reporting it Queued would make
+		// Info.Finished() false forever while Wait, which has nothing to
+		// wait on, returns "finished". Recovery repairs such cells
+		// (Manager.repairOrphans); this is the consistent account of one
+		// that slipped through.
+		ci.Status = runner.StatusFailed
+		ci.Error = "cell lost during recovery (result evicted before resubmission); resubmit the sweep"
 	}
 	return ci
 }

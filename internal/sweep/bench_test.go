@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"imagebench/internal/core"
+)
+
+// thousandCellSweep expands a ~1k-cell grid (3 experiments × 334
+// override points) without running anything — CellAt performance is
+// about lookup, not execution.
+func thousandCellSweep(b *testing.B) *Sweep {
+	b.Helper()
+	registerFakes()
+	overrides := make([]core.Overrides, 334)
+	for i := range overrides {
+		overrides[i] = core.Overrides{ClusterNodes: []int{i + 1}}
+	}
+	spec := Spec{Experiments: []string{"zz-sw-*"}, Overrides: overrides}
+	cells, err := Expand(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cells) != 1002 {
+		b.Fatalf("expanded %d cells, want 1002", len(cells))
+	}
+	return newSweep(id(cells), spec, cells, time.Now())
+}
+
+// BenchmarkCellAt measures the indexed lookup; BenchmarkCellAtScan is
+// the pre-fix linear scan over the same grid for comparison. Grid
+// rendering calls CellAt once per (row, col), so on a 1k-cell sweep
+// the scan made rendering O(cells²).
+func BenchmarkCellAt(b *testing.B) {
+	s := thousandCellSweep(b)
+	benchmarkLookup(b, s.CellAt)
+}
+
+func BenchmarkCellAtScan(b *testing.B) {
+	s := thousandCellSweep(b)
+	scan := func(experiment, profileName string) (*Cell, bool) {
+		for _, c := range s.Cells {
+			if c.Experiment == experiment && c.Profile.Name == profileName {
+				return c, true
+			}
+		}
+		return nil, false
+	}
+	benchmarkLookup(b, scan)
+}
+
+func benchmarkLookup(b *testing.B, lookup func(experiment, profileName string) (*Cell, bool)) {
+	// Probe the full spread of the grid, including its far corner, the
+	// scan's worst case.
+	probes := [][2]string{
+		{"zz-sw-a", "quick+nodes=1"},
+		{"zz-sw-b", "quick+nodes=167"},
+		{"zz-sw-c", "quick+nodes=334"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probes[i%len(probes)]
+		if _, ok := lookup(p[0], p[1]); !ok {
+			b.Fatalf("cell %s/%s not found", p[0], p[1])
+		}
+	}
+}
+
+// TestCellAtIndexMatchesScan cross-checks the index against the linear
+// scan on every coordinate of a multi-axis grid, plus misses.
+func TestCellAtIndexMatchesScan(t *testing.T) {
+	registerFakes()
+	overrides := make([]core.Overrides, 12)
+	for i := range overrides {
+		overrides[i] = core.Overrides{ClusterNodes: []int{i + 1}}
+	}
+	spec := Spec{Experiments: []string{"zz-sw-*"}, Overrides: overrides}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSweep(id(cells), spec, cells, time.Now())
+	for _, c := range cells {
+		got, ok := s.CellAt(c.Experiment, c.Profile.Name)
+		if !ok || got != c {
+			t.Fatalf("CellAt(%s, %s) = %v, %v; want the expanded cell", c.Experiment, c.Profile.Name, got, ok)
+		}
+	}
+	for _, probe := range [][2]string{
+		{"zz-sw-a", "quick+nodes=99"},
+		{"zz-no-such", "quick+nodes=1"},
+		{"", ""},
+	} {
+		if _, ok := s.CellAt(probe[0], probe[1]); ok {
+			t.Errorf("CellAt(%q, %q) found a cell, want miss", probe[0], probe[1])
+		}
+	}
+}

@@ -110,7 +110,7 @@ func (m *Manager) Submit(spec Spec) (s *Sweep, existing bool, err error) {
 		}
 		c.job = j
 	}
-	s = &Sweep{ID: sid, Spec: spec, Cells: cells, created: time.Now()}
+	s = newSweep(sid, spec, cells, time.Now())
 
 	watchSweep(root, s)
 
@@ -235,25 +235,26 @@ func (m *Manager) recoverOne(path string) (bool, error) {
 		return false, nil
 	}
 
-	for _, c := range cells {
-		// Peek, not Contains: Contains only consults the filename index,
-		// so a corrupt entry would mark the cell done with no table
-		// behind it. Peek validates the entry actually loads (and skips
-		// the hit/miss counters); a corrupt file falls through to a
-		// resubmit, matching the cache's corrupt-entries-regenerate policy.
-		if m.cache != nil {
+	// Rehydration scan: cells whose results are already cached need no
+	// job. Peek, not Contains: Contains only consults the filename index,
+	// so a corrupt entry would mark the cell done with no table behind
+	// it. Peek validates the entry actually loads (and skips the
+	// hit/miss counters); a corrupt file falls through to a resubmit,
+	// matching the cache's corrupt-entries-regenerate policy.
+	if m.cache != nil {
+		for _, c := range cells {
 			if _, ok := m.cache.Peek(c.Key); ok {
 				c.cached = true // rehydrated: served from cache, never re-run
-				continue
 			}
 		}
-		j, err := m.sched.Submit(c.Experiment, c.Profile)
-		if err != nil {
-			return false, fmt.Errorf("%s: resubmit %s/%s: %v", path, c.Experiment, c.Profile.Name, err)
-		}
-		c.job = j
 	}
-	s := &Sweep{ID: p.ID, Spec: p.Spec, Cells: cells, created: p.Created}
+	s := newSweep(p.ID, p.Spec, cells, p.Created)
+	// Everything the scan did not rehydrate is resubmitted — including
+	// any cell whose cache entry vanished after the scan above, which
+	// repairOrphans re-checks cell by cell.
+	if err := m.repairOrphans(s); err != nil {
+		return false, fmt.Errorf("%s: %v", path, err)
+	}
 	m.mu.Lock()
 	if _, dup := m.sweeps[p.ID]; !dup {
 		m.sweeps[p.ID] = s
@@ -262,6 +263,35 @@ func (m *Manager) recoverOne(path string) (bool, error) {
 	}
 	m.mu.Unlock()
 	return true, nil
+}
+
+// repairOrphans backs every orphan cell — job == nil and not cached —
+// with a job, re-checking the cache first. An orphan is a cell the
+// rehydration scan skipped whose state then changed (classically: its
+// cache entry evicted between the scan and the resubmit loop). Without
+// repair such a cell is stuck — no job will ever run it, yet nothing
+// marks it terminal — which is exactly the Wait/Finished divergence:
+// Wait has nothing to block on and returns, while Info would count the
+// cell Queued forever. Cells already backed by a job or a cache entry
+// are untouched, so repairing an adopted sweep is idempotent.
+func (m *Manager) repairOrphans(s *Sweep) error {
+	for _, c := range s.Cells {
+		if c.job != nil || c.cached {
+			continue
+		}
+		if m.cache != nil {
+			if _, ok := m.cache.Peek(c.Key); ok {
+				c.cached = true
+				continue
+			}
+		}
+		j, err := m.sched.Submit(c.Experiment, c.Profile)
+		if err != nil {
+			return fmt.Errorf("resubmit %s/%s: %v", c.Experiment, c.Profile.Name, err)
+		}
+		c.job = j
+	}
+	return nil
 }
 
 // maxSweeps is the retained-sweep bound enforced by evictLocked.

@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"imagebench/internal/core"
+	"imagebench/internal/runner"
+)
+
+// Regression tests for the Wait/Finished divergence: a cell with
+// neither a job nor a cache entry — the recovery race where the cache
+// entry is evicted between the rehydration scan and the resubmit loop
+// — made Wait return "finished" while Info counted the cell Queued
+// forever.
+
+// orphanedSweep constructs the raced state directly: an adopted sweep
+// whose cells were all skipped by the rehydration scan (cached results
+// "existed") and whose backing entries then vanished before any job
+// was minted. Every cell ends up with job == nil and cached == false.
+func orphanedSweep(t *testing.T) *Sweep {
+	t.Helper()
+	registerFakes()
+	spec := Spec{
+		Experiments: []string{"zz-sw-a", "zz-sw-b"},
+		Overrides:   []core.Overrides{{ClusterNodes: []int{4}}},
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSweep(id(cells), spec, cells, time.Now())
+}
+
+// TestWaitFinishedConsistentOnOrphanCells is the divergence itself.
+// Pre-fix: Wait returned immediately (nothing to block on) while
+// Info.Finished() stayed false forever — the sweep was simultaneously
+// "finished" and "never finishing" depending on which API you asked.
+func TestWaitFinishedConsistentOnOrphanCells(t *testing.T) {
+	s := orphanedSweep(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	info := s.Info(true)
+	if !info.Finished() {
+		t.Fatalf("Wait returned but Finished() is false: %+v", info)
+	}
+	// The orphans are accounted terminal-failed with a diagnosis, not
+	// silently queued.
+	if info.Failed != info.Total || info.Queued != 0 {
+		t.Errorf("orphan accounting = %+v, want all %d cells failed", info, info.Total)
+	}
+	for _, ci := range info.Cells {
+		if ci.Status != runner.StatusFailed || ci.Error == "" {
+			t.Errorf("orphan cell = %+v, want failed with an explanatory error", ci)
+		}
+	}
+}
+
+// TestRepairOrphansResubmits proves recovery repairs the raced state:
+// every orphan cell gets a job (or a fresh cache entry) and the sweep
+// then genuinely finishes with done cells.
+func TestRepairOrphansResubmits(t *testing.T) {
+	s := orphanedSweep(t)
+	m, _, _ := newTestManager(t, "", "")
+
+	if err := m.repairOrphans(s); err != nil {
+		t.Fatalf("repairOrphans: %v", err)
+	}
+	for _, c := range s.Cells {
+		if c.job == nil && !c.cached {
+			t.Fatalf("cell %s/%s still orphaned after repair", c.Experiment, c.Profile.Name)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info(false)
+	if !info.Finished() || info.Done != info.Total {
+		t.Errorf("after repair: %+v, want all %d cells done", info, info.Total)
+	}
+
+	// Repair is idempotent: a second pass touches nothing.
+	if err := m.repairOrphans(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Info(false); got.Done != info.Total {
+		t.Errorf("second repair changed state: %+v", got)
+	}
+}

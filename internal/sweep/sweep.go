@@ -41,6 +41,14 @@ type Cell struct {
 	Profile    core.Profile
 	Key        string
 
+	// Base and Override record how Profile was derived — the base
+	// profile's name and the applied override set — so a federation
+	// coordinator can re-derive the exact profile on a remote worker
+	// through POST /v1/jobs, where derived profiles have no standalone
+	// name to submit by.
+	Base     string
+	Override core.Overrides
+
 	axis   int // position of (profile, override) in the spec's axis order
 	job    *runner.Job
 	cached bool
@@ -88,6 +96,25 @@ type Sweep struct {
 	Spec    Spec
 	Cells   []*Cell
 	created time.Time
+	index   map[string]*Cell // (experiment, profile name) → cell, for CellAt
+}
+
+// newSweep assembles a Sweep over its expanded cells, building the
+// coordinate index that makes CellAt O(1) — grid rendering looks up
+// rows×cols cells, and a linear scan made that O(rows×cols×cells).
+func newSweep(id string, spec Spec, cells []*Cell, created time.Time) *Sweep {
+	s := &Sweep{ID: id, Spec: spec, Cells: cells, created: created,
+		index: make(map[string]*Cell, len(cells))}
+	for _, c := range cells {
+		s.index[cellCoord(c.Experiment, c.Profile.Name)] = c
+	}
+	return s
+}
+
+// cellCoord is the CellAt index key. Experiment IDs and profile names
+// never contain NUL, so the pair is unambiguous.
+func cellCoord(experiment, profileName string) string {
+	return experiment + "\x00" + profileName
 }
 
 // Expand resolves the spec into its deduplicated, deterministically
@@ -128,7 +155,7 @@ func Expand(spec Spec) ([]*Cell, error) {
 					continue
 				}
 				seen[key] = true
-				cells = append(cells, &Cell{Experiment: id, Profile: p, Key: key, axis: axis})
+				cells = append(cells, &Cell{Experiment: id, Profile: p, Key: key, Base: name, Override: o, axis: axis})
 			}
 			axis++
 		}
@@ -143,6 +170,13 @@ func Expand(spec Spec) ([]*Cell, error) {
 	})
 	return cells, nil
 }
+
+// GridID exposes the content-addressed sweep ID for an expanded cell
+// set. The federation coordinator derives its sweep IDs through this,
+// so a grid has the same ID whether it runs single-node or federated —
+// which is what lets GET /v1/sweeps/{id} mean the same thing on a
+// worker daemon and on a coordinator.
+func GridID(cells []*Cell) string { return id(cells) }
 
 // id derives the sweep's content address from its sorted cell keys:
 // the same grid always gets the same ID — across processes, restarts,
@@ -172,19 +206,7 @@ func (s *Sweep) Info(withCells bool) Info {
 		Total:   len(s.Cells),
 	}
 	for _, c := range s.Cells {
-		ci := CellInfo{Experiment: c.Experiment, Profile: c.Profile.Name, Key: c.Key}
-		switch {
-		case c.job != nil:
-			js := c.job.Snapshot()
-			ci.Status, ci.CacheHit, ci.Error, ci.ElapsedSec = js.Status, js.CacheHit, js.Error, js.ElapsedSec
-			ci.Unsupported = js.Unsupported
-		case c.cached:
-			// Completed before this process started; rehydrated from the
-			// result cache during recovery, nothing re-executed.
-			ci.Status, ci.CacheHit = runner.StatusDone, true
-		default:
-			ci.Status = runner.StatusQueued
-		}
+		ci := s.cellInfo(c)
 		switch {
 		case ci.Status == runner.StatusDone:
 			info.Done++
@@ -213,6 +235,10 @@ func (s *Sweep) Info(withCells bool) Info {
 func (s *Sweep) Wait(ctx context.Context) error {
 	for _, c := range s.Cells {
 		if c.job == nil {
+			// Rehydrated (cached) or orphaned — both terminal in Info
+			// (done / failed respectively), so skipping keeps Wait and
+			// Info.Finished consistent: whenever Wait returns without a
+			// context error, Finished() is true.
 			continue
 		}
 		select {
@@ -269,8 +295,14 @@ func (s *Sweep) GridLabels() (rows, cols []string) {
 	return rows, cols
 }
 
-// CellAt returns the cell for (experiment, profile name), if any.
+// CellAt returns the cell for (experiment, profile name), if any. On a
+// Sweep built by newSweep this is one map lookup; the scan fallback
+// covers zero-value Sweeps constructed in tests.
 func (s *Sweep) CellAt(experiment, profileName string) (*Cell, bool) {
+	if s.index != nil {
+		c, ok := s.index[cellCoord(experiment, profileName)]
+		return c, ok
+	}
 	for _, c := range s.Cells {
 		if c.Experiment == experiment && c.Profile.Name == profileName {
 			return c, true
