@@ -23,6 +23,7 @@ import (
 
 	"imagebench/internal/astro"
 	"imagebench/internal/fits"
+	"imagebench/internal/fsatomic"
 	"imagebench/internal/nifti"
 	"imagebench/internal/objstore"
 	"imagebench/internal/synth"
@@ -56,7 +57,7 @@ func main() {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := fsatomic.WriteFile(path, data); err != nil {
 			fatal(err)
 		}
 		files++

@@ -1,0 +1,20 @@
+// Imagebench-vet is the repository's project-invariant checker: the
+// analyzer suite from internal/analysis/suite packaged as a vet tool.
+//
+// CI (and anyone locally) runs it through the go command:
+//
+//	go build -o /tmp/imagebench-vet ./cmd/imagebench-vet
+//	go vet -vettool=/tmp/imagebench-vet ./...
+//
+// Invoking the binary with package patterns does the same re-exec
+// internally: `imagebench-vet ./...`.
+package main
+
+import (
+	"imagebench/internal/analysis/suite"
+	"imagebench/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(suite.All()...)
+}

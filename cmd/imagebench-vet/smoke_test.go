@@ -1,0 +1,154 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolSmoke proves the whole chain the CI gate relies on — build
+// the tool, hand it to `go vet -vettool=...`, have the go command drive
+// it through the unit-checker protocol — by pointing it at a synthetic
+// module seeded with exactly one violation per analyzer and requiring
+// all six diagnostics to come back.
+func TestVettoolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short")
+	}
+	tmp := t.TempDir()
+
+	tool := filepath.Join(tmp, "imagebench-vet")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build tool: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "vetsmoke")
+	writeTree(t, mod, map[string]string{
+		"go.mod": "module vetsmoke\n\ngo 1.24\n",
+
+		// Stubs carrying the path suffixes and type names the pooling
+		// and tracing analyzers key on.
+		"internal/volume/volume.go": `package volume
+
+type V3 struct{ n int }
+
+type Arena struct{}
+
+func (*Arena) Get(nx, ny, nz int) *V3 { return &V3{nx * ny * nz} }
+func (*Arena) Put(v *V3)              {}
+`,
+		"internal/obs/obs.go": `package obs
+
+import "context"
+
+type Span struct{}
+
+func (*Span) End() {}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+`,
+
+		// One seeded violation per analyzer.
+		"internal/dispatch/dispatch.go": `package dispatch
+
+func Pick(sys string) int {
+	switch sys { // enginedispatch
+	case "Spark":
+		return 1
+	case "Myria":
+		return 2
+	}
+	return 0
+}
+`,
+		"internal/store/store.go": `package store
+
+import "os"
+
+func Save(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // atomicwrite
+}
+`,
+		"internal/pool/pool.go": `package pool
+
+import "vetsmoke/internal/volume"
+
+func Leak(a *volume.Arena) {
+	a.Get(1, 1, 1) // releasepair
+}
+`,
+		"internal/trace/trace.go": `package trace
+
+import (
+	"context"
+
+	"vetsmoke/internal/obs"
+)
+
+func Step(ctx context.Context) {
+	obs.StartSpan(ctx, "step") // spanend
+}
+`,
+		"internal/cluster/clock.go": `package cluster
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // walldeterminism
+}
+`,
+		"internal/daemon/handler.go": `package daemon
+
+import (
+	"encoding/json"
+	"io"
+)
+
+func Emit(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // droppederr
+}
+`,
+	})
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a module seeded with violations; output:\n%s", out)
+	}
+
+	got := string(out)
+	for _, want := range []struct{ analyzer, fragment string }{
+		{"enginedispatch", `switch over system-name variable "sys"`},
+		{"atomicwrite", "os.WriteFile bypasses crash-safe artifact writes"},
+		{"releasepair", "result of Arena.Get"},
+		{"spanend", "result of StartSpan is discarded"},
+		{"walldeterminism", "time.Now in a deterministic package"},
+		{"droppederr", "Encode is silently dropped"},
+	} {
+		if !strings.Contains(got, want.fragment) {
+			t.Errorf("%s diagnostic missing: want substring %q", want.analyzer, want.fragment)
+		}
+	}
+	if t.Failed() {
+		t.Logf("go vet output:\n%s", got)
+	}
+}
+
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

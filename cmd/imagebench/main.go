@@ -56,6 +56,7 @@ import (
 
 	"imagebench/internal/core"
 	"imagebench/internal/engine"
+	"imagebench/internal/fsatomic"
 	"imagebench/internal/obs"
 	"imagebench/internal/results"
 	"imagebench/internal/runner"
@@ -282,15 +283,17 @@ func main() {
 	}
 }
 
-// writeTrace dumps the tracer's spans as Chrome trace-event JSON.
+// writeTrace dumps the tracer's spans as Chrome trace-event JSON. The
+// write is atomic: an interrupted run leaves the previous trace (or no
+// file), never a truncated one.
 func writeTrace(path string, tracer *obs.Tracer) error {
-	f, err := os.Create(path)
+	f, err := fsatomic.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
 	if err := tracer.WriteChromeTrace(f); err != nil {
-		f.Close()
+		f.Abort()
 		return fmt.Errorf("trace: encode: %w", err)
 	}
-	return f.Close()
+	return f.Commit()
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"imagebench/internal/fsatomic"
 	"imagebench/internal/neuro"
 	"imagebench/internal/volume"
 )
@@ -45,7 +46,7 @@ func main() {
 		for _, cut := range []string{"axial", "coronal", "sagittal"} {
 			img := slice(panel.vol, cut)
 			path := filepath.Join(*out, fmt.Sprintf("%s-%s.pgm", panel.name, cut))
-			if err := os.WriteFile(path, img, 0o644); err != nil {
+			if err := fsatomic.WriteFile(path, img); err != nil {
 				log.Fatal(err)
 			}
 		}

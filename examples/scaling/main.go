@@ -1,15 +1,19 @@
 // Scaling example: reproduce the shape of the paper's Figure 10g —
 // end-to-end neuroscience runtime as the cluster grows from 16 to 64
-// nodes — on Dask, Myria, and Spark, and print per-system speedups.
-// Myria's speedup is closest to ideal; Dask degrades at larger clusters
-// (centralized scheduler + work-stealing replication).
+// nodes — on the engines that run the pipeline end-to-end (Dask, Myria,
+// Spark, in the paper's legend order from the registry), and print
+// per-system speedups. Myria's speedup is closest to ideal; Dask
+// degrades at larger clusters (centralized scheduler + work-stealing
+// replication).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"imagebench/internal/cluster"
+	"imagebench/internal/engine"
 	"imagebench/internal/neuro"
 	"imagebench/internal/synth"
 )
@@ -23,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	nodes := []int{16, 32, 48, 64}
-	systems := []string{"Dask", "Myria", "Spark"}
+	systems := engine.Supporting(engine.CapNeuroE2E)
 	times := map[string][]float64{}
 
 	fmt.Printf("neuroscience end-to-end, %d subjects (%.0f GB paper-scale), clusters of %v nodes\n\n",
@@ -33,20 +37,14 @@ func main() {
 		fmt.Printf("%12d", n)
 	}
 	fmt.Printf("%12s\n", "speedup")
-	for _, sys := range systems {
+	for _, eng := range systems {
+		sys := eng.Name()
 		for _, n := range nodes {
 			ccfg := cluster.DefaultConfig()
 			ccfg.Nodes = n
 			cl := cluster.New(ccfg)
-			var err error
-			switch sys {
-			case "Dask":
-				_, err = neuro.RunDask(w, cl, nil)
-			case "Myria":
-				_, err = neuro.RunMyria(w, cl, nil, neuro.MyriaOpts{})
-			case "Spark":
-				_, err = neuro.RunSpark(w, cl, nil, neuro.SparkOpts{Partitions: cl.Workers(), CacheInput: true})
-			}
+			// CacheInput only matters to Spark; the others ignore it.
+			_, err := eng.RunNeuro(context.Background(), w, cl, nil, engine.Opts{CacheInput: true})
 			if err != nil {
 				log.Fatalf("%s at %d nodes: %v", sys, n, err)
 			}

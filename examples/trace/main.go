@@ -13,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"imagebench/internal/cluster"
+	"imagebench/internal/fsatomic"
 	"imagebench/internal/neuro"
 )
 
@@ -36,12 +36,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	f, err := os.Create(*out)
+	f, err := fsatomic.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := cl.WriteChromeTrace(f); err != nil {
+		f.Abort()
+		log.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,231 @@
+// Package analysistest runs analyzers over fixture packages and
+// checks their diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the local
+// framework.
+//
+// A fixture tree lives under <testdata>/src/<importpath>/*.go. A line
+// expecting a diagnostic carries a trailing comment of the form
+//
+//	v := arena.Get(1, 1, 1) // want `never Put back`
+//
+// with one double- or back-quoted regexp per expected diagnostic on
+// that line. Every diagnostic must match a want on its line and every
+// want must be matched — extra or missing findings fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"imagebench/internal/analysis"
+	"imagebench/internal/analysis/load"
+)
+
+// Run checks analyzer a against the fixture packages at the given
+// import paths under testdata/src.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	cfg := &load.Config{Dirs: scanSrcTree(t, filepath.Join(testdata, "src"))}
+	for _, path := range paths {
+		diags, pkg := runOne(t, cfg, a, path)
+		if pkg != nil {
+			checkWants(t, cfg, pkg, diags)
+		}
+	}
+}
+
+// RunModule runs analyzer a over real packages of the enclosing
+// module (resolved from the working directory's go.mod upward) and
+// returns the diagnostics. IncludeTests controls whether the target
+// packages' in-package _test.go files are analyzed too.
+func RunModule(t *testing.T, a *analysis.Analyzer, includeTests bool, importPaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	modDir, modPath := moduleRoot(t)
+	cfg := &load.Config{ModulePath: modPath, ModuleDir: modDir, IncludeTests: includeTests}
+	var all []analysis.Diagnostic
+	for _, path := range importPaths {
+		diags, _ := runOne(t, cfg, a, path)
+		all = append(all, diags...)
+	}
+	return all
+}
+
+// RunClean asserts that analyzer a reports nothing on the given real
+// module packages.
+func RunClean(t *testing.T, a *analysis.Analyzer, includeTests bool, importPaths ...string) {
+	t.Helper()
+	modDir, modPath := moduleRoot(t)
+	cfg := &load.Config{ModulePath: modPath, ModuleDir: modDir, IncludeTests: includeTests}
+	for _, path := range importPaths {
+		diags, _ := runOne(t, cfg, a, path)
+		for _, d := range diags {
+			t.Errorf("%s: unexpected %s diagnostic: %s", cfg.Fset().Position(d.Pos), a.Name, d.Message)
+		}
+	}
+}
+
+func runOne(t *testing.T, cfg *load.Config, a *analysis.Analyzer, path string) ([]analysis.Diagnostic, *load.Package) {
+	t.Helper()
+	pkg, err := cfg.Load(path)
+	if err != nil {
+		t.Errorf("load %s: %v", path, err)
+		return nil, nil
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Errorf("%s over %s: %v", a.Name, path, err)
+		return nil, nil
+	}
+	return pass.Diagnostics(), pkg
+}
+
+// want is one expectation parsed from a comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkWants(t *testing.T, cfg *load.Config, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, cfg, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := cfg.Fset().Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one comment.
+func parseWants(t *testing.T, cfg *load.Config, c *ast.Comment) []*want {
+	t.Helper()
+	text := c.Text
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil
+	}
+	pos := cfg.Fset().Position(c.Pos())
+	rest := strings.TrimSpace(text[idx+len("// want "):])
+	var out []*want
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				t.Errorf("%s: unterminated want string", pos)
+				return out
+			}
+			raw := rest[:end+2]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Errorf("%s: bad want string %s: %v", pos, raw, err)
+				return out
+			}
+			lit, rest = s, strings.TrimSpace(rest[end+2:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				t.Errorf("%s: unterminated want string", pos)
+				return out
+			}
+			lit, rest = rest[1:end+1], strings.TrimSpace(rest[end+2:])
+		default:
+			t.Errorf("%s: want expects quoted regexps, got %q", pos, rest)
+			return out
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+			return out
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return out
+}
+
+// scanSrcTree maps every directory under root that contains Go files
+// to its slash-separated path relative to root.
+func scanSrcTree(t *testing.T, root string) map[string]string {
+	t.Helper()
+	dirs := map[string]string{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		dirs[filepath.ToSlash(rel)] = dir
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan %s: %v", root, err)
+	}
+	return dirs
+}
+
+// moduleRoot finds the enclosing go.mod from the working directory and
+// returns its directory and module path.
+func moduleRoot(t *testing.T) (dir, modPath string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := wd; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			t.Fatalf("no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/atomicwrite"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicwrite.Analyzer,
+		"a",
+		"example/internal/fsatomic", // exempt package: no findings expected
+	)
+}

@@ -1,0 +1,36 @@
+// Package a exercises the atomicwrite analyzer: raw os file mutation
+// is flagged outside the fsatomic/jsonl plumbing packages.
+package a
+
+import "os"
+
+func writeArtifact(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile bypasses crash-safe artifact writes`
+}
+
+func createArtifact(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create bypasses crash-safe artifact writes`
+}
+
+func promote(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename bypasses crash-safe artifact writes`
+}
+
+// Negative cases.
+
+func scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "scratch-*") // temp files are not artifacts
+}
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func allowedDebugDump(path string, data []byte) error {
+	//lint:allow atomicwrite debug dump, readers never depend on it
+	return os.WriteFile(path, data, 0o644)
+}

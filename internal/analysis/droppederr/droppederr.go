@@ -1,0 +1,161 @@
+// Package droppederr forbids silently discarded write errors in the
+// serving path (internal/daemon and internal/fed). A handler that
+// ignores the error from json.Encoder.Encode, ResponseWriter.Write,
+// or a Flush cannot tell a served response from a half-written one —
+// the exact class of bug PRs 7 and 9 fixed after the fact (dropped
+// encode errors, q-value negotiation writing to dead connections).
+//
+// A call is flagged when its trailing error result is discarded: used
+// as a bare statement, deferred, or assigned to _. Checked callees are
+// writer-shaped methods (Encode, Write, WriteString, WriteText, Flush
+// returning error) and the fmt.Fprint* / io.Copy / io.WriteString
+// family.
+package droppederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imagebench/internal/analysis"
+)
+
+// Analyzer is the droppederr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "droppederr",
+	Doc: "handler packages (internal/daemon, internal/fed) may not discard the " +
+		"error result of Encode/Write/Flush-style calls",
+	Run: run,
+}
+
+// HandlerPackages are the path suffixes this analyzer patrols.
+var HandlerPackages = []string{"internal/daemon", "internal/fed"}
+
+// methodNames are the writer-shaped methods whose error result must
+// be consumed.
+var methodNames = map[string]bool{
+	"Encode":      true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteText":   true,
+	"Flush":       true,
+}
+
+// pkgFuncs are package-level functions likewise checked, keyed by
+// package path then name.
+var pkgFuncs = map[string]map[string]bool{
+	"fmt": {"Fprint": true, "Fprintf": true, "Fprintln": true},
+	"io":  {"Copy": true, "WriteString": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PkgMatches(HandlerPackages...) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		name, ok := checkedCallee(pass, call)
+		if !ok {
+			return true
+		}
+		switch how := discarded(pass, call, stack); how {
+		case notDiscarded:
+		case asStatement:
+			pass.Reportf(call.Pos(), "error result of %s is silently dropped: a failed response write must be observed (surface, count, or log it)", name)
+		case asDeferred:
+			pass.Reportf(call.Pos(), "deferred %s drops its error: wrap it in a closure that records the failure", name)
+		case asBlank:
+			pass.Reportf(call.Pos(), "error result of %s is assigned to _: handle it, or waive with //lint:allow droppederr <reason>", name)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkedCallee reports whether call invokes one of the patrolled
+// functions, returning a display name.
+func checkedCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.Callee(call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return "", false
+	}
+	if sig.Recv() != nil {
+		if methodNames[fn.Name()] {
+			recv := sig.Recv().Type().String()
+			return typeBase(recv) + "." + fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Pkg() != nil {
+		if names, ok := pkgFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+			return fn.Pkg().Name() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+type discardKind int
+
+const (
+	notDiscarded discardKind = iota
+	asStatement
+	asDeferred
+	asBlank
+)
+
+// discarded classifies how the call's error result is dropped, if it
+// is.
+func discarded(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) discardKind {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt:
+			return asStatement
+		case *ast.GoStmt:
+			return asDeferred
+		case *ast.DeferStmt:
+			return asDeferred
+		case *ast.AssignStmt:
+			// Tuple assignment from this single call: the error is the
+			// last LHS position.
+			if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) > 0 {
+				if id, ok := p.Lhs[len(p.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					return asBlank
+				}
+			}
+			return notDiscarded
+		default:
+			return notDiscarded
+		}
+	}
+	return notDiscarded
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	n := sig.Results().Len()
+	if n == 0 {
+		return false
+	}
+	t := sig.Results().At(n - 1).Type()
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func typeBase(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

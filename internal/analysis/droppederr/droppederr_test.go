@@ -1,0 +1,15 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", droppederr.Analyzer,
+		"h/internal/daemon",
+		"other/cli", // outside the handler packages: no findings expected
+	)
+}

@@ -1,0 +1,63 @@
+// Package daemon stands in for a handler package (matched by path
+// suffix): write errors may not be silently dropped here.
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+func dropEncode(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want `error result of .*Encoder.*\.Encode is silently dropped`
+}
+
+func dropWrite(w io.Writer, b []byte) {
+	w.Write(b) // want `error result of .*Writer.*\.Write is silently dropped`
+}
+
+func dropFprintf(w io.Writer, name string) {
+	fmt.Fprintf(w, "# %s\n", name) // want `error result of fmt.Fprintf is silently dropped`
+}
+
+func blankEncode(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `error result of .*Encoder.*\.Encode is assigned to _`
+}
+
+func blankWriteCount(w io.Writer, b []byte) int {
+	n, _ := w.Write(b) // want `error result of .*Writer.*\.Write is assigned to _`
+	return n
+}
+
+func deferFlush(w *bufio.Writer) {
+	defer w.Flush() // want `deferred .*Writer.*\.Flush drops its error`
+}
+
+// Negative cases.
+
+func handledEncode(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+func handledWrite(w io.Writer, b []byte) error {
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("write response: %w", err)
+	}
+	return nil
+}
+
+func handledFlush(w *bufio.Writer) error {
+	return w.Flush()
+}
+
+func countedWrite(w io.Writer, b []byte, errs *int) {
+	if _, err := w.Write(b); err != nil {
+		*errs++
+	}
+}
+
+func allowedBestEffort(w io.Writer, b []byte) {
+	//lint:allow droppederr best-effort trailer after the real body
+	w.Write(b)
+}

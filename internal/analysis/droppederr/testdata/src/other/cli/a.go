@@ -1,0 +1,12 @@
+// Package cli is outside the handler packages: dropped write errors
+// are stdout-printing business as usual and must not be flagged.
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+func banner(w io.Writer) {
+	fmt.Fprintf(w, "imagebench\n")
+}

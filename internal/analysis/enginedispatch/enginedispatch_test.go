@@ -1,0 +1,12 @@
+package enginedispatch_test
+
+import (
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/enginedispatch"
+)
+
+func TestEngineDispatch(t *testing.T) {
+	analysistest.Run(t, "testdata", enginedispatch.Analyzer, "a")
+}

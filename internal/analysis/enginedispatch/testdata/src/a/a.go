@@ -1,0 +1,76 @@
+// Package a exercises the enginedispatch analyzer: stringly-typed
+// dispatch over engine names must be flagged, single-name shape
+// checks must not.
+package a
+
+import "fmt"
+
+func switchOverSysVar(sys string) {
+	switch sys { // want `switch over system-name variable "sys"`
+	case "a":
+		fmt.Println("a")
+	}
+}
+
+func switchOverEngineNames(name string) {
+	switch name { // want `switch dispatches over 2 engine names`
+	case "Spark":
+		fmt.Println("lineage")
+	case "Myria":
+		fmt.Println("restart")
+	}
+}
+
+func switchVariants(kind string) {
+	switch kind { // want `switch dispatches over 3 engine names`
+	case "SciDB-1":
+		fmt.Println("ingest 1")
+	case "SciDB-incremental", "TensorFlow":
+		fmt.Println("other")
+	}
+}
+
+func sliceOfEngines() []string {
+	return []string{"Spark", "Dask"} // want `string-list literal enumerates 2 engine names`
+}
+
+func multiLineSlice() []string {
+	return []string{ // want `string-list literal enumerates 3 engine names`
+		"Spark",
+		"Myria",
+		"TensorFlow",
+	}
+}
+
+func mapKeyedByEngines() map[string]int {
+	return map[string]int{ // want `map literal keyed by 2 engine names`
+		"Spark": 1,
+		"Dask":  2,
+	}
+}
+
+// Negative cases: none of these may fire.
+
+func singleNameShapeCheck(get func(system, col string) float64) float64 {
+	return get("Spark", "total") // one name is an assertion, not dispatch
+}
+
+func singletonSlice() []string {
+	return []string{"Myria"}
+}
+
+func unrelatedSwitch(color string) {
+	switch color {
+	case "red", "green":
+		fmt.Println(color)
+	}
+}
+
+func unrelatedMap() map[string]int {
+	return map[string]int{"red": 1, "green": 2}
+}
+
+func allowedLegendOrder() []string {
+	//lint:allow enginedispatch fixture pins the paper's legend order
+	return []string{"Dask", "Myria", "Spark"}
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every file in the pass, calling fn for each node
+// with the stack of enclosing nodes (stack[0] is the *ast.File,
+// stack[len-1] is n itself). Return false from fn to skip the node's
+// children. This is the subset of x/tools' inspector.WithStack the
+// analyzers here need.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Inspect only delivers the closing f(nil) for nodes
+				// whose children were visited, so pop here.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the body of the innermost function declaration
+// or literal on the stack, or nil.
+func EnclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

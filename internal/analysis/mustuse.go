@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracked describes one value produced by a call that carries a
+// release obligation: a pooled buffer that must be Put back, a stream
+// block that must be Released, a span that must be Ended.
+type Tracked struct {
+	// Call names the producer in diagnostics, e.g. "Arena.Get".
+	Call string
+	// What names the produced value, e.g. "arena buffer".
+	What string
+	// ResultIndex is which result of the call is tracked (for
+	// multi-result producers like StartSpan).
+	ResultIndex int
+	// Consumers are method names on the tracked value that discharge
+	// the obligation (Release, End). Passing the value to any function
+	// (including Arena.Put), returning it, or storing it in a field,
+	// composite, map, or channel also discharges it — responsibility
+	// moved to the receiver.
+	Consumers []string
+	// Verb is the past-tense discharge verb for diagnostics:
+	// "Released", "Ended", "Put back".
+	Verb string
+	// Fix is appended to the diagnostic, e.g. "call Release (or hand
+	// the block to a sink that does)".
+	Fix string
+}
+
+// MustConsume is the shared engine behind releasepair and spanend: a
+// flow-insensitive but scope-aware check that every tracked value is
+// consumed on some path of the function that produced it. It reports
+// a producer call when the result is discarded outright, bound to _,
+// or bound to a local that is never consumed and never escapes.
+type MustConsume struct {
+	// Producer classifies a call; ok=false means the call is not
+	// tracked by this analyzer.
+	Producer func(p *Pass, call *ast.CallExpr) (Tracked, bool)
+	// SkipTestFiles skips _test.go files when set.
+	SkipTestFiles bool
+}
+
+// Run applies the check to the pass.
+func (m MustConsume) Run(pass *Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m.SkipTestFiles && pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		tr, ok := m.Producer(pass, call)
+		if !ok {
+			return true
+		}
+		m.check(pass, call, stack, tr)
+		return true
+	})
+	return nil
+}
+
+func (m MustConsume) check(pass *Pass, call *ast.CallExpr, stack []ast.Node, tr Tracked) {
+	parent := parentOf(stack, 1)
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of %s is discarded: the %s can never be %s; %s",
+			tr.Call, tr.What, consumedVerb(tr), tr.Fix)
+	case *ast.AssignStmt:
+		m.checkBinding(pass, call, stack, tr, assignTarget(p, call, tr.ResultIndex))
+	case *ast.ValueSpec:
+		var target ast.Expr
+		if len(p.Values) == 1 && len(p.Names) > 1 {
+			target = p.Names[tr.ResultIndex]
+		} else {
+			for i, v := range p.Values {
+				if v == call && i < len(p.Names) {
+					target = p.Names[i]
+				}
+			}
+		}
+		m.checkBinding(pass, call, stack, tr, target)
+	case *ast.SelectorExpr:
+		// Chained call: producer(...).Method(...). Fine when Method
+		// consumes; otherwise the value is unreachable afterwards.
+		if gp, ok := parentOf(stack, 2).(*ast.CallExpr); ok && gp.Fun == parent {
+			for _, c := range tr.Consumers {
+				if p.Sel.Name == c {
+					return
+				}
+			}
+			pass.Reportf(call.Pos(), "%s from %s is used via .%s but can never be %s afterwards; %s",
+				tr.What, tr.Call, p.Sel.Name, consumedVerb(tr), tr.Fix)
+		}
+	case *ast.GoStmt, *ast.DeferStmt:
+		if deferredCall(parent) == call {
+			pass.Reportf(call.Pos(), "result of deferred %s is discarded: the %s can never be %s; %s",
+				tr.Call, tr.What, consumedVerb(tr), tr.Fix)
+		}
+	default:
+		// Argument position, return statement, composite literal,
+		// index expression, … — the value escapes to an owner.
+	}
+}
+
+// assignTarget returns the LHS expression bound to call's tracked
+// result in the assignment, or nil.
+func assignTarget(a *ast.AssignStmt, call *ast.CallExpr, resultIndex int) ast.Expr {
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		if a.Rhs[0] == call && resultIndex < len(a.Lhs) {
+			return a.Lhs[resultIndex]
+		}
+		return nil
+	}
+	for i, r := range a.Rhs {
+		if r == call && i < len(a.Lhs) {
+			return a.Lhs[i]
+		}
+	}
+	return nil
+}
+
+// checkBinding handles a producer result bound to target.
+func (m MustConsume) checkBinding(pass *Pass, call *ast.CallExpr, stack []ast.Node, tr Tracked, target ast.Expr) {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		// Bound straight into a field, map, or slice element: escapes.
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "%s from %s is assigned to _: it can never be %s; %s",
+			tr.What, tr.Call, consumedVerb(tr), tr.Fix)
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	body := EnclosingFunc(stack)
+	if body == nil {
+		// Package-level binding: lives for the process, not a leak in
+		// the per-call sense this check targets.
+		return
+	}
+	if !consumedIn(pass, body, obj, tr.Consumers) {
+		pass.Reportf(call.Pos(), "%s %q from %s is never %s in this function and does not escape; %s",
+			tr.What, id.Name, tr.Call, consumedVerb(tr), tr.Fix)
+	}
+}
+
+// consumedIn reports whether some use of obj inside body discharges
+// the obligation: a call to one of the consuming methods, or any
+// escape (argument, return, store, address-of, channel send, alias).
+func consumedIn(pass *Pass, body *ast.BlockStmt, obj types.Object, consumers []string) bool {
+	found := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		switch p := parentOf(stack, 1).(type) {
+		case *ast.SelectorExpr:
+			if p.X != id {
+				return true
+			}
+			if sel, ok := pass.TypesInfo.Selections[p]; ok && sel.Kind() == types.FieldVal {
+				// Field read: a borrow, neither consumption nor escape.
+				return true
+			}
+			if gp, ok := parentOf(stack, 2).(*ast.CallExpr); ok && gp.Fun == p {
+				// Method call on the value: consumes only if named so;
+				// data-access methods are borrows, not releases.
+				for _, c := range consumers {
+					if p.Sel.Name == c {
+						found = true
+					}
+				}
+			} else {
+				// Method value (v.Release passed as a closure): the
+				// obligation moved with it.
+				found = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == id {
+					found = true // handed to a callee (Put, append, sink, …)
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for _, r := range p.Rhs {
+				if r == id {
+					found = true // aliased or stored somewhere else
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// parentOf returns the nth enclosing node above the top of stack,
+// skipping parentheses.
+func parentOf(stack []ast.Node, n int) ast.Node {
+	i := len(stack) - 1 - n
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+func consumedVerb(tr Tracked) string {
+	if tr.Verb != "" {
+		return tr.Verb
+	}
+	return "consumed"
+}
+
+func deferredCall(n ast.Node) *ast.CallExpr {
+	switch s := n.(type) {
+	case *ast.GoStmt:
+		return s.Call
+	case *ast.DeferStmt:
+		return s.Call
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Package releasepair guards the pooling contract behind PR 8's
+// O(workers) memory claim: every block pulled from a volume stream
+// must be Released, and every buffer taken from an Arena must be Put
+// back (or handed to an owner who will). A single leaked BlockVol or
+// arena buffer silently degrades the pool to plain allocation — no
+// test fails, the sweep just stops being O(workers).
+//
+// The check is flow-insensitive but scope-aware: a tracked value must,
+// somewhere in the producing function, either hit its consuming method
+// (Release), be passed to a callee (Arena.Put, a sink, append), be
+// returned, or be stored into a longer-lived structure. Values that
+// are only read and then dropped are reported.
+package releasepair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imagebench/internal/analysis"
+)
+
+// Analyzer is the releasepair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "releasepair",
+	Doc: "stream blocks (Stream.Next) must reach Release and arena buffers " +
+		"(Arena.Get/GetZeroed) must reach Arena.Put, or escape to an owner",
+	Run: analysis.MustConsume{Producer: producer, SkipTestFiles: true}.Run,
+}
+
+// volumePkg is the path suffix of the package defining the pooled
+// types.
+const volumePkg = "internal/volume"
+
+func producer(pass *analysis.Pass, call *ast.CallExpr) (analysis.Tracked, bool) {
+	fn := pass.Callee(call)
+	if fn == nil {
+		return analysis.Tracked{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return analysis.Tracked{}, false
+	}
+	switch fn.Name() {
+	case "Next":
+		// Any Next() (BlockVol, bool) — the Stream interface and every
+		// concrete stream type alike.
+		if sig.Results().Len() == 2 && isVolumeType(sig.Results().At(0).Type(), "BlockVol") {
+			return analysis.Tracked{
+				Call:        "Stream.Next",
+				What:        "stream block",
+				ResultIndex: 0,
+				Consumers:   []string{"Release"},
+				Verb:        "Released",
+				Fix:         "call Release once done (or hand the block to a sink that does)",
+			}, true
+		}
+	case "Get", "GetZeroed":
+		if isVolumeType(sig.Recv().Type(), "Arena") && sig.Results().Len() == 1 {
+			return analysis.Tracked{
+				Call:        "Arena." + fn.Name(),
+				What:        "arena buffer",
+				ResultIndex: 0,
+				Verb:        "Put back",
+				Fix:         "pass it to Arena.Put when done (or return/store it for a caller who will)",
+			}, true
+		}
+	}
+	return analysis.Tracked{}, false
+}
+
+// isVolumeType reports whether t (possibly a pointer) is the named
+// type internal/volume.<name>.
+func isVolumeType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		analysis.PathHasSuffix(obj.Pkg().Path(), volumePkg)
+}

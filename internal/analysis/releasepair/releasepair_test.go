@@ -1,0 +1,12 @@
+package releasepair_test
+
+import (
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/releasepair"
+)
+
+func TestReleasePair(t *testing.T) {
+	analysistest.Run(t, "testdata", releasepair.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Package a exercises the releasepair analyzer.
+package a
+
+import "example/internal/volume"
+
+type holder struct {
+	buf *volume.V3
+}
+
+func leakArenaBuffer(a *volume.Arena) float64 {
+	v := a.Get(4, 4, 4) // want `arena buffer "v" from Arena.Get is never Put back`
+	v.Fill(1)
+	return v.Data[0]
+}
+
+func leakZeroed(a *volume.Arena) {
+	v := a.GetZeroed(2, 2, 2) // want `arena buffer "v" from Arena.GetZeroed is never Put back`
+	v.Fill(0)
+}
+
+func discardGet(a *volume.Arena) {
+	_ = a.Get(1, 1, 1) // want `arena buffer from Arena.Get is assigned to _`
+}
+
+func chainWithoutOwner(a *volume.Arena) {
+	a.Get(1, 1, 1).Fill(0) // want `arena buffer from Arena.Get is used via .Fill`
+}
+
+func leakBlock(s volume.Stream) float64 {
+	total := 0.0
+	for {
+		bv, ok := s.Next() // want `stream block "bv" from Stream.Next is never Released`
+		if !ok {
+			return total
+		}
+		total += bv.Vol.Data[0]
+	}
+}
+
+func discardNext(s volume.Stream) {
+	s.Next() // want `result of Stream.Next is discarded`
+}
+
+// Negative cases: every obligation below is discharged.
+
+func putBack(a *volume.Arena) {
+	v := a.Get(4, 4, 4)
+	v.Fill(1)
+	a.Put(v)
+}
+
+func deferredPut(a *volume.Arena) float64 {
+	v := a.GetZeroed(2, 2, 2)
+	defer func() { a.Put(v) }()
+	return v.Data[0]
+}
+
+func returned(a *volume.Arena) *volume.V3 {
+	v := a.Get(8, 8, 8)
+	v.Fill(2)
+	return v
+}
+
+func stored(a *volume.Arena, h *holder) {
+	h.buf = a.Get(2, 2, 2)
+}
+
+func handedToSink(a *volume.Arena, sink func(*volume.V3)) {
+	v := a.Get(2, 2, 2)
+	sink(v)
+}
+
+func drainWithRelease(s volume.Stream) float64 {
+	total := 0.0
+	for {
+		bv, ok := s.Next()
+		if !ok {
+			return total
+		}
+		total += bv.Vol.Data[0]
+		bv.Release()
+	}
+}
+
+func blockForwarded(s volume.Stream, out chan<- volume.BlockVol) {
+	for {
+		bv, ok := s.Next()
+		if !ok {
+			return
+		}
+		out <- bv
+	}
+}
+
+func allowedLeak(a *volume.Arena) {
+	//lint:allow releasepair buffer is process-lifetime by design
+	v := a.Get(1, 1, 1)
+	v.Fill(0)
+}

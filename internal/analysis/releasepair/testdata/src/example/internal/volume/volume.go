@@ -1,0 +1,42 @@
+// Package volume is a stub of the real pooling layer, shaped exactly
+// like it: the analyzer matches by package-path suffix and type name,
+// so these declarations are what it keys on.
+package volume
+
+// V3 is a pooled 3-D buffer.
+type V3 struct {
+	Data []float64
+}
+
+// Fill is a data-access method: calling it does not discharge the
+// Put-back obligation.
+func (v *V3) Fill(x float64) {
+	for i := range v.Data {
+		v.Data[i] = x
+	}
+}
+
+// Arena pools V3 buffers.
+type Arena struct{}
+
+// Get returns a pooled buffer that must be Put back.
+func (a *Arena) Get(nx, ny, nz int) *V3 { return &V3{Data: make([]float64, nx*ny*nz)} }
+
+// GetZeroed is Get with zeroing.
+func (a *Arena) GetZeroed(nx, ny, nz int) *V3 { return a.Get(nx, ny, nz) }
+
+// Put returns a buffer to the pool.
+func (a *Arena) Put(v *V3) {}
+
+// BlockVol is one z-slab of a streamed volume.
+type BlockVol struct {
+	Vol *V3
+}
+
+// Release returns the block's buffer to its pool.
+func (bv *BlockVol) Release() {}
+
+// Stream is a pull-iterator of blocks.
+type Stream interface {
+	Next() (BlockVol, bool)
+}

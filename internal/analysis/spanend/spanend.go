@@ -1,0 +1,64 @@
+// Package spanend keeps the dual-clock tracing honest: every span
+// opened with obs.StartSpan (or a StartSpan method) must have a
+// reachable End, or escape to an owner that ends it. An unended span
+// never flushes its wall window, skews the stage-partition invariant
+// (stage spans must sum to the run's virtual seconds), and pins its
+// subtree in the tracer forever.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imagebench/internal/analysis"
+)
+
+// Analyzer is the spanend analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.StartSpan must have a reachable span.End (or the span must escape to an owner that ends it)",
+	Run:  analysis.MustConsume{Producer: producer, SkipTestFiles: true}.Run,
+}
+
+// obsPkg is the path suffix of the tracing package.
+const obsPkg = "internal/obs"
+
+func producer(pass *analysis.Pass, call *ast.CallExpr) (analysis.Tracked, bool) {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Name() != "StartSpan" {
+		return analysis.Tracked{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return analysis.Tracked{}, false
+	}
+	// Package function obs.StartSpan or any method named StartSpan —
+	// either way the tracked result is the *obs.Span.
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isSpan(sig.Results().At(i).Type()) {
+			return analysis.Tracked{
+				Call:        "StartSpan",
+				What:        "span",
+				ResultIndex: i,
+				Consumers:   []string{"End"},
+				Verb:        "Ended",
+				Fix:         "add span.End() (usually deferred) or store the span where a watcher ends it",
+			}, true
+		}
+	}
+	return analysis.Tracked{}, false
+}
+
+func isSpan(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		analysis.PathHasSuffix(obj.Pkg().Path(), obsPkg)
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer, "a")
+}

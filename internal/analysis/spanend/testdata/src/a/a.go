@@ -1,0 +1,59 @@
+// Package a exercises the spanend analyzer.
+package a
+
+import (
+	"context"
+
+	"example/internal/obs"
+)
+
+type job struct {
+	span *obs.Span
+}
+
+func unended(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "work") // want `span "span" from StartSpan is never Ended`
+	span.SetAttr("k", "v")
+	_ = ctx
+}
+
+func discardedSpan(ctx context.Context) context.Context {
+	ctx, _ = obs.StartSpan(ctx, "work") // want `span from StartSpan is assigned to _`
+	return ctx
+}
+
+func methodFormUnended(t *obs.Tracer) {
+	span := t.StartSpan("work") // want `span "span" from StartSpan is never Ended`
+	span.SetAttr("k", "v")
+}
+
+// Negative cases.
+
+func deferredEnd(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "work")
+	defer span.End()
+}
+
+func directEnd(t *obs.Tracer) {
+	span := t.StartSpan("work")
+	span.End()
+}
+
+func storedForWatcher(ctx context.Context, j *job) {
+	_, j.span = obs.StartSpan(ctx, "cell")
+}
+
+func returnedToCaller(ctx context.Context) (context.Context, *obs.Span) {
+	return obs.StartSpan(ctx, "outer")
+}
+
+func endedInClosure(ctx context.Context) func() {
+	_, span := obs.StartSpan(ctx, "bg")
+	return func() { span.End() }
+}
+
+func allowedProcessSpan(ctx context.Context) {
+	//lint:allow spanend process-lifetime root span, ended by exit hook
+	_, span := obs.StartSpan(ctx, "root")
+	span.SetAttr("k", "v")
+}

@@ -1,0 +1,78 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/suite"
+)
+
+// TestTreeIsClean runs every analyzer in the suite over every package
+// of the module — the in-process twin of CI's
+// `go vet -vettool=imagebench-vet ./...` gate. A finding here is a
+// real invariant violation (or a missing //lint:allow with its
+// reason); fix the code, don't relax the analyzer.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs := modulePackages(t)
+	if len(pkgs) < 20 {
+		t.Fatalf("found only %d packages, expected the whole module; package walk broken?", len(pkgs))
+	}
+	for _, a := range suite.All() {
+		analysistest.RunClean(t, a, false, pkgs...)
+	}
+}
+
+// modulePackages walks the repo for directories containing non-test
+// Go files and returns their import paths.
+func modulePackages(t *testing.T) []string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("expected module root at %s: %v", root, err)
+	}
+	seen := map[string]bool{}
+	var pkgs []string
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		name := info.Name()
+		if info.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if seen[dir] {
+			return nil
+		}
+		seen[dir] = true
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			pkgs = append(pkgs, "imagebench")
+			return nil
+		}
+		pkgs = append(pkgs, "imagebench/"+filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}

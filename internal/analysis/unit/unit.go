@@ -1,0 +1,222 @@
+// Package unit runs an analyzer suite under `go vet -vettool=...`.
+//
+// It implements the go command's vet-tool protocol (the same contract
+// golang.org/x/tools' unitchecker implements, rebuilt here on the
+// standard library because this repository vendors no dependencies):
+//
+//   - `tool -V=full` prints a content-addressed version line the go
+//     command uses as the tool's cache key;
+//   - `tool -flags` prints the tool's flag set as JSON (empty: the
+//     suite has no flags);
+//   - `tool <dir>/vet.cfg` analyzes one package unit described by the
+//     JSON config the go command writes: source files are parsed and
+//     type-checked against the export data of already-compiled
+//     dependencies (no reloading, no network), the suite runs, and
+//     diagnostics are printed `file:line:col: message` on stderr with
+//     exit status 2 — which go vet relays per package;
+//   - `tool <packages...>` (no .cfg) re-executes `go vet -vettool=self
+//     <packages...>` so the tool is also directly invocable.
+//
+// The go command invokes the tool once per package unit, including
+// dependency units whose only purpose is fact propagation (VetxOnly).
+// The suite's analyzers keep no cross-package facts, so those units
+// short-circuit to an empty facts file, keeping `go vet ./...` at the
+// cost of the packages actually named.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"imagebench/internal/analysis"
+)
+
+// Config mirrors the go command's per-package vet configuration
+// (cmd/go/internal/work.vetConfig). Fields the suite has no use for
+// (NonGoFiles, PackageVetx, ...) are listed so the JSON round-trips,
+// not because they are consulted.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet tool binary built over analyzers.
+// It never returns: every mode ends in os.Exit.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "imagebench-vet"
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion(progname)
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		// The suite defines no flags; the go command only needs valid
+		// JSON here to decide which vet flags it may forward.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		code, err := runUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	default:
+		// Direct invocation with package patterns: delegate to go vet,
+		// which drives this binary through the .cfg protocol above.
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+}
+
+// printVersion emits the `-V=full` line the go command hashes into its
+// cache key. The content hash of the executable stands in for a build
+// ID: rebuilding the tool with different analyzers invalidates every
+// cached vet result, which is exactly the invalidation wanted.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
+}
+
+// runUnit analyzes the single package unit described by cfgPath and
+// reports the exit status go vet expects: 0 clean, 2 diagnostics.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", cfgPath, err)
+	}
+
+	// Facts file first: the suite keeps none, but the go command reads
+	// this path back to cache the unit, and dependency units exist only
+	// to produce it.
+	if cfg.VetxOutput != "" {
+		//lint:allow atomicwrite vetx facts file is the go command's protocol artifact, written where it asks
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, fmt.Errorf("write facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1, nil
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data of already-compiled
+	// dependencies: ImportMap takes the path as written in source to
+	// the canonical package path, PackageFile takes that to the .a
+	// file go build produced.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1, nil
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.Diagnostics() {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+	}
+	return exit, nil
+}

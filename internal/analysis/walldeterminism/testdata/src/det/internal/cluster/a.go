@@ -1,0 +1,96 @@
+// Package cluster stands in for a deterministic package (matched by
+// its path suffix): wall clocks, global randomness, and map-ordered
+// output are forbidden here.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in a deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the process-global random source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global random source`
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range`
+	}
+	return keys
+}
+
+func printInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside a map range`
+	}
+}
+
+// Negative cases.
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative: order cannot matter
+	}
+	return total
+}
+
+func buildIndex(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func perIterationSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func injectedClock(now func() time.Time) time.Time {
+	return now() // the caller owns the wall clock
+}
+
+func allowedTrace(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow walldeterminism debug-only trace, order never compared
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,12 @@
+// Package loadgen is outside the deterministic set: wall clocks and
+// global randomness are its normal business and must not be flagged.
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func jitter() int { return rand.Intn(100) }

@@ -1,0 +1,15 @@
+package walldeterminism_test
+
+import (
+	"testing"
+
+	"imagebench/internal/analysis/analysistest"
+	"imagebench/internal/analysis/walldeterminism"
+)
+
+func TestWallDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", walldeterminism.Analyzer,
+		"det/internal/cluster",
+		"other/loadgen", // outside the deterministic set: no findings expected
+	)
+}

@@ -38,6 +38,10 @@ func CoaddStepTime(w *Workload, cl *cluster.Cluster, model *cost.Model, stacks [
 		model = cost.Default()
 	}
 	patchBytes := w.PatchModelBytes()
+	// Each case below builds a different simulator (Spark session, Myria
+	// plan, SciDB AQL/AFL) — this is the per-system modeling layer the
+	// registry adapters delegate to, not dispatch an adapter could absorb.
+	//lint:allow enginedispatch per-system simulation models live here; adapters delegate in
 	switch sysVariant {
 	case "Spark":
 		sess := spark.NewSession(cl, w.Store, model)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"time"
 
 	"imagebench/internal/core"
 	"imagebench/internal/runner"
@@ -45,7 +46,7 @@ func sweepMemCase(name string, axisPoints int) Case {
 			}
 			sched := runner.New(runner.Options{Workers: 1})
 			defer sched.Close()
-			mgr, err := sweep.NewManager(sched, nil, "")
+			mgr, err := sweep.NewManager(sched, nil, "", time.Now)
 			if err != nil {
 				return nil, err
 			}

@@ -9,6 +9,7 @@ package daemon
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"imagebench/internal/obs"
 	"imagebench/internal/results"
@@ -99,7 +100,7 @@ func New(cfg Config) (*Daemon, error) {
 			d.Warnings = append(d.Warnings, fmt.Sprintf("journal recovery: %v", err))
 		}
 	}
-	mgr, err := sweep.NewManager(d.Sched, cache, cfg.SweepDir)
+	mgr, err := sweep.NewManager(d.Sched, cache, cfg.SweepDir, time.Now)
 	if err != nil {
 		d.Close()
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"imagebench/internal/core"
@@ -24,12 +25,25 @@ type server struct {
 	sweeps  *sweep.Manager
 	metrics *obs.Registry // may be nil: /metrics then serves 503
 	start   time.Time
+
+	// respWriteErrs counts response bodies the daemon failed to write
+	// (almost always a client that disconnected mid-response, e.g.
+	// while parked on wait=true). The failure cannot be reported to
+	// that client — the connection is gone — so it is accounted here
+	// and surfaced via /metrics.json and the Prometheus counter
+	// instead of being silently dropped.
+	respWriteErrs atomic.Int64
+	respWriteErrC *obs.Counter // may be nil (no registry)
 }
 
 // newServer returns the daemon's HTTP handler over the given scheduler,
 // cache, sweep manager, and metrics registry.
 func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Manager, metrics *obs.Registry) http.Handler {
 	s := &server{sched: sched, cache: cache, sweeps: sweeps, metrics: metrics, start: time.Now()}
+	if metrics != nil {
+		s.respWriteErrC = metrics.NewCounter("imagebench_daemon_response_write_errors_total",
+			"Response bodies the daemon failed to write (client gone mid-response).")
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
@@ -52,8 +66,10 @@ func newServer(sched *runner.Scheduler, cache *results.Cache, sweeps *sweep.Mana
 // endpoints, so readability beats byte count. Encoding happens before
 // the status line is written: an unmarshalable value must become a 500,
 // not a 200 with a truncated body that a coordinator would try to
-// parse.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// parse. A failed body write is recorded (see respWriteErrs) — by then
+// the status line is on the wire and the client is usually gone, so
+// accounting is all that remains.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		// apiError is a plain string struct, so this inner marshal
@@ -63,15 +79,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(b, '\n'))
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		s.noteRespWriteErr()
+	}
 }
 
 type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+func (s *server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// noteRespWriteErr accounts one failed response write.
+func (s *server) noteRespWriteErr() {
+	s.respWriteErrs.Add(1)
+	if s.respWriteErrC != nil {
+		s.respWriteErrC.Add(1)
+	}
 }
 
 // maxRequestBytes caps JSON request bodies. The daemon's requests are
@@ -85,24 +111,24 @@ const maxRequestBytes = 1 << 20
 // (a typoed "experimens" key fails loudly instead of submitting an empty
 // job). It writes the error response itself and reports whether decoding
 // succeeded.
-func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBytes)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBytes)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return false
 	}
 	return true
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handlePromMetrics serves the registry in the Prometheus text
@@ -110,11 +136,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // counters live on at /metrics.json for humans and scripts.
 func (s *server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.metrics == nil {
-		writeError(w, http.StatusServiceUnavailable, "metrics registry not configured")
+		s.writeError(w, http.StatusServiceUnavailable, "metrics registry not configured")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w)
+	if err := s.metrics.WriteText(w); err != nil {
+		s.noteRespWriteErr()
+	}
 }
 
 // metrics is the expvar-style counter payload served at /metrics.json.
@@ -135,13 +163,14 @@ type metrics struct {
 	CacheEntries            int     `json:"cache_entries"`
 	Sweeps                  int     `json:"sweeps"`
 	JournalErrors           int64   `json:"journal_errors"`
+	ResponseWriteErrors     int64   `json:"response_write_errors"`
 	VirtualSecondsSimulated float64 `json:"virtual_seconds_simulated"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
 	cst := s.cache.Stats()
-	writeJSON(w, http.StatusOK, metrics{
+	s.writeJSON(w, http.StatusOK, metrics{
 		UptimeSeconds:           time.Since(s.start).Seconds(),
 		Workers:                 st.Workers,
 		JobsSubmitted:           st.Submitted,
@@ -158,6 +187,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:            cst.Entries,
 		Sweeps:                  s.sweeps.Len(),
 		JournalErrors:           st.JournalErrors,
+		ResponseWriteErrors:     s.respWriteErrs.Load(),
 		VirtualSecondsSimulated: st.VirtualSeconds,
 	})
 }
@@ -175,14 +205,14 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	for _, e := range all {
 		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleEngines serves the engine registry: each registered system
 // driver with its capability set (which comparisons it participates
 // in) and its fault-recovery mechanism, in engine.Info wire form.
 func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, engine.Describe())
+	s.writeJSON(w, http.StatusOK, engine.Describe())
 }
 
 // submitRequest is the POST /v1/jobs body. Experiments lists IDs, or
@@ -202,11 +232,11 @@ type submitRequest struct {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if !decodeRequest(w, r, &req) {
+	if !s.decodeRequest(w, r, &req) {
 		return
 	}
 	if len(req.Experiments) == 0 {
-		writeError(w, http.StatusBadRequest, "experiments list is empty (use [\"all\"] for everything)")
+		s.writeError(w, http.StatusBadRequest, "experiments list is empty (use [\"all\"] for everything)")
 		return
 	}
 	if req.Profile == "" {
@@ -214,12 +244,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	profile, err := core.ProfileByName(req.Profile)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Overrides != nil {
 		if err := req.Overrides.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "overrides: %v", err)
+			s.writeError(w, http.StatusBadRequest, "overrides: %v", err)
 			return
 		}
 		profile = profile.Apply(*req.Overrides)
@@ -237,7 +267,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// with the client told only "unknown experiment".
 	for _, id := range ids {
 		if _, err := core.Lookup(id); err != nil {
-			writeError(w, http.StatusBadRequest, "%v (nothing submitted)", err)
+			s.writeError(w, http.StatusBadRequest, "%v (nothing submitted)", err)
 			return
 		}
 	}
@@ -253,7 +283,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Jobs accepted before the failure keep running; the client
 			// must learn their IDs or it can never poll, wait on, or
 			// account for the partial batch.
-			writeJSON(w, status, map[string]any{
+			s.writeJSON(w, status, map[string]any{
 				"jobs":  snapshotJobs(jobs),
 				"error": fmt.Sprintf("submit %s: %v (%d of %d jobs accepted)", id, err, len(jobs), len(ids)),
 			})
@@ -268,13 +298,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			select {
 			case <-j.Done():
 			case <-r.Context().Done():
-				writeError(w, http.StatusRequestTimeout, "client went away while waiting")
+				s.writeError(w, http.StatusRequestTimeout, "client went away while waiting")
 				return
 			}
 		}
 		status = http.StatusOK
 	}
-	writeJSON(w, status, map[string]any{"jobs": snapshotJobs(jobs)})
+	s.writeJSON(w, status, map[string]any{"jobs": snapshotJobs(jobs)})
 }
 
 // snapshotJobs collects the Info snapshots of jobs, never nil (so the
@@ -288,7 +318,7 @@ func snapshotJobs(jobs []*runner.Job) []runner.Info {
 }
 
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": snapshotJobs(s.sched.Jobs())})
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": snapshotJobs(s.sched.Jobs())})
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -301,17 +331,17 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		// result still cached), answer from the tombstone instead of
 		// 404ing work that succeeded.
 		if info, ok := s.sched.EvictedInfo(id); ok {
-			writeJSON(w, http.StatusOK, info)
+			s.writeJSON(w, http.StatusOK, info)
 			return
 		}
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Snapshot())
+	s.writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
 func (s *server) handleResultKeys(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"keys": s.cache.Keys()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"keys": s.cache.Keys()})
 }
 
 // maxIngestBytes caps POST /v1/results bodies. A replicated entry
@@ -333,25 +363,25 @@ func (s *server) handleResultIngest(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&entry); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxIngestBytes)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxIngestBytes)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		s.writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
 	if entry.Table == nil {
-		writeError(w, http.StatusBadRequest, "entry has no table")
+		s.writeError(w, http.StatusBadRequest, "entry has no table")
 		return
 	}
 	if want := results.Key(entry.Experiment, entry.Profile); entry.Key != want {
-		writeError(w, http.StatusBadRequest, "key %.12s does not match content (want %.12s)", entry.Key, want)
+		s.writeError(w, http.StatusBadRequest, "key %.12s does not match content (want %.12s)", entry.Key, want)
 		return
 	}
 	if err := s.cache.Put(&entry); err != nil {
-		writeError(w, http.StatusInternalServerError, "store entry: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "store entry: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"key": entry.Key})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"key": entry.Key})
 }
 
 // sweepRequest is the POST /v1/sweeps body: a sweep spec plus wait.
@@ -363,7 +393,7 @@ type sweepRequest struct {
 
 func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if !decodeRequest(w, r, &req) {
+	if !s.decodeRequest(w, r, &req) {
 		return
 	}
 	sw, existing, err := s.sweeps.Submit(req.Spec)
@@ -377,7 +407,7 @@ func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			// problem on our side, not a client error.
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, "%v", err)
+		s.writeError(w, status, "%v", err)
 		return
 	}
 	status := http.StatusAccepted
@@ -386,12 +416,12 @@ func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Wait {
 		if err := sw.Wait(r.Context()); err != nil {
-			writeError(w, http.StatusRequestTimeout, "client went away while waiting")
+			s.writeError(w, http.StatusRequestTimeout, "client went away while waiting")
 			return
 		}
 		status = http.StatusOK
 	}
-	writeJSON(w, status, sw.Info(true))
+	s.writeJSON(w, status, sw.Info(true))
 }
 
 func (s *server) handleSweeps(w http.ResponseWriter, r *http.Request) {
@@ -400,17 +430,17 @@ func (s *server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	for _, sw := range list {
 		infos = append(infos, sw.Info(false))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sweeps": infos})
+	s.writeJSON(w, http.StatusOK, map[string]any{"sweeps": infos})
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sid := r.PathValue("id")
 	sw, ok := s.sweeps.Get(sid)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown sweep %q", sid)
+		s.writeError(w, http.StatusNotFound, "unknown sweep %q", sid)
 		return
 	}
-	writeJSON(w, http.StatusOK, sw.Info(true))
+	s.writeJSON(w, http.StatusOK, sw.Info(true))
 }
 
 // handleResult serves one cached table: JSON by default, the CLI's
@@ -419,14 +449,16 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	entry, ok := s.cache.Get(key)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no cached result for key %q", key)
+		s.writeError(w, http.StatusNotFound, "no cached result for key %q", key)
 		return
 	}
 	if acceptsPlainText(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "# %s  (profile %s, key %s)\n%s",
-			entry.Experiment, entry.Profile.Name, entry.Key, entry.Table.Render())
+		if _, err := fmt.Fprintf(w, "# %s  (profile %s, key %s)\n%s",
+			entry.Experiment, entry.Profile.Name, entry.Key, entry.Table.Render()); err != nil {
+			s.noteRespWriteErr()
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, entry)
+	s.writeJSON(w, http.StatusOK, entry)
 }

@@ -58,7 +58,7 @@ func newTinyServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	sched := runner.New(runner.Options{Workers: 1, QueueDepth: 1, Cache: cache})
-	sweeps, err := sweep.NewManager(sched, cache, "")
+	sweeps, err := sweep.NewManager(sched, cache, "", time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,8 @@ func TestResultAcceptNegotiation(t *testing.T) {
 // becomes a 500 error document, not a 200 with a truncated body.
 func TestWriteJSONEncodeError(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, map[string]any{"ch": make(chan int)})
+	srv := &server{}
+	srv.writeJSON(rec, http.StatusOK, map[string]any{"ch": make(chan int)})
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}

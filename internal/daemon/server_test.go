@@ -65,7 +65,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Scheduler, *results.
 	reg := obs.NewRegistry()
 	registerCacheMetrics(reg, cache)
 	sched := runner.New(runner.Options{Workers: 4, Cache: cache, Metrics: reg, Tracer: obs.NewTracer()})
-	sweeps, err := sweep.NewManager(sched, cache, "")
+	sweeps, err := sweep.NewManager(sched, cache, "", time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"imagebench/internal/core"
@@ -70,6 +71,11 @@ type Coordinator struct {
 	dead       map[string]bool
 	started    time.Time
 	journalErr error // first journal append failure, reported by Run
+
+	// respWriteErrs counts observation-surface responses the
+	// coordinator failed to write (client gone mid-response); the
+	// connection is dead, so accounting is the only reporting left.
+	respWriteErrs atomic.Int64
 }
 
 // New validates cfg and opens the assignment journal (if configured).

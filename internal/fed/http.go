@@ -228,35 +228,40 @@ func (c *Coordinator) SweepInfo(withCells bool) (sweep.Info, bool) {
 func (c *Coordinator) Handler(reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fedWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		c.fedWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if reg == nil {
-			fedWriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "metrics registry not configured"})
+			c.fedWriteJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "metrics registry not configured"})
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WriteText(w)
+		if err := reg.WriteText(w); err != nil {
+			c.respWriteErrs.Add(1)
+		}
 	})
 	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		infos := []sweep.Info{}
 		if info, ok := c.SweepInfo(false); ok {
 			infos = append(infos, info)
 		}
-		fedWriteJSON(w, http.StatusOK, map[string]any{"sweeps": infos})
+		c.fedWriteJSON(w, http.StatusOK, map[string]any{"sweeps": infos})
 	})
 	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, ok := c.SweepInfo(true)
 		if !ok || info.ID != r.PathValue("id") {
-			fedWriteJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown sweep %q", r.PathValue("id"))})
+			c.fedWriteJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown sweep %q", r.PathValue("id"))})
 			return
 		}
-		fedWriteJSON(w, http.StatusOK, info)
+		c.fedWriteJSON(w, http.StatusOK, info)
 	})
 	return mux
 }
 
-func fedWriteJSON(w http.ResponseWriter, status int, v any) {
+// fedWriteJSON emits v with indentation, mirroring the worker daemon's
+// writer; a failed body write is tallied on the coordinator — the
+// client is gone, so a counter is the only place the error can land.
+func (c *Coordinator) fedWriteJSON(w http.ResponseWriter, status int, v any) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		http.Error(w, "encode response", http.StatusInternalServerError)
@@ -264,5 +269,7 @@ func fedWriteJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(b, '\n'))
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		c.respWriteErrs.Add(1)
+	}
 }

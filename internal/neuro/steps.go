@@ -58,6 +58,9 @@ func IngestTime(w *Workload, cl *cluster.Cluster, model *cost.Model, sysVariant 
 	if model == nil {
 		model = cost.Default()
 	}
+	// Each case builds a different per-system ingest simulation; the
+	// registry's NeuroIngester adapters delegate here.
+	//lint:allow enginedispatch per-system simulation models live here; adapters delegate in
 	switch sysVariant {
 	case "Spark":
 		sess := spark.NewSession(cl, w.Store, model)
@@ -124,6 +127,8 @@ func StepTime(w *Workload, cl *cluster.Cluster, model *cost.Model, sys, step str
 	if model == nil {
 		model = cost.Default()
 	}
+	// Per-system step simulators, reached via the NeuroStepper adapters.
+	//lint:allow enginedispatch per-system simulation models live here; adapters delegate in
 	switch sys {
 	case "Spark":
 		return sparkStep(w, cl, model, step)

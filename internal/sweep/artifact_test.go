@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"imagebench/internal/core"
 	"imagebench/internal/runner"
@@ -95,7 +96,7 @@ func TestArtifactWriterFinishScrubsSummaryCells(t *testing.T) {
 func TestStreamArtifactReleasesTables(t *testing.T) {
 	sched := runner.New(runner.Options{Workers: 1})
 	defer sched.Close()
-	mgr, err := NewManager(sched, nil, "")
+	mgr, err := NewManager(sched, nil, "", time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}

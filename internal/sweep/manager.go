@@ -30,6 +30,8 @@ type Manager struct {
 	cache *results.Cache // may be nil (no rehydration, every cell re-runs)
 	dir   string         // "" = memory only
 
+	now func() time.Time // injected wall clock (timestamps are metadata, not identity)
+
 	mu          sync.Mutex
 	sweeps      map[string]*Sweep
 	order       []*Sweep
@@ -38,15 +40,22 @@ type Manager struct {
 
 // NewManager returns a manager submitting through sched and consulting
 // cache; dir, when non-empty, is created and used to persist sweep
-// specs (one JSON file per sweep).
-func NewManager(sched *runner.Scheduler, cache *results.Cache, dir string) (*Manager, error) {
+// specs (one JSON file per sweep). now supplies creation timestamps
+// (callers outside this package pass time.Now): sweep identity is
+// content-addressed, so the clock is injected metadata and this
+// package itself never reads wall time. A nil now stamps the zero
+// time.
+func NewManager(sched *runner.Scheduler, cache *results.Cache, dir string, now func() time.Time) (*Manager, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("sweep: create %s: %w", dir, err)
 		}
 	}
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
 	return &Manager{
-		sched: sched, cache: cache, dir: dir,
+		sched: sched, cache: cache, dir: dir, now: now,
 		sweeps:      make(map[string]*Sweep),
 		unpersisted: make(map[string]bool),
 	}, nil
@@ -110,7 +119,7 @@ func (m *Manager) Submit(spec Spec) (s *Sweep, existing bool, err error) {
 		}
 		c.job = j
 	}
-	s = newSweep(sid, spec, cells, time.Now())
+	s = newSweep(sid, spec, cells, m.now())
 
 	watchSweep(root, s)
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"imagebench/internal/core"
 	"imagebench/internal/runner"
@@ -27,7 +28,7 @@ func TestConcurrentCellsBitIdentical(t *testing.T) {
 	run := func(workers int) map[string][]byte {
 		sched := runner.New(runner.Options{Workers: workers})
 		defer sched.Close()
-		mgr, err := NewManager(sched, nil, "")
+		mgr, err := NewManager(sched, nil, "", time.Now)
 		if err != nil {
 			t.Fatal(err)
 		}

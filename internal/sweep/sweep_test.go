@@ -57,7 +57,7 @@ func newTestManager(t *testing.T, cacheDir, sweepDir string) (*Manager, *runner.
 	}
 	sched := runner.New(runner.Options{Workers: 2, Cache: cache})
 	t.Cleanup(sched.Close)
-	m, err := NewManager(sched, cache, sweepDir)
+	m, err := NewManager(sched, cache, sweepDir, time.Now)
 	if err != nil {
 		t.Fatal(err)
 	}
